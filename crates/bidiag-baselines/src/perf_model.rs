@@ -1,0 +1,220 @@
+//! Analytic throughput models of the competitor libraries.
+//!
+//! The paper's GE2VAL figures compare DPLASMA against Intel MKL, PLASMA,
+//! ScaLAPACK and Elemental.  Those libraries cannot be rerun inside this
+//! reproduction (proprietary binaries, MPI testbed), so the figure harnesses
+//! draw their curves from the analytic models below.  The models capture the
+//! *algorithm class* of each competitor — which is exactly the property the
+//! paper attributes their behaviour to:
+//!
+//! * **one-stage** reductions (ScaLAPACK, Elemental, pre-2015 MKL) execute
+//!   ~50% of their flops in Level-2 BLAS (Großer & Lang), so their rate is a
+//!   harmonic mean of a memory-bound rate and a compute-bound rate and
+//!   saturates regardless of core count;
+//! * **Elemental** additionally switches to Chan's algorithm for
+//!   `m >= 1.2 n`, reducing the executed flops (its reported rate, normalised
+//!   by the BIDIAG operation count, rises on tall-skinny matrices);
+//! * **two-stage MKL** (>= 11.2) behaves like a tiled FLATTS code whose
+//!   efficiency grows with the problem size.
+//!
+//! All constants are calibrated against the shapes of Figures 2–4 of the
+//! paper (the miriel node: 24 Haswell cores, 37 GFlop/s per core) and are
+//! documented in `EXPERIMENTS.md`.
+
+use crate::chan::chan_flops;
+use crate::one_stage::one_stage_flops;
+use serde::{Deserialize, Serialize};
+
+/// Hardware characteristics of one node (and the cluster built from it).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Sustained Level-3 GFlop/s per core (the paper measures 37).
+    pub core_gflops: f64,
+    /// Sustained memory-bound (Level-2 BLAS) GFlop/s per node.
+    pub node_level2_gflops: f64,
+}
+
+impl MachineSpec {
+    /// One miriel-like node: 24 cores at 37 GFlop/s, ~25 GFlop/s of
+    /// memory-bound Level-2 throughput.
+    pub fn paper_node() -> Self {
+        Self { nodes: 1, cores_per_node: 24, core_gflops: 37.0, node_level2_gflops: 25.0 }
+    }
+
+    /// A cluster of miriel-like nodes.
+    pub fn paper_cluster(nodes: usize) -> Self {
+        Self { nodes, ..Self::paper_node() }
+    }
+
+    /// Aggregate Level-3 peak of the machine.
+    pub fn level3_peak(&self) -> f64 {
+        self.nodes as f64 * self.cores_per_node as f64 * self.core_gflops
+    }
+}
+
+/// Competitor algorithm classes modelled by [`PerfModel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompetitorClass {
+    /// Intel MKL >= 11.2: shared-memory two-stage reduction.
+    MklLike,
+    /// ScaLAPACK `PxGEBRD`: distributed one-stage reduction.
+    ScalapackLike,
+    /// Elemental: one-stage reduction with Chan's switch at `m >= 1.2 n`.
+    ElementalLike,
+}
+
+impl CompetitorClass {
+    /// Display name used in the figure tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompetitorClass::MklLike => "MKL",
+            CompetitorClass::ScalapackLike => "Scalapack",
+            CompetitorClass::ElementalLike => "Elemental",
+        }
+    }
+}
+
+/// An analytic GE2VAL throughput model for one competitor on one machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerfModel {
+    /// Which competitor class is modelled.
+    pub class: CompetitorClass,
+    /// The machine it runs on.
+    pub machine: MachineSpec,
+}
+
+impl PerfModel {
+    /// Create a model.
+    pub fn new(class: CompetitorClass, machine: MachineSpec) -> Self {
+        Self { class, machine }
+    }
+
+    /// Level-3 efficiency of blocked kernels as a function of the short
+    /// matrix dimension (small problems cannot feed all the cores).
+    fn size_efficiency(n: usize) -> f64 {
+        let n = n as f64;
+        n / (n + 4000.0)
+    }
+
+    /// Estimated execution time (seconds) of the competitor's GE2VAL on an
+    /// `m x n` matrix.
+    pub fn time(&self, m: usize, n: usize) -> f64 {
+        let (m, n) = if m >= n { (m, n) } else { (n, m) };
+        let spec = self.machine;
+        match self.class {
+            CompetitorClass::MklLike => {
+                // Two-stage shared-memory code (single node only): behaves
+                // like a FLATTS tiled reduction, i.e. Level-3 bound with an
+                // efficiency that grows with the matrix size, plus a
+                // memory-bound second stage of ~8 n^2 nb flops.
+                let flops = one_stage_flops(m, n);
+                let eff = 0.62 * Self::size_efficiency(n);
+                let stage1 = flops / (spec.cores_per_node as f64 * spec.core_gflops * 1.0e9 * eff.max(1e-3));
+                let stage2 = 8.0 * (n as f64) * (n as f64) * 160.0 / (spec.node_level2_gflops * 1.0e9);
+                stage1 + stage2
+            }
+            CompetitorClass::ScalapackLike => {
+                // One-stage: 50% Level-2 (memory bound, scales weakly with
+                // the node count), 50% Level-3.
+                let flops = one_stage_flops(m, n);
+                let l2_rate = spec.node_level2_gflops * 1.0e9 * (spec.nodes as f64).powf(0.45);
+                let l3_rate = 0.5 * spec.level3_peak() * 1.0e9;
+                0.5 * flops / l2_rate + 0.5 * flops / l3_rate
+            }
+            CompetitorClass::ElementalLike => {
+                // Same one-stage engine, but Chan's switch reduces the flops
+                // for tall matrices and its QR phase is Level-3 rich.
+                let use_chan = 5 * m >= 6 * n;
+                let l2_rate = spec.node_level2_gflops * 1.0e9 * (spec.nodes as f64).powf(0.55);
+                let l3_rate = 0.6 * spec.level3_peak() * 1.0e9;
+                if use_chan {
+                    let qr_flops = 2.0 * (n as f64) * (n as f64) * (m as f64 - n as f64 / 3.0);
+                    let bid_flops = one_stage_flops(n, n);
+                    // The QR phase is Level-3; the square bidiagonalization is
+                    // the usual 50/50 split.  Elemental's QR scalability is
+                    // limited (the paper observes a plateau around 10 nodes).
+                    let qr_scal = (spec.nodes as f64).min(10.0) / spec.nodes as f64;
+                    qr_flops / (l3_rate * qr_scal)
+                        + 0.5 * bid_flops / l2_rate
+                        + 0.5 * bid_flops / l3_rate
+                } else {
+                    let flops = one_stage_flops(m, n);
+                    0.5 * flops / l2_rate + 0.5 * flops / l3_rate
+                }
+            }
+        }
+    }
+
+    /// GE2VAL rate in GFlop/s, normalised (as in the paper) by the BIDIAG
+    /// operation count `4 n^2 (m - n/3)` regardless of the algorithm run.
+    pub fn gflops(&self, m: usize, n: usize) -> f64 {
+        let (mm, nn) = if m >= n { (m, n) } else { (n, m) };
+        let reported = 4.0 * (nn as f64) * (nn as f64) * (mm as f64 - nn as f64 / 3.0);
+        reported / self.time(m, n) / 1.0e9
+    }
+}
+
+/// Chan flops re-export used by the harnesses when reporting Elemental-like
+/// models (convenience).
+pub fn chan_model_flops(m: usize, n: usize) -> f64 {
+    chan_flops(m, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_stage_models_saturate_with_cores() {
+        let small = PerfModel::new(CompetitorClass::ScalapackLike, MachineSpec::paper_node());
+        let big = PerfModel::new(
+            CompetitorClass::ScalapackLike,
+            MachineSpec { cores_per_node: 96, ..MachineSpec::paper_node() },
+        );
+        let r1 = small.gflops(20_000, 20_000);
+        let r2 = big.gflops(20_000, 20_000);
+        // Quadrupling the cores cannot even double the one-stage rate.
+        assert!(r2 < 2.0 * r1, "one-stage model must be memory bound ({r1} -> {r2})");
+        // And the absolute level matches the ~50 GFlop/s plateau of the paper.
+        assert!(r1 > 20.0 && r1 < 90.0, "unexpected ScaLAPACK-like rate {r1}");
+    }
+
+    #[test]
+    fn mkl_like_improves_with_size_and_beats_one_stage() {
+        let mkl = PerfModel::new(CompetitorClass::MklLike, MachineSpec::paper_node());
+        let sca = PerfModel::new(CompetitorClass::ScalapackLike, MachineSpec::paper_node());
+        let small = mkl.gflops(5_000, 5_000);
+        let large = mkl.gflops(30_000, 30_000);
+        assert!(large > small);
+        assert!(large > sca.gflops(30_000, 30_000) * 3.0);
+        assert!(large > 200.0 && large < 700.0, "MKL-like rate {large}");
+    }
+
+    #[test]
+    fn elemental_benefits_from_chan_on_tall_skinny() {
+        let ele = PerfModel::new(CompetitorClass::ElementalLike, MachineSpec::paper_node());
+        let sca = PerfModel::new(CompetitorClass::ScalapackLike, MachineSpec::paper_node());
+        // Tall and skinny: Elemental's reported rate outgrows ScaLAPACK's.
+        let m = 200_000;
+        let n = 2_000;
+        assert!(ele.gflops(m, n) > 1.5 * sca.gflops(m, n));
+        // Square: both are one-stage and comparable.
+        let es = ele.gflops(20_000, 20_000);
+        let ss = sca.gflops(20_000, 20_000);
+        assert!(es < 2.0 * ss && ss < 2.0 * es);
+    }
+
+    #[test]
+    fn distributed_scaling_is_sublinear() {
+        let one = PerfModel::new(CompetitorClass::ElementalLike, MachineSpec::paper_cluster(1));
+        let many = PerfModel::new(CompetitorClass::ElementalLike, MachineSpec::paper_cluster(25));
+        let r1 = one.gflops(2_000_000, 2_000);
+        let r25 = many.gflops(2_000_000, 2_000);
+        assert!(r25 > r1, "more nodes must not slow the model down");
+        assert!(r25 < 25.0 * r1, "scaling must be sublinear");
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks of the tile kernels (Table I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bidiag_kernels::qr;
+use bidiag_matrix::gen::random_gaussian;
+use bidiag_matrix::Matrix;
+
+fn upper(a: &Matrix) -> Matrix {
+    Matrix::from_fn(a.rows(), a.cols(), |i, j| if j >= i { a.get(i, j) } else { 0.0 })
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_kernels");
+    for &nb in &[64usize, 128] {
+        let a = random_gaussian(nb, nb, 1);
+        let b = random_gaussian(nb, nb, 2);
+        group.bench_with_input(BenchmarkId::new("geqrt", nb), &nb, |bench, _| {
+            bench.iter(|| {
+                let mut w = a.clone();
+                let _ = qr::geqrt(&mut w);
+            })
+        });
+        let mut v = a.clone();
+        let taus = qr::geqrt(&mut v);
+        group.bench_with_input(BenchmarkId::new("unmqr", nb), &nb, |bench, _| {
+            bench.iter(|| {
+                let mut w = b.clone();
+                qr::unmqr(&v, &taus, &mut w, qr::Trans::Transpose);
+            })
+        });
+        let r1 = upper(&v);
+        group.bench_with_input(BenchmarkId::new("tsqrt", nb), &nb, |bench, _| {
+            bench.iter(|| {
+                let mut r = r1.clone();
+                let mut w = b.clone();
+                let _ = qr::tsqrt(&mut r, &mut w);
+            })
+        });
+        let mut rts = r1.clone();
+        let mut vts = b.clone();
+        let t_ts = qr::tsqrt(&mut rts, &mut vts);
+        group.bench_with_input(BenchmarkId::new("tsmqr", nb), &nb, |bench, _| {
+            bench.iter(|| {
+                let mut w1 = b.clone();
+                let mut w2 = a.clone();
+                qr::tsmqr(&mut w1, &mut w2, &vts, &t_ts, qr::Trans::Transpose);
+            })
+        });
+        let r2 = upper(&random_gaussian(nb, nb, 3));
+        group.bench_with_input(BenchmarkId::new("ttqrt", nb), &nb, |bench, _| {
+            bench.iter(|| {
+                let mut x = r1.clone();
+                let mut y = r2.clone();
+                let _ = qr::ttqrt(&mut x, &mut y);
+            })
+        });
+        let mut rtt = r1.clone();
+        let mut vtt = r2.clone();
+        let t_tt = qr::ttqrt(&mut rtt, &mut vtt);
+        group.bench_with_input(BenchmarkId::new("ttmqr", nb), &nb, |bench, _| {
+            bench.iter(|| {
+                let mut w1 = b.clone();
+                let mut w2 = a.clone();
+                qr::ttmqr(&mut w1, &mut w2, &vtt, &t_tt, qr::Trans::Transpose);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernels
+}
+criterion_main!(benches);

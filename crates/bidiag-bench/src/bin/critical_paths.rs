@@ -1,0 +1,64 @@
+//! Section IV: critical path lengths of the six algorithms
+//! (BIDIAG / R-BIDIAG x FLATTS / FLATTT / GREEDY).
+//!
+//! For BIDIAG the closed-form expressions of the paper are printed next to
+//! the critical path measured on the generated task DAG (they must agree
+//! exactly); for R-BIDIAG the DAG measurement and the no-overlap estimate
+//! are printed.  Lengths are in the paper's unit of `nb^3/3` flops.
+
+use bidiag_bench::print_tsv;
+use bidiag_core::cp;
+use bidiag_core::drivers::Algorithm;
+use bidiag_trees::NamedTree;
+
+fn main() {
+    let shapes: Vec<(usize, usize)> = vec![
+        (4, 4),
+        (8, 8),
+        (16, 16),
+        (32, 32),
+        (16, 4),
+        (32, 4),
+        (64, 4),
+        (64, 16),
+        (128, 8),
+    ];
+    let trees = [NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy];
+
+    let mut rows = Vec::new();
+    for &(p, q) in &shapes {
+        for tree in trees {
+            let formula = cp::bidiag_cp(tree, p, q);
+            let measured = cp::measured_cp(Algorithm::Bidiag, tree, p, q);
+            let r_measured = cp::measured_cp(Algorithm::RBidiag, tree, p, q);
+            rows.push(vec![
+                format!("{p}"),
+                format!("{q}"),
+                tree.name().to_string(),
+                format!("{formula:.0}"),
+                format!("{measured:.0}"),
+                if (formula - measured).abs() < 1e-9 { "yes".into() } else { "NO".into() },
+                format!("{r_measured:.0}"),
+                format!("{:.3}", measured / r_measured),
+            ]);
+        }
+    }
+    print_tsv(
+        "Critical paths (units of nb^3/3): paper formulas vs measured task DAG",
+        &["p", "q", "tree", "BiDiag_formula", "BiDiag_DAG", "match", "R-BiDiag_DAG", "ratio BiDiag/R-BiDiag"],
+        &rows,
+    );
+
+    // Asymptotic check of Theorem 1 for alpha = 0 (square matrices).
+    let mut rows2 = Vec::new();
+    for q in [8usize, 16, 32, 64, 128] {
+        let exact = cp::bidiag_cp(NamedTree::Greedy, q, q);
+        let asym = cp::bidiag_cp_asymptotic(0.0, q);
+        rows2.push(vec![format!("{q}"), format!("{exact:.0}"), format!("{asym:.0}"), format!("{:.3}", exact / asym)]);
+    }
+    print_tsv(
+        "Theorem 1: BIDIAG-GREEDY(q,q) vs its asymptotic equivalent 12 q log2 q",
+        &["q", "exact", "12 q log2 q", "ratio"],
+        &rows2,
+    );
+}

@@ -1,0 +1,31 @@
+//! Section IV.C: the BIDIAG -> R-BIDIAG crossover ratio `delta_s`.
+//!
+//! For each number of tile columns `q`, finds the smallest `p` such that the
+//! critical path of R-BIDIAG (GREEDY trees) is no longer than the critical
+//! path of BIDIAG, and prints the ratio `delta_s = p*/q`.  The paper reports
+//! that this ratio is a complicated, oscillating function of `q` lying
+//! roughly between 5 and 8 (when computed with its no-overlap estimate); the
+//! DAG-measured crossover is also printed, together with Chan's flop-count
+//! crossover (5/3) for reference.
+
+use bidiag_bench::print_tsv;
+use bidiag_core::cp::crossover;
+
+fn main() {
+    let qmax: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let mut rows = Vec::new();
+    for q in 2..=qmax {
+        let c = crossover(q, 16);
+        rows.push(vec![
+            format!("{q}"),
+            c.p_star.map(|p| p.to_string()).unwrap_or_else(|| ">16q".into()),
+            c.ratio.map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into()),
+            "1.67".to_string(),
+        ]);
+    }
+    print_tsv(
+        "Crossover delta_s(q): smallest p/q where R-BIDIAG-GREEDY beats BIDIAG-GREEDY (critical paths)",
+        &["q", "p*", "delta_s = p*/q", "Chan flop crossover"],
+        &rows,
+    );
+}

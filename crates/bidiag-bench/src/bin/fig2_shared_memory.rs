@@ -1,0 +1,108 @@
+//! Figure 2: shared-memory performance on one 24-core node.
+//!
+//! Top row — GE2BND GFlop/s for the four trees (FlatTS, FlatTT, Greedy,
+//! Auto), BIDIAG and R-BIDIAG, on the three shapes of the paper: square,
+//! tall-skinny with n = 2000, tall-skinny with a wider second dimension.
+//! Bottom row — GE2VAL GFlop/s of our best variant against the competitor
+//! models (MKL-like, PLASMA-like = our FlatTS pipeline, ScaLAPACK-like,
+//! Elemental-like).
+//!
+//! Rates come from the calibrated DAG simulator (see `bidiag-bench`
+//! documentation); sizes are scaled down from the paper's 30000 so that the
+//! harness completes in minutes (pass `--full` for the paper's sizes).
+
+use bidiag_baselines::CompetitorClass;
+use bidiag_bench::*;
+use bidiag_core::drivers::Algorithm;
+use bidiag_matrix::BlockCyclic;
+use bidiag_trees::NamedTree;
+
+fn trees() -> Vec<NamedTree> {
+    NamedTree::paper_variants(CORES_PER_NODE)
+}
+
+fn panel_ge2bnd(title: &str, shapes: &[(usize, usize)], algos: &[Algorithm], nb: usize) {
+    let grid = BlockCyclic::single_node();
+    let mut header = vec!["M".to_string(), "N".to_string()];
+    for alg in algos {
+        for t in trees() {
+            header.push(if algos.len() > 1 { format!("{}-{}", alg.name(), t.name()) } else { t.name().to_string() });
+        }
+    }
+    let mut rows = Vec::new();
+    for &(m, n) in shapes {
+        let mut row = vec![m.to_string(), n.to_string()];
+        for &alg in algos {
+            for t in trees() {
+                let g = ge2bnd_sim_gflops(m, n, nb, t, alg, 1, grid);
+                row.push(format!("{g:.1}"));
+            }
+        }
+        rows.push(row);
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_tsv(title, &hdr, &rows);
+}
+
+fn panel_ge2val(title: &str, shapes: &[(usize, usize)], best_algo: Algorithm, nb: usize) {
+    let grid = BlockCyclic::single_node();
+    let mut rows = Vec::new();
+    for &(m, n) in shapes {
+        let auto = NamedTree::Auto { gamma: 2.0, ncores: CORES_PER_NODE };
+        let dplasma = ge2val_sim_gflops(m, n, nb, auto, best_algo, 1, grid);
+        let plasma = ge2val_sim_gflops(m, n, nb, NamedTree::FlatTs, Algorithm::Bidiag, 1, grid);
+        let mkl = competitor_gflops(CompetitorClass::MklLike, m, n, 1);
+        let sca = competitor_gflops(CompetitorClass::ScalapackLike, m, n, 1);
+        let ele = competitor_gflops(CompetitorClass::ElementalLike, m, n, 1);
+        rows.push(vec![
+            m.to_string(),
+            n.to_string(),
+            format!("{dplasma:.1}"),
+            format!("{mkl:.1}"),
+            format!("{plasma:.1}"),
+            format!("{ele:.1}"),
+            format!("{sca:.1}"),
+        ]);
+    }
+    print_tsv(title, &["M", "N", "DPLASMA(ours)", "MKL", "PLASMA", "Elemental", "Scalapack"], &rows);
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let nb = 160;
+    let square: Vec<(usize, usize)> = if full {
+        vec![5000, 10000, 15000, 20000, 25000, 30000].into_iter().map(|n| (n, n)).collect()
+    } else {
+        vec![2000, 4000, 6000, 8000, 10000, 12000].into_iter().map(|n| (n, n)).collect()
+    };
+    let ts2000: Vec<(usize, usize)> = if full {
+        vec![5000, 10000, 20000, 30000, 40000].into_iter().map(|m| (m, 2000)).collect()
+    } else {
+        vec![4000, 8000, 16000, 24000, 32000, 40000].into_iter().map(|m| (m, 2000)).collect()
+    };
+    let ts_wide: Vec<(usize, usize)> = if full {
+        vec![10000, 20000, 40000, 60000, 80000, 100000].into_iter().map(|m| (m, 10000)).collect()
+    } else {
+        vec![8000, 12000, 16000, 24000, 32000].into_iter().map(|m| (m, 4000)).collect()
+    };
+
+    println!("# Figure 2 — shared-memory performance on a single 24-core node (nb = {nb})");
+    println!("# (simulated with the calibrated DAG model; see EXPERIMENTS.md)\n");
+
+    panel_ge2bnd("Fig 2 top-left: GE2BND, square matrices (BiDiag)", &square, &[Algorithm::Bidiag], nb);
+    panel_ge2bnd(
+        "Fig 2 top-middle: GE2BND, tall-skinny N=2000 (BiDiag vs R-BiDiag)",
+        &ts2000,
+        &[Algorithm::Bidiag, Algorithm::RBidiag],
+        nb,
+    );
+    panel_ge2bnd(
+        "Fig 2 top-right: GE2BND, tall-skinny wide panel (BiDiag vs R-BiDiag)",
+        &ts_wide,
+        &[Algorithm::Bidiag, Algorithm::RBidiag],
+        nb,
+    );
+    panel_ge2val("Fig 2 bottom-left: GE2VAL, square matrices", &square, Algorithm::Bidiag, nb);
+    panel_ge2val("Fig 2 bottom-middle: GE2VAL, tall-skinny N=2000", &ts2000, Algorithm::RBidiag, nb);
+    panel_ge2val("Fig 2 bottom-right: GE2VAL, tall-skinny wide panel", &ts_wide, Algorithm::RBidiag, nb);
+}

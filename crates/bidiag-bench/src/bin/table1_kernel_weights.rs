@@ -1,0 +1,113 @@
+//! Table I: measured kernel costs versus the paper's weights.
+//!
+//! Runs every tile kernel on random `nb x nb` tiles, measures wall-clock
+//! time, converts it to the paper's unit (`nb^3/3` flops at the speed of the
+//! fastest kernel) and prints it next to the Table I weight.  The measured
+//! ratios reflect this pure-Rust implementation (the paper's point — TS
+//! kernels are more efficient than TT kernels per flop — shows up in the
+//! GFlop/s column).
+
+use bidiag_bench::print_tsv;
+use bidiag_kernels::cost::KernelKind;
+use bidiag_kernels::{lq, qr};
+use bidiag_matrix::gen::random_gaussian;
+use bidiag_matrix::Matrix;
+use std::time::Instant;
+
+fn upper(a: &Matrix) -> Matrix {
+    Matrix::from_fn(a.rows(), a.cols(), |i, j| if j >= i { a.get(i, j) } else { 0.0 })
+}
+fn lower(a: &Matrix) -> Matrix {
+    Matrix::from_fn(a.rows(), a.cols(), |i, j| if j <= i { a.get(i, j) } else { 0.0 })
+}
+
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let nb: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(128);
+    let reps = 3;
+    let a = random_gaussian(nb, nb, 1);
+    let b = random_gaussian(nb, nb, 2);
+    let c = random_gaussian(nb, nb, 3);
+
+    let mut results: Vec<(KernelKind, f64)> = Vec::new();
+
+    results.push((KernelKind::Geqrt, time(reps, || {
+        let mut w = a.clone();
+        let _ = qr::geqrt(&mut w);
+    })));
+    let mut v = a.clone();
+    let taus = qr::geqrt(&mut v);
+    results.push((KernelKind::Unmqr, time(reps, || {
+        let mut w = b.clone();
+        qr::unmqr(&v, &taus, &mut w, qr::Trans::Transpose);
+    })));
+    let r1 = upper(&v);
+    results.push((KernelKind::Tsqrt, time(reps, || {
+        let mut r = r1.clone();
+        let mut w = b.clone();
+        let _ = qr::tsqrt(&mut r, &mut w);
+    })));
+    let mut rts = r1.clone();
+    let mut vts = b.clone();
+    let taus_ts = qr::tsqrt(&mut rts, &mut vts);
+    results.push((KernelKind::Tsmqr, time(reps, || {
+        let mut w1 = b.clone();
+        let mut w2 = c.clone();
+        qr::tsmqr(&mut w1, &mut w2, &vts, &taus_ts, qr::Trans::Transpose);
+    })));
+    let r2 = upper(&random_gaussian(nb, nb, 4));
+    results.push((KernelKind::Ttqrt, time(reps, || {
+        let mut x = r1.clone();
+        let mut y = r2.clone();
+        let _ = qr::ttqrt(&mut x, &mut y);
+    })));
+    let mut rtt = r1.clone();
+    let mut vtt = r2.clone();
+    let taus_tt = qr::ttqrt(&mut rtt, &mut vtt);
+    results.push((KernelKind::Ttmqr, time(reps, || {
+        let mut w1 = b.clone();
+        let mut w2 = c.clone();
+        qr::ttmqr(&mut w1, &mut w2, &vtt, &taus_tt, qr::Trans::Transpose);
+    })));
+    // LQ duals.
+    results.push((KernelKind::Gelqt, time(reps, || {
+        let mut w = a.clone();
+        let _ = lq::gelqt(&mut w);
+    })));
+    let l1 = lower(&random_gaussian(nb, nb, 5));
+    results.push((KernelKind::Tslqt, time(reps, || {
+        let mut l = l1.clone();
+        let mut w = b.clone();
+        let _ = lq::tslqt(&mut l, &mut w);
+    })));
+
+    let unit_flops = (nb as f64).powi(3) / 3.0;
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(k, secs)| {
+            let weight = k.weight();
+            let flops = k.flops(nb);
+            let gflops = flops / secs / 1.0e9;
+            let measured_units = secs / (results[0].1 / KernelKind::Geqrt.weight());
+            vec![
+                k.name().to_string(),
+                format!("{weight:.0}"),
+                format!("{measured_units:.2}"),
+                format!("{:.3e}", secs),
+                format!("{gflops:.2}"),
+            ]
+        })
+        .collect();
+    print_tsv(
+        &format!("Table I — kernel weights (nb = {nb}, unit = nb^3/3 = {unit_flops:.0} flops)"),
+        &["kernel", "paper_weight", "measured_weight(norm. to GEQRT=4)", "seconds", "GFlop/s"],
+        &rows,
+    );
+}

@@ -1,0 +1,40 @@
+//! # bidiag-core
+//!
+//! The primary contribution of the reproduced paper: parallel tiled
+//! bidiagonalization (BIDIAG) and R-bidiagonalization (R-BIDIAG) with
+//! configurable reduction trees, their critical-path analysis, and the full
+//! singular-value pipeline.
+//!
+//! * [`ops`] — the tile-operation IR shared by all back-ends,
+//! * [`drivers`] — lowering of BIDIAG / R-BIDIAG / tiled QR to operation
+//!   lists driven by the reduction trees of `bidiag-trees`,
+//! * [`exec`] — sequential and multi-threaded execution plus task-graph
+//!   construction,
+//! * [`cp`] — critical-path formulas (Section IV) and DAG measurements,
+//! * [`flops`] — operation counts and the Chan/Elemental crossover rules,
+//! * [`pipeline`] — user-facing `GE2BND` and `GE2VAL` entry points.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bidiag_core::pipeline::{ge2val, Ge2Options};
+//! use bidiag_matrix::gen::{latms, SpectrumKind};
+//!
+//! let (a, sigma) = latms(60, 40, &SpectrumKind::Geometric { cond: 1.0e3 }, 42);
+//! let result = ge2val(&a, &Ge2Options::new(8));
+//! assert!((result.singular_values[0] - sigma[0]).abs() < 1.0e-8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cp;
+pub mod drivers;
+pub mod exec;
+pub mod flops;
+pub mod ops;
+pub mod pipeline;
+
+pub use drivers::{bidiag_ops, ge2bnd_ops, qr_factorization_ops, rbidiag_ops, Algorithm, GenConfig};
+pub use exec::{build_graph, execute_parallel, execute_sequential};
+pub use ops::{ops_flops, TauStore, TileOp};
+pub use pipeline::{ge2bnd, ge2val, AlgorithmChoice, Ge2BndResult, Ge2Options, Ge2ValResult};

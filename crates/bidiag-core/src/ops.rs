@@ -1,0 +1,651 @@
+//! The tile-operation intermediate representation.
+//!
+//! Every algorithm of the paper (BIDIAG, R-BIDIAG, plain tiled QR) is first
+//! lowered to a flat list of [`TileOp`]s in a valid sequential order.  The
+//! same list then feeds three back-ends:
+//!
+//! * sequential execution (reference numerics),
+//! * the shared-memory parallel executor of `bidiag-runtime`,
+//! * the task-graph analyses (critical paths) and machine simulations.
+//!
+//! Each operation knows which tiles and reflector-scalar vectors it reads and
+//! writes, so the data-flow DAG is derived mechanically.
+
+use bidiag_kernels::cost::KernelKind;
+use bidiag_kernels::{lq, qr, Trans};
+use bidiag_matrix::{Matrix, TiledMatrix};
+use bidiag_runtime::{AccessMode, DataKey};
+use std::collections::HashMap;
+
+/// One tile operation of a tiled algorithm.  All indices are tile indices;
+/// `k` is the step (panel index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileOp {
+    /// Factor tile `(i, k)` into a triangle.
+    Geqrt {
+        /// Panel (step) index.
+        k: usize,
+        /// Tile row being factored.
+        i: usize,
+    },
+    /// Apply the reflectors of `Geqrt { k, i }` to tile `(i, j)`.
+    Unmqr {
+        /// Panel index.
+        k: usize,
+        /// Tile row holding the reflectors.
+        i: usize,
+        /// Trailing tile column being updated.
+        j: usize,
+    },
+    /// Eliminate the square tile `(i, k)` against the triangle `(piv, k)`.
+    Tsqrt {
+        /// Panel index.
+        k: usize,
+        /// Pivot tile row.
+        piv: usize,
+        /// Eliminated tile row.
+        i: usize,
+    },
+    /// Apply the reflectors of `Tsqrt { k, piv, i }` to tiles `(piv, j)` and `(i, j)`.
+    Tsmqr {
+        /// Panel index.
+        k: usize,
+        /// Pivot tile row.
+        piv: usize,
+        /// Eliminated tile row.
+        i: usize,
+        /// Trailing tile column being updated.
+        j: usize,
+    },
+    /// Eliminate the triangle `(i, k)` against the triangle `(piv, k)`.
+    Ttqrt {
+        /// Panel index.
+        k: usize,
+        /// Pivot tile row.
+        piv: usize,
+        /// Eliminated tile row.
+        i: usize,
+    },
+    /// Apply the reflectors of `Ttqrt { k, piv, i }` to tiles `(piv, j)` and `(i, j)`.
+    Ttmqr {
+        /// Panel index.
+        k: usize,
+        /// Pivot tile row.
+        piv: usize,
+        /// Eliminated tile row.
+        i: usize,
+        /// Trailing tile column being updated.
+        j: usize,
+    },
+    /// Factor tile `(k, j)` into a lower triangle (LQ panel kernel).
+    Gelqt {
+        /// Panel index.
+        k: usize,
+        /// Tile column being factored.
+        j: usize,
+    },
+    /// Apply the reflectors of `Gelqt { k, j }` to tile `(i, j)` from the right.
+    Unmlq {
+        /// Panel index.
+        k: usize,
+        /// Tile column holding the reflectors.
+        j: usize,
+        /// Trailing tile row being updated.
+        i: usize,
+    },
+    /// Eliminate the square tile `(k, j)` against the lower triangle `(k, piv)`.
+    Tslqt {
+        /// Panel index.
+        k: usize,
+        /// Pivot tile column.
+        piv: usize,
+        /// Eliminated tile column.
+        j: usize,
+    },
+    /// Apply the reflectors of `Tslqt { k, piv, j }` to tiles `(i, piv)` and `(i, j)`.
+    Tsmlq {
+        /// Panel index.
+        k: usize,
+        /// Pivot tile column.
+        piv: usize,
+        /// Eliminated tile column.
+        j: usize,
+        /// Trailing tile row being updated.
+        i: usize,
+    },
+    /// Eliminate the lower triangle `(k, j)` against the lower triangle `(k, piv)`.
+    Ttlqt {
+        /// Panel index.
+        k: usize,
+        /// Pivot tile column.
+        piv: usize,
+        /// Eliminated tile column.
+        j: usize,
+    },
+    /// Apply the reflectors of `Ttlqt { k, piv, j }` to tiles `(i, piv)` and `(i, j)`.
+    Ttmlq {
+        /// Panel index.
+        k: usize,
+        /// Pivot tile column.
+        piv: usize,
+        /// Eliminated tile column.
+        j: usize,
+        /// Trailing tile row being updated.
+        i: usize,
+    },
+    /// Zero (part of) tile `(i, j)`: the whole tile when `whole` is true,
+    /// otherwise only its strictly-lower part.  Used by R-BIDIAG to discard
+    /// the Householder vectors of the QR factorization stored below the
+    /// diagonal of the R factor before bidiagonalizing it (LAPACK `xLASET`).
+    ZeroLower {
+        /// Tile row.
+        i: usize,
+        /// Tile column.
+        j: usize,
+        /// Zero the whole tile instead of only the strictly-lower part.
+        whole: bool,
+    },
+}
+
+/// Class of reflector-scalar (tau) storage produced by factorization kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum TauClass {
+    QrFactor,
+    QrElim,
+    LqFactor,
+    LqElim,
+}
+
+/// Key of a tau vector in the [`TauStore`] and in the data-flow graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TauKey(u64);
+
+fn tau_key(class: TauClass, k: usize, idx: usize) -> TauKey {
+    let c = match class {
+        TauClass::QrFactor => 0u64,
+        TauClass::QrElim => 1,
+        TauClass::LqFactor => 2,
+        TauClass::LqElim => 3,
+    };
+    TauKey((1u64 << 62) | (c << 40) | ((k as u64) << 20) | idx as u64)
+}
+
+/// Storage of the reflector scalars produced by factorization kernels,
+/// indexed by [`TauKey`].
+#[derive(Default, Debug)]
+pub struct TauStore {
+    map: HashMap<u64, Vec<f64>>,
+}
+
+impl TauStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Store the tau vector for `key`.
+    pub fn put(&mut self, key: TauKey, taus: Vec<f64>) {
+        self.map.insert(key.0, taus);
+    }
+    /// Fetch the tau vector for `key` (panics if missing — the DAG guarantees
+    /// producers run before consumers).
+    pub fn get(&self, key: TauKey) -> &[f64] {
+        self.map.get(&key.0).expect("tau vector read before being produced")
+    }
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl TileOp {
+    /// The kernel kind (for costs and reporting).
+    pub fn kernel(&self) -> KernelKind {
+        match self {
+            TileOp::Geqrt { .. } => KernelKind::Geqrt,
+            TileOp::Unmqr { .. } => KernelKind::Unmqr,
+            TileOp::Tsqrt { .. } => KernelKind::Tsqrt,
+            TileOp::Tsmqr { .. } => KernelKind::Tsmqr,
+            TileOp::Ttqrt { .. } => KernelKind::Ttqrt,
+            TileOp::Ttmqr { .. } => KernelKind::Ttmqr,
+            TileOp::Gelqt { .. } => KernelKind::Gelqt,
+            TileOp::Unmlq { .. } => KernelKind::Unmlq,
+            TileOp::Tslqt { .. } => KernelKind::Tslqt,
+            TileOp::Tsmlq { .. } => KernelKind::Tsmlq,
+            TileOp::Ttlqt { .. } => KernelKind::Ttlqt,
+            TileOp::Ttmlq { .. } => KernelKind::Ttmlq,
+            TileOp::ZeroLower { .. } => KernelKind::Laset,
+        }
+    }
+
+    /// Cost weight of the operation (Table I, units of `nb^3/3`).
+    pub fn weight(&self) -> f64 {
+        self.kernel().weight()
+    }
+
+    /// The tile that is considered "owned" output of the operation; the
+    /// owner-computes rule places the task on the node owning this tile.
+    pub fn output_tile(&self) -> (usize, usize) {
+        match *self {
+            TileOp::Geqrt { k, i } => (i, k),
+            TileOp::Unmqr { i, j, .. } => (i, j),
+            TileOp::Tsqrt { k, i, .. } | TileOp::Ttqrt { k, i, .. } => (i, k),
+            TileOp::Tsmqr { i, j, .. } | TileOp::Ttmqr { i, j, .. } => (i, j),
+            TileOp::Gelqt { k, j } => (k, j),
+            TileOp::Unmlq { i, j, .. } => (i, j),
+            TileOp::Tslqt { k, j, .. } | TileOp::Ttlqt { k, j, .. } => (k, j),
+            TileOp::Tsmlq { i, j, .. } | TileOp::Ttmlq { i, j, .. } => (i, j),
+            TileOp::ZeroLower { i, j, .. } => (i, j),
+        }
+    }
+
+    /// Tau key produced (factorization kernels) or consumed (update kernels).
+    fn tau(&self) -> TauKey {
+        match *self {
+            TileOp::Geqrt { k, i } => tau_key(TauClass::QrFactor, k, i),
+            TileOp::Unmqr { k, i, .. } => tau_key(TauClass::QrFactor, k, i),
+            TileOp::Tsqrt { k, i, .. } | TileOp::Ttqrt { k, i, .. } => tau_key(TauClass::QrElim, k, i),
+            TileOp::Tsmqr { k, i, .. } | TileOp::Ttmqr { k, i, .. } => tau_key(TauClass::QrElim, k, i),
+            TileOp::Gelqt { k, j } => tau_key(TauClass::LqFactor, k, j),
+            TileOp::Unmlq { k, j, .. } => tau_key(TauClass::LqFactor, k, j),
+            TileOp::Tslqt { k, j, .. } | TileOp::Ttlqt { k, j, .. } => tau_key(TauClass::LqElim, k, j),
+            TileOp::Tsmlq { k, j, .. } | TileOp::Ttmlq { k, j, .. } => tau_key(TauClass::LqElim, k, j),
+            TileOp::ZeroLower { .. } => unreachable!("ZeroLower has no reflector scalars"),
+        }
+    }
+
+    /// Data accesses of the operation for a `p x q` tile grid.
+    ///
+    /// Every tile is represented by *three* data keys — its diagonal, its
+    /// strictly-upper part and its strictly-lower part.  This region-level
+    /// granularity reproduces the data-flow of the DPLASMA implementation: a
+    /// panel factorization kernel that only rewrites the `R` part
+    /// (diagonal + strictly-upper) of the pivot tile does not conflict with
+    /// update kernels that only read the Householder vectors stored in the
+    /// strictly-lower part, so panel and update kernels overlap exactly as
+    /// assumed by the critical-path formulas of Section IV (and dually for
+    /// the LQ kernels).  Tau vectors use a separate high-bit key space.
+    pub fn accesses(&self, q: usize) -> Vec<(DataKey, AccessMode)> {
+        use AccessMode::{Read, Write};
+        // Diagonal, strictly-upper and strictly-lower regions of tile (r, c).
+        let dg = |r: usize, c: usize| -> DataKey { ((r * q + c) as DataKey) * 4 };
+        let up = |r: usize, c: usize| -> DataKey { ((r * q + c) as DataKey) * 4 + 1 };
+        let lo = |r: usize, c: usize| -> DataKey { ((r * q + c) as DataKey) * 4 + 2 };
+        // All three regions of a tile with the same access mode.
+        let all = |r: usize, c: usize, m: AccessMode| {
+            vec![(dg(r, c), m), (up(r, c), m), (lo(r, c), m)]
+        };
+        match *self {
+            TileOp::ZeroLower { i, j, whole } => {
+                if whole {
+                    all(i, j, Write)
+                } else {
+                    vec![(lo(i, j), Write)]
+                }
+            }
+            TileOp::Geqrt { k, i } => {
+                let mut a = all(i, k, Write);
+                a.push((self.tau().0, Write));
+                a
+            }
+            TileOp::Unmqr { k, i, j } => {
+                let mut a = vec![(lo(i, k), Read), (self.tau().0, Read)];
+                a.extend(all(i, j, Write));
+                a
+            }
+            TileOp::Tsqrt { k, piv, i } => {
+                let mut a = vec![(dg(piv, k), Write), (up(piv, k), Write)];
+                a.extend(all(i, k, Write));
+                a.push((self.tau().0, Write));
+                a
+            }
+            TileOp::Tsmqr { k, piv, i, j } => {
+                let mut a = all(i, k, Read);
+                a.push((self.tau().0, Read));
+                a.extend(all(piv, j, Write));
+                a.extend(all(i, j, Write));
+                a
+            }
+            TileOp::Ttqrt { k, piv, i } => vec![
+                (dg(piv, k), Write),
+                (up(piv, k), Write),
+                (dg(i, k), Write),
+                (up(i, k), Write),
+                (self.tau().0, Write),
+            ],
+            TileOp::Ttmqr { k, piv, i, j } => {
+                let mut a = vec![(dg(i, k), Read), (up(i, k), Read), (self.tau().0, Read)];
+                a.extend(all(piv, j, Write));
+                a.extend(all(i, j, Write));
+                a
+            }
+            TileOp::Gelqt { k, j } => {
+                let mut a = all(k, j, Write);
+                a.push((self.tau().0, Write));
+                a
+            }
+            TileOp::Unmlq { k, j, i } => {
+                let mut a = vec![(up(k, j), Read), (self.tau().0, Read)];
+                a.extend(all(i, j, Write));
+                a
+            }
+            TileOp::Tslqt { k, piv, j } => {
+                let mut a = vec![(dg(k, piv), Write), (lo(k, piv), Write)];
+                a.extend(all(k, j, Write));
+                a.push((self.tau().0, Write));
+                a
+            }
+            TileOp::Tsmlq { k, piv, j, i } => {
+                let mut a = all(k, j, Read);
+                a.push((self.tau().0, Read));
+                a.extend(all(i, piv, Write));
+                a.extend(all(i, j, Write));
+                a
+            }
+            TileOp::Ttlqt { k, piv, j } => vec![
+                (dg(k, piv), Write),
+                (lo(k, piv), Write),
+                (dg(k, j), Write),
+                (lo(k, j), Write),
+                (self.tau().0, Write),
+            ],
+            TileOp::Ttmlq { k, piv, j, i } => {
+                let mut a = vec![(dg(k, j), Read), (lo(k, j), Read), (self.tau().0, Read)];
+                a.extend(all(i, piv, Write));
+                a.extend(all(i, j, Write));
+                a
+            }
+        }
+    }
+
+    /// Execute the operation on the tiled matrix, reading/writing reflector
+    /// scalars in `taus`.
+    pub fn execute(&self, a: &mut TiledMatrix, taus: &mut TauStore) {
+        match *self {
+            TileOp::ZeroLower { i, j, whole } => {
+                let t = a.tile_mut(i, j);
+                if whole {
+                    *t = Matrix::zeros(t.rows(), t.cols());
+                } else {
+                    for c in 0..t.cols() {
+                        for r in (c + 1)..t.rows() {
+                            t.set(r, c, 0.0);
+                        }
+                    }
+                }
+            }
+            TileOp::Geqrt { k, i } => {
+                let t = qr::geqrt(a.tile_mut(i, k));
+                taus.put(self.tau(), t);
+            }
+            TileOp::Unmqr { k, i, j } => {
+                let v = a.tile(i, k).clone();
+                let t = taus.get(self.tau()).to_vec();
+                qr::unmqr(&v, &t, a.tile_mut(i, j), Trans::Transpose);
+            }
+            TileOp::Tsqrt { k, piv, i } => {
+                let (r1, a2) = a.two_tiles_mut((piv, k), (i, k));
+                let t = qr::tsqrt(r1, a2);
+                taus.put(self.tau(), t);
+            }
+            TileOp::Tsmqr { k, piv, i, j } => {
+                let v2 = a.tile(i, k).clone();
+                let t = taus.get(self.tau()).to_vec();
+                let (a1, a2) = a.two_tiles_mut((piv, j), (i, j));
+                qr::tsmqr(a1, a2, &v2, &t, Trans::Transpose);
+            }
+            TileOp::Ttqrt { k, piv, i } => {
+                let (r1, r2) = a.two_tiles_mut((piv, k), (i, k));
+                let t = qr::ttqrt(r1, r2);
+                taus.put(self.tau(), t);
+            }
+            TileOp::Ttmqr { k, piv, i, j } => {
+                let v2 = a.tile(i, k).clone();
+                let t = taus.get(self.tau()).to_vec();
+                let (a1, a2) = a.two_tiles_mut((piv, j), (i, j));
+                qr::ttmqr(a1, a2, &v2, &t, Trans::Transpose);
+            }
+            TileOp::Gelqt { k, j } => {
+                let t = lq::gelqt(a.tile_mut(k, j));
+                taus.put(self.tau(), t);
+            }
+            TileOp::Unmlq { k, j, i } => {
+                let v = a.tile(k, j).clone();
+                let t = taus.get(self.tau()).to_vec();
+                lq::unmlq(&v, &t, a.tile_mut(i, j), Trans::Transpose);
+            }
+            TileOp::Tslqt { k, piv, j } => {
+                let (l1, a2) = a.two_tiles_mut((k, piv), (k, j));
+                let t = lq::tslqt(l1, a2);
+                taus.put(self.tau(), t);
+            }
+            TileOp::Tsmlq { k, piv, j, i } => {
+                let v2 = a.tile(k, j).clone();
+                let t = taus.get(self.tau()).to_vec();
+                let (c1, c2) = a.two_tiles_mut((i, piv), (i, j));
+                lq::tsmlq(c1, c2, &v2, &t, Trans::Transpose);
+            }
+            TileOp::Ttlqt { k, piv, j } => {
+                let (l1, l2) = a.two_tiles_mut((k, piv), (k, j));
+                let t = lq::ttlqt(l1, l2);
+                taus.put(self.tau(), t);
+            }
+            TileOp::Ttmlq { k, piv, j, i } => {
+                let v2 = a.tile(k, j).clone();
+                let t = taus.get(self.tau()).to_vec();
+                let (c1, c2) = a.two_tiles_mut((i, piv), (i, j));
+                lq::ttmlq(c1, c2, &v2, &t, Trans::Transpose);
+            }
+        }
+    }
+
+    /// Execute the operation against tiles shared behind per-tile locks
+    /// (parallel back-end).  `tiles[r * q + c]` guards tile `(r, c)`;
+    /// `taus` maps tau keys to their vectors.
+    ///
+    /// Locking discipline (deadlock freedom): read-only operands are cloned
+    /// under a read lock that is released immediately, and the (at most two)
+    /// write locks are then acquired in increasing tile-index order — which
+    /// is guaranteed because the pivot row/column of an elimination always
+    /// precedes the eliminated one.
+    pub fn execute_shared(
+        &self,
+        tiles: &[parking_lot::RwLock<Matrix>],
+        q: usize,
+        taus: &parking_lot::RwLock<HashMap<u64, Vec<f64>>>,
+    ) {
+        let idx = |r: usize, c: usize| r * q + c;
+        let read_tile = |r: usize, c: usize| -> Matrix { tiles[idx(r, c)].read().clone() };
+        let read_tau = || -> Vec<f64> {
+            taus.read().get(&self.tau().0).expect("tau read before being produced").clone()
+        };
+        match *self {
+            TileOp::ZeroLower { i, j, whole } => {
+                let mut t = tiles[idx(i, j)].write();
+                if whole {
+                    *t = Matrix::zeros(t.rows(), t.cols());
+                } else {
+                    for c in 0..t.cols() {
+                        for r in (c + 1)..t.rows() {
+                            t.set(r, c, 0.0);
+                        }
+                    }
+                }
+            }
+            TileOp::Geqrt { k, i } => {
+                let t = qr::geqrt(&mut tiles[idx(i, k)].write());
+                taus.write().insert(self.tau().0, t);
+            }
+            TileOp::Unmqr { k, i, j } => {
+                let v = read_tile(i, k);
+                let t = read_tau();
+                qr::unmqr(&v, &t, &mut tiles[idx(i, j)].write(), Trans::Transpose);
+            }
+            TileOp::Tsqrt { k, piv, i } => {
+                debug_assert!(idx(piv, k) < idx(i, k));
+                let mut r1 = tiles[idx(piv, k)].write();
+                let mut a2 = tiles[idx(i, k)].write();
+                let t = qr::tsqrt(&mut r1, &mut a2);
+                taus.write().insert(self.tau().0, t);
+            }
+            TileOp::Tsmqr { k, piv, i, j } => {
+                let v2 = read_tile(i, k);
+                let t = read_tau();
+                debug_assert!(idx(piv, j) < idx(i, j));
+                let mut a1 = tiles[idx(piv, j)].write();
+                let mut a2 = tiles[idx(i, j)].write();
+                qr::tsmqr(&mut a1, &mut a2, &v2, &t, Trans::Transpose);
+            }
+            TileOp::Ttqrt { k, piv, i } => {
+                debug_assert!(idx(piv, k) < idx(i, k));
+                let mut r1 = tiles[idx(piv, k)].write();
+                let mut r2 = tiles[idx(i, k)].write();
+                let t = qr::ttqrt(&mut r1, &mut r2);
+                taus.write().insert(self.tau().0, t);
+            }
+            TileOp::Ttmqr { k, piv, i, j } => {
+                let v2 = read_tile(i, k);
+                let t = read_tau();
+                debug_assert!(idx(piv, j) < idx(i, j));
+                let mut a1 = tiles[idx(piv, j)].write();
+                let mut a2 = tiles[idx(i, j)].write();
+                qr::ttmqr(&mut a1, &mut a2, &v2, &t, Trans::Transpose);
+            }
+            TileOp::Gelqt { k, j } => {
+                let t = lq::gelqt(&mut tiles[idx(k, j)].write());
+                taus.write().insert(self.tau().0, t);
+            }
+            TileOp::Unmlq { k, j, i } => {
+                let v = read_tile(k, j);
+                let t = read_tau();
+                lq::unmlq(&v, &t, &mut tiles[idx(i, j)].write(), Trans::Transpose);
+            }
+            TileOp::Tslqt { k, piv, j } => {
+                debug_assert!(idx(k, piv) < idx(k, j));
+                let mut l1 = tiles[idx(k, piv)].write();
+                let mut a2 = tiles[idx(k, j)].write();
+                let t = lq::tslqt(&mut l1, &mut a2);
+                taus.write().insert(self.tau().0, t);
+            }
+            TileOp::Tsmlq { k, piv, j, i } => {
+                let v2 = read_tile(k, j);
+                let t = read_tau();
+                debug_assert!(idx(i, piv) < idx(i, j));
+                let mut c1 = tiles[idx(i, piv)].write();
+                let mut c2 = tiles[idx(i, j)].write();
+                lq::tsmlq(&mut c1, &mut c2, &v2, &t, Trans::Transpose);
+            }
+            TileOp::Ttlqt { k, piv, j } => {
+                debug_assert!(idx(k, piv) < idx(k, j));
+                let mut l1 = tiles[idx(k, piv)].write();
+                let mut l2 = tiles[idx(k, j)].write();
+                let t = lq::ttlqt(&mut l1, &mut l2);
+                taus.write().insert(self.tau().0, t);
+            }
+            TileOp::Ttmlq { k, piv, j, i } => {
+                let v2 = read_tile(k, j);
+                let t = read_tau();
+                debug_assert!(idx(i, piv) < idx(i, j));
+                let mut c1 = tiles[idx(i, piv)].write();
+                let mut c2 = tiles[idx(i, j)].write();
+                lq::ttmlq(&mut c1, &mut c2, &v2, &t, Trans::Transpose);
+            }
+        }
+    }
+}
+
+/// Total flop count of an operation list for tile size `nb`.
+pub fn ops_flops(ops: &[TileOp], nb: usize) -> f64 {
+    ops.iter().map(|o| o.kernel().flops(nb)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bidiag_runtime::AccessMode;
+
+    #[test]
+    fn weights_follow_table_one() {
+        assert_eq!(TileOp::Geqrt { k: 0, i: 0 }.weight(), 4.0);
+        assert_eq!(TileOp::Tsmqr { k: 0, piv: 0, i: 1, j: 1 }.weight(), 12.0);
+        assert_eq!(TileOp::Ttlqt { k: 0, piv: 1, j: 2 }.weight(), 2.0);
+    }
+
+    #[test]
+    fn accesses_distinguish_reads_and_writes() {
+        let op = TileOp::Tsmqr { k: 0, piv: 0, i: 2, j: 3 };
+        let acc = op.accesses(5);
+        // Reads the three regions of tile (2,0) and the tau; writes the three
+        // regions of tiles (0,3) and (2,3).
+        let reads: Vec<_> = acc.iter().filter(|(_, m)| *m == AccessMode::Read).collect();
+        let writes: Vec<_> = acc.iter().filter(|(_, m)| *m == AccessMode::Write).collect();
+        assert_eq!(reads.len(), 4);
+        assert_eq!(writes.len(), 6);
+    }
+
+    #[test]
+    fn panel_and_update_kernels_do_not_conflict_on_region_keys() {
+        // UNMQR reads only the strictly-lower region of the pivot tile while
+        // TSQRT writes only its diagonal + strictly-upper regions: the two
+        // tasks must be independent so they can overlap (Section IV formulas).
+        let unmqr = TileOp::Unmqr { k: 0, i: 0, j: 2 };
+        let tsqrt = TileOp::Tsqrt { k: 0, piv: 0, i: 1 };
+        let q = 4;
+        let unmqr_reads: Vec<u64> = unmqr
+            .accesses(q)
+            .iter()
+            .filter(|(k, m)| *m == AccessMode::Read && *k < (1 << 62))
+            .map(|(k, _)| *k)
+            .collect();
+        let tsqrt_writes: Vec<u64> = tsqrt
+            .accesses(q)
+            .iter()
+            .filter(|(k, m)| *m == AccessMode::Write && *k < (1 << 62))
+            .map(|(k, _)| *k)
+            .collect();
+        for r in &unmqr_reads {
+            assert!(!tsqrt_writes.contains(r), "false conflict on key {r}");
+        }
+        // Dual check for the LQ kernels.
+        let unmlq = TileOp::Unmlq { k: 0, j: 1, i: 2 };
+        let tslqt = TileOp::Tslqt { k: 0, piv: 1, j: 2 };
+        let unmlq_reads: Vec<u64> = unmlq
+            .accesses(q)
+            .iter()
+            .filter(|(k, m)| *m == AccessMode::Read && *k < (1 << 62))
+            .map(|(k, _)| *k)
+            .collect();
+        let tslqt_writes: Vec<u64> = tslqt
+            .accesses(q)
+            .iter()
+            .filter(|(k, m)| *m == AccessMode::Write && *k < (1 << 62))
+            .map(|(k, _)| *k)
+            .collect();
+        for r in &unmlq_reads {
+            assert!(!tslqt_writes.contains(r), "false LQ conflict on key {r}");
+        }
+    }
+
+    #[test]
+    fn tau_keys_are_unique_per_factorization() {
+        let a = TileOp::Geqrt { k: 1, i: 3 }.tau();
+        let b = TileOp::Ttqrt { k: 1, piv: 0, i: 3 }.tau();
+        let c = TileOp::Gelqt { k: 1, j: 3 }.tau();
+        let d = TileOp::Geqrt { k: 2, i: 3 }.tau();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // Updates share the key of their producer.
+        assert_eq!(TileOp::Unmqr { k: 1, i: 3, j: 4 }.tau(), a);
+        assert_eq!(TileOp::Ttmqr { k: 1, piv: 0, i: 3, j: 4 }.tau(), b);
+    }
+
+    #[test]
+    fn owner_tile_is_the_second_operand() {
+        assert_eq!(TileOp::Tsmqr { k: 0, piv: 0, i: 2, j: 3 }.output_tile(), (2, 3));
+        assert_eq!(TileOp::Tsmlq { k: 0, piv: 1, j: 2, i: 3 }.output_tile(), (3, 2));
+    }
+}

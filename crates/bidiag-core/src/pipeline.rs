@@ -1,0 +1,232 @@
+//! High-level user-facing pipelines.
+//!
+//! * [`ge2bnd`] — full matrix to band bidiagonal form (the paper's core
+//!   kernel), returning the factored tiled matrix and the extracted band,
+//! * [`ge2val`] — full matrix to singular values, i.e. the three-stage
+//!   pipeline `GE2BND -> BND2BD -> BD2VAL` used in every GE2VAL experiment,
+//! * [`Ge2Options`] — tile size, reduction tree, algorithm selection and
+//!   threading knobs.
+
+use crate::drivers::{ge2bnd_ops, Algorithm, GenConfig};
+use crate::exec::{execute_parallel, execute_sequential};
+use crate::flops;
+use crate::ops::ops_flops;
+use bidiag_kernels::band::BandMatrix;
+use bidiag_kernels::svd::bidiagonal_singular_values;
+use bidiag_matrix::{Matrix, TiledMatrix};
+use bidiag_trees::NamedTree;
+
+/// How the GE2BND algorithm is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmChoice {
+    /// Always BIDIAG.
+    Bidiag,
+    /// Always R-BIDIAG.
+    RBidiag,
+    /// Choose by Chan's flop rule (`m >= 5n/3` selects R-BIDIAG).
+    Auto,
+}
+
+/// Options of the GE2BND / GE2VAL pipelines.
+#[derive(Clone, Copy, Debug)]
+pub struct Ge2Options {
+    /// Tile size `nb`.
+    pub nb: usize,
+    /// Reduction tree.
+    pub tree: NamedTree,
+    /// BIDIAG vs R-BIDIAG selection.
+    pub algorithm: AlgorithmChoice,
+    /// Number of worker threads (1 runs the reference sequential path).
+    pub threads: usize,
+}
+
+impl Ge2Options {
+    /// Reasonable defaults for small/medium problems: greedy tree, automatic
+    /// algorithm selection, sequential execution, `nb = 32`.
+    pub fn new(nb: usize) -> Self {
+        Self { nb, tree: NamedTree::Greedy, algorithm: AlgorithmChoice::Auto, threads: 1 }
+    }
+
+    /// Builder-style: set the reduction tree.
+    pub fn with_tree(mut self, tree: NamedTree) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    /// Builder-style: force the algorithm.
+    pub fn with_algorithm(mut self, algorithm: AlgorithmChoice) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Builder-style: set the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn resolve_algorithm(&self, m: usize, n: usize) -> Algorithm {
+        match self.algorithm {
+            AlgorithmChoice::Bidiag => Algorithm::Bidiag,
+            AlgorithmChoice::RBidiag => Algorithm::RBidiag,
+            AlgorithmChoice::Auto => flops::select_by_flops(m, n),
+        }
+    }
+}
+
+/// Output of [`ge2bnd`].
+#[derive(Clone, Debug)]
+pub struct Ge2BndResult {
+    /// The factored tiled matrix (Householder vectors outside the band).
+    pub factored: TiledMatrix,
+    /// The band bidiagonal factor (upper bandwidth `nb`).
+    pub band: BandMatrix,
+    /// The algorithm that was actually run.
+    pub algorithm: Algorithm,
+    /// Number of tile kernels executed.
+    pub num_tasks: usize,
+    /// Flops executed by the tile kernels (cost-model count).
+    pub kernel_flops: f64,
+}
+
+/// Reduce a dense `m x n` matrix (`m >= n`) to band bidiagonal form using
+/// the tiled BIDIAG or R-BIDIAG algorithm.
+pub fn ge2bnd(a: &Matrix, opts: &Ge2Options) -> Ge2BndResult {
+    assert!(a.rows() >= a.cols(), "ge2bnd expects m >= n; transpose the input otherwise");
+    let algorithm = opts.resolve_algorithm(a.rows(), a.cols());
+    let mut tiled = TiledMatrix::from_dense(a, opts.nb);
+    let cfg = GenConfig::shared(opts.tree);
+    let ops = ge2bnd_ops(tiled.tile_rows(), tiled.tile_cols(), algorithm, &cfg);
+    if opts.threads > 1 {
+        execute_parallel(&ops, &mut tiled, opts.threads);
+    } else {
+        execute_sequential(&ops, &mut tiled);
+    }
+    let bw = opts.nb.min(a.cols().saturating_sub(1)).max(1);
+    let band = BandMatrix::from_dense(&tiled.extract_upper_band(bw), bw);
+    Ge2BndResult {
+        band,
+        algorithm,
+        num_tasks: ops.len(),
+        kernel_flops: ops_flops(&ops, opts.nb),
+        factored: tiled,
+    }
+}
+
+/// Output of [`ge2val`].
+#[derive(Clone, Debug)]
+pub struct Ge2ValResult {
+    /// Singular values in non-increasing order.
+    pub singular_values: Vec<f64>,
+    /// The GE2BND stage output.
+    pub ge2bnd: Ge2BndResult,
+}
+
+/// Compute all singular values of a dense matrix through the three-stage
+/// pipeline `GE2BND -> BND2BD -> BD2VAL`.
+///
+/// Wide matrices (`m < n`) are handled by transposing the input (the
+/// singular values are unchanged).
+pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
+    let work;
+    let a_ref = if a.rows() >= a.cols() {
+        a
+    } else {
+        work = a.transpose();
+        &work
+    };
+    let stage1 = ge2bnd(a_ref, opts);
+    // BND2BD: bulge chasing on the band.
+    let mut band = stage1.band.clone();
+    let bidiag = band.reduce_to_bidiagonal();
+    // BD2VAL: bisection on the Golub-Kahan tridiagonal.
+    let mut sv = bidiagonal_singular_values(&bidiag.diag, &bidiag.superdiag);
+    sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    Ge2ValResult { singular_values: sv, ge2bnd: stage1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bidiag_matrix::checks::singular_values_match;
+    use bidiag_matrix::gen::{latms, SpectrumKind};
+
+    fn spectrum(n: usize) -> SpectrumKind {
+        SpectrumKind::Explicit((1..=n).map(|i| i as f64).rev().collect())
+    }
+
+    #[test]
+    fn ge2bnd_produces_a_band_with_the_right_bandwidth() {
+        let (a, _) = latms(24, 16, &spectrum(16), 3);
+        let r = ge2bnd(&a, &Ge2Options::new(4).with_algorithm(AlgorithmChoice::Bidiag));
+        assert_eq!(r.algorithm, Algorithm::Bidiag);
+        let dense_band = r.band.to_dense();
+        assert_eq!(dense_band.rows(), 16);
+        assert!(dense_band.upper_bandwidth(1e-10) <= 4);
+        // Orthogonal transformations preserve the Frobenius norm of the band.
+        assert!((r.band.norm_fro() - a.norm_fro()).abs() < 1e-9 * a.norm_fro());
+    }
+
+    #[test]
+    fn ge2val_recovers_prescribed_singular_values_bidiag() {
+        let (a, sigma) = latms(20, 12, &SpectrumKind::Geometric { cond: 1e4 }, 11);
+        let r = ge2val(&a, &Ge2Options::new(4).with_algorithm(AlgorithmChoice::Bidiag));
+        assert!(singular_values_match(&r.singular_values, &sigma, 1e-10));
+    }
+
+    #[test]
+    fn ge2val_recovers_prescribed_singular_values_rbidiag() {
+        let (a, sigma) = latms(40, 8, &spectrum(8), 13);
+        let r = ge2val(&a, &Ge2Options::new(4).with_algorithm(AlgorithmChoice::RBidiag));
+        assert_eq!(r.ge2bnd.algorithm, Algorithm::RBidiag);
+        assert!(singular_values_match(&r.singular_values, &sigma, 1e-10));
+    }
+
+    #[test]
+    fn auto_choice_follows_chan_rule() {
+        let (tall, _) = latms(40, 8, &spectrum(8), 1);
+        let (square, _) = latms(12, 12, &spectrum(12), 2);
+        let r_tall = ge2bnd(&tall, &Ge2Options::new(4));
+        let r_square = ge2bnd(&square, &Ge2Options::new(4));
+        assert_eq!(r_tall.algorithm, Algorithm::RBidiag);
+        assert_eq!(r_square.algorithm, Algorithm::Bidiag);
+    }
+
+    #[test]
+    fn wide_matrices_are_transposed() {
+        let (a, sigma) = latms(6, 18, &spectrum(6), 21);
+        let r = ge2val(&a, &Ge2Options::new(4));
+        assert!(singular_values_match(&r.singular_values, &sigma, 1e-10));
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential() {
+        let (a, sigma) = latms(30, 18, &SpectrumKind::Geometric { cond: 100.0 }, 5);
+        let seq = ge2val(&a, &Ge2Options::new(5).with_threads(1).with_tree(NamedTree::Greedy));
+        let par = ge2val(&a, &Ge2Options::new(5).with_threads(4).with_tree(NamedTree::Greedy));
+        assert!(singular_values_match(&seq.singular_values, &par.singular_values, 1e-13));
+        assert!(singular_values_match(&seq.singular_values, &sigma, 1e-10));
+    }
+
+    #[test]
+    fn all_trees_give_the_same_singular_values() {
+        let (a, sigma) = latms(21, 14, &SpectrumKind::Arithmetic { cond: 50.0 }, 8);
+        for tree in [NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy, NamedTree::Auto { gamma: 2.0, ncores: 4 }] {
+            let r = ge2val(&a, &Ge2Options::new(4).with_tree(tree).with_algorithm(AlgorithmChoice::Bidiag));
+            assert!(
+                singular_values_match(&r.singular_values, &sigma, 1e-10),
+                "tree {tree:?} changed the singular values"
+            );
+        }
+    }
+
+    #[test]
+    fn non_multiple_tile_sizes_are_supported() {
+        // 17 x 11 with nb = 4 exercises ragged tiles everywhere.
+        let (a, sigma) = latms(17, 11, &spectrum(11), 31);
+        for alg in [AlgorithmChoice::Bidiag, AlgorithmChoice::RBidiag] {
+            let r = ge2val(&a, &Ge2Options::new(4).with_algorithm(alg));
+            assert!(singular_values_match(&r.singular_values, &sigma, 1e-10), "{alg:?}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Band matrices and the band-to-bidiagonal reduction (`BND2BD`).
+//!
+//! The tiled GE2BND algorithms of the paper stop at a *band* bidiagonal
+//! matrix of upper bandwidth `nb`.  To obtain singular values this band must
+//! be further reduced to a proper bidiagonal (bandwidth 1).  The paper uses
+//! the PLASMA multi-threaded bulge-chasing kernel for this stage; we
+//! implement an equivalent Givens-rotation bulge-chasing reduction
+//! ([`BandMatrix::reduce_to_bidiagonal`]) working on compact band storage.
+//!
+//! The algorithm removes one superdiagonal at a time (Schwarz/Rutishauser
+//! style): each entry of the outermost superdiagonal is annihilated by a
+//! column rotation, and the bulges this creates below the diagonal and past
+//! the band are chased off the bottom-right corner with alternating row and
+//! column rotations.  Total cost is `O(n^2 * bw)` flops on `O(n * bw)`
+//! storage.
+
+use crate::gebd2::Bidiagonal;
+use crate::givens::givens;
+use bidiag_matrix::Matrix;
+
+/// Compact storage for an upper-banded square matrix with room for the
+/// transient bulges of the reduction (one subdiagonal below, one diagonal
+/// above the band).
+#[derive(Clone, Debug)]
+pub struct BandMatrix {
+    n: usize,
+    bw: usize,
+    /// Stored diagonals range from `-1` to `bw + 1`.
+    /// `data[(d + 1) * n + i]` holds `B[i, i + d]`.
+    data: Vec<f64>,
+}
+
+impl BandMatrix {
+    /// Create a zero band matrix of order `n` and upper bandwidth `bw`.
+    pub fn zeros(n: usize, bw: usize) -> Self {
+        assert!(n > 0);
+        let bw = bw.max(1).min(n.saturating_sub(1).max(1));
+        let ndiag = bw + 3; // -1 ..= bw+1
+        Self { n, bw, data: vec![0.0; ndiag * n] }
+    }
+
+    /// Build from a dense matrix, keeping only the upper band `0..=bw`.
+    /// Entries outside the band are ignored (callers should check they are
+    /// negligible; `GE2BND` guarantees it).
+    pub fn from_dense(a: &Matrix, bw: usize) -> Self {
+        let n = a.rows().min(a.cols());
+        let mut b = Self::zeros(n, bw);
+        for i in 0..n {
+            let jmax = (i + b.bw).min(n - 1);
+            for j in i..=jmax {
+                b.set(i, j, a.get(i, j));
+            }
+        }
+        b
+    }
+
+    /// Order of the matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Upper bandwidth the storage was created for.
+    pub fn bandwidth(&self) -> usize {
+        self.bw
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> Option<usize> {
+        let d = j as isize - i as isize;
+        if i >= self.n || j >= self.n || d < -1 || d > self.bw as isize + 1 {
+            None
+        } else {
+            Some(((d + 1) as usize) * self.n + i)
+        }
+    }
+
+    /// Read entry `(i, j)`; entries outside the stored band read as zero.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self.idx(i, j) {
+            Some(k) => self.data[k],
+            None => 0.0,
+        }
+    }
+
+    /// Write entry `(i, j)`; panics if outside the stored band.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let k = self.idx(i, j).expect("write outside band storage");
+        self.data[k] = v;
+    }
+
+    /// Densify (for tests and small problems).
+    pub fn to_dense(&self) -> Matrix {
+        Matrix::from_fn(self.n, self.n, |i, j| self.get(i, j))
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        // Only in-band entries are ever non-zero.
+        let mut s = 0.0;
+        for i in 0..self.n {
+            let lo = i.saturating_sub(1);
+            let hi = (i + self.bw + 1).min(self.n - 1);
+            for j in lo..=hi {
+                let v = self.get(i, j);
+                s += v * v;
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Reduce the band matrix to upper bidiagonal form in place with Givens
+    /// bulge chasing and return the bidiagonal factor.  Only singular values
+    /// are preserved (the rotations are not accumulated), exactly like the
+    /// singular-value-only path of the paper.
+    pub fn reduce_to_bidiagonal(&mut self) -> Bidiagonal {
+        let n = self.n;
+        // Remove superdiagonal `b`, for b = bw, bw-1, ..., 2.
+        let mut b = self.bw;
+        while b >= 2 {
+            for i in 0..n.saturating_sub(b) {
+                let c = i + b;
+                if self.get(i, c) == 0.0 {
+                    continue;
+                }
+                // Column rotation on (c-1, c) zeroing (i, c).
+                let rot = givens(self.get(i, c - 1), self.get(i, c));
+                let rmax = c.min(n - 1);
+                for r in i..=rmax {
+                    let (x, y) = rot.apply(self.get(r, c - 1), self.get(r, c));
+                    self.set(r, c - 1, x);
+                    self.set(r, c, y);
+                }
+                self.set(i, c, 0.0);
+
+                // Chase the bulges down the band.
+                let mut j = c;
+                loop {
+                    // Sub-diagonal bulge at (j, j-1): row rotation on (j-1, j).
+                    if self.get(j, j - 1) == 0.0 {
+                        break;
+                    }
+                    let rot = givens(self.get(j - 1, j - 1), self.get(j, j - 1));
+                    let cmax = (j + b).min(n - 1);
+                    for col in (j - 1)..=cmax {
+                        let (x, y) = rot.apply(self.get(j - 1, col), self.get(j, col));
+                        self.set(j - 1, col, x);
+                        self.set(j, col, y);
+                    }
+                    self.set(j, j - 1, 0.0);
+
+                    // Above-band bulge at (j-1, j+b): column rotation on (j+b-1, j+b).
+                    if j + b > n - 1 || self.get(j - 1, j + b) == 0.0 {
+                        break;
+                    }
+                    let rot = givens(self.get(j - 1, j + b - 1), self.get(j - 1, j + b));
+                    let rmax = (j + b).min(n - 1);
+                    for r in (j - 1)..=rmax {
+                        let (x, y) = rot.apply(self.get(r, j + b - 1), self.get(r, j + b));
+                        self.set(r, j + b - 1, x);
+                        self.set(r, j + b, y);
+                    }
+                    self.set(j - 1, j + b, 0.0);
+                    j += b;
+                }
+            }
+            b -= 1;
+        }
+
+        let diag: Vec<f64> = (0..n).map(|i| self.get(i, i)).collect();
+        let superdiag: Vec<f64> = (0..n.saturating_sub(1)).map(|i| self.get(i, i + 1)).collect();
+        Bidiagonal { diag, superdiag }
+    }
+}
+
+/// Approximate flop count of the band-to-bidiagonal reduction of an order-`n`
+/// band of bandwidth `bw` (used by the performance model; the paper treats
+/// this stage as memory-bound and serial).
+pub fn bnd2bd_flops(n: usize, bw: usize) -> f64 {
+    6.0 * (n as f64) * (n as f64) * (bw as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::jacobi_singular_values;
+    use bidiag_matrix::checks::singular_values_match;
+    use bidiag_matrix::gen::random_gaussian;
+
+    fn random_band(n: usize, bw: usize, seed: u64) -> BandMatrix {
+        let g = random_gaussian(n, n, seed);
+        let mut b = BandMatrix::zeros(n, bw);
+        for i in 0..n {
+            for j in i..=(i + bw).min(n - 1) {
+                b.set(i, j, g.get(i, j));
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn band_storage_round_trip() {
+        let b = random_band(10, 3, 1);
+        let d = b.to_dense();
+        let b2 = BandMatrix::from_dense(&d, 3);
+        assert!((b.norm_fro() - b2.norm_fro()).abs() < 1e-14);
+        assert_eq!(b.get(0, 5), 0.0); // outside band reads zero
+    }
+
+    #[test]
+    fn reduction_produces_bidiagonal_and_preserves_norm() {
+        let mut b = random_band(30, 5, 2);
+        let norm0 = b.norm_fro();
+        let bd = b.reduce_to_bidiagonal();
+        assert_eq!(bd.diag.len(), 30);
+        assert!((bd.norm_fro() - norm0).abs() < 1e-10 * norm0);
+        // The band storage itself must now be bidiagonal.
+        let dense = b.to_dense();
+        assert!(dense.is_upper_bidiagonal(1e-10 * norm0));
+    }
+
+    #[test]
+    fn reduction_preserves_singular_values_small() {
+        for (n, bw, seed) in [(8usize, 2usize, 3u64), (12, 4, 4), (17, 5, 5), (9, 8, 6)] {
+            let b = random_band(n, bw, seed);
+            let dense = b.to_dense();
+            let reference = jacobi_singular_values(&dense);
+            let mut work = b.clone();
+            let bd = work.reduce_to_bidiagonal();
+            let reduced = jacobi_singular_values(&bd.to_dense());
+            assert!(
+                singular_values_match(&reference, &reduced, 1e-10),
+                "singular values changed for n={n} bw={bw}"
+            );
+        }
+    }
+
+    #[test]
+    fn already_bidiagonal_is_untouched() {
+        let mut b = BandMatrix::zeros(6, 1);
+        for i in 0..6 {
+            b.set(i, i, (i + 1) as f64);
+            if i + 1 < 6 {
+                b.set(i, i + 1, 0.5);
+            }
+        }
+        let before = b.to_dense();
+        let bd = b.reduce_to_bidiagonal();
+        assert_eq!(bd.to_dense(), before);
+    }
+
+    #[test]
+    fn bandwidth_one_edge_cases() {
+        // n = 1.
+        let mut b = BandMatrix::zeros(1, 1);
+        b.set(0, 0, 3.0);
+        let bd = b.reduce_to_bidiagonal();
+        assert_eq!(bd.diag, vec![3.0]);
+        assert!(bd.superdiag.is_empty());
+    }
+}

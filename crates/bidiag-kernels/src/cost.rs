@@ -1,0 +1,132 @@
+//! Kernel cost model (Table I of the paper).
+//!
+//! Costs are expressed in the paper's unit of time: `nb^3 / 3` floating
+//! point operations, where `nb` is the tile size.  These weights drive both
+//! the critical-path analysis (Section IV) and the bounded-resource /
+//! distributed simulations.
+
+/// The kernels of the tiled QR/LQ factorizations and their algorithmic role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Factor a square tile into a triangle (panel kernel).
+    Geqrt,
+    /// Apply GEQRT reflectors to a trailing tile (update kernel).
+    Unmqr,
+    /// Zero a square tile below a triangle (panel kernel, TS).
+    Tsqrt,
+    /// Apply TSQRT reflectors to a pair of trailing tiles (update, TS).
+    Tsmqr,
+    /// Zero a triangle below a triangle (panel kernel, TT).
+    Ttqrt,
+    /// Apply TTQRT reflectors to a pair of trailing tiles (update, TT).
+    Ttmqr,
+    /// LQ duals of the above.
+    Gelqt,
+    /// Apply GELQT reflectors (update kernel, LQ dual of UNMQR).
+    Unmlq,
+    /// Zero a square tile right of a triangle (LQ dual of TSQRT).
+    Tslqt,
+    /// Apply TSLQT reflectors (LQ dual of TSMQR).
+    Tsmlq,
+    /// Zero a triangle right of a triangle (LQ dual of TTQRT).
+    Ttlqt,
+    /// Apply TTLQT reflectors (LQ dual of TTMQR).
+    Ttmlq,
+    /// Auxiliary zeroing kernel (LAPACK `xLASET`): discard Householder
+    /// vectors stored below the diagonal of the R factor before
+    /// R-bidiagonalization.  Negligible cost (memory bound, `O(nb^2)`), so it
+    /// carries weight 0 in the Table I cost model.
+    Laset,
+}
+
+impl KernelKind {
+    /// Cost in units of `nb^3 / 3` flops (Table I of the paper).  The LQ
+    /// kernels have the same costs as their QR duals.
+    pub fn weight(self) -> f64 {
+        match self {
+            KernelKind::Geqrt | KernelKind::Gelqt => 4.0,
+            KernelKind::Unmqr | KernelKind::Unmlq => 6.0,
+            KernelKind::Tsqrt | KernelKind::Tslqt => 6.0,
+            KernelKind::Tsmqr | KernelKind::Tsmlq => 12.0,
+            KernelKind::Ttqrt | KernelKind::Ttlqt => 2.0,
+            KernelKind::Ttmqr | KernelKind::Ttmlq => 6.0,
+            KernelKind::Laset => 0.0,
+        }
+    }
+
+    /// Approximate flop count of the kernel for tile size `nb`
+    /// (`weight * nb^3 / 3`).
+    pub fn flops(self, nb: usize) -> f64 {
+        self.weight() * (nb as f64).powi(3) / 3.0
+    }
+
+    /// Short LAPACK-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Geqrt => "GEQRT",
+            KernelKind::Unmqr => "UNMQR",
+            KernelKind::Tsqrt => "TSQRT",
+            KernelKind::Tsmqr => "TSMQR",
+            KernelKind::Ttqrt => "TTQRT",
+            KernelKind::Ttmqr => "TTMQR",
+            KernelKind::Gelqt => "GELQT",
+            KernelKind::Unmlq => "UNMLQ",
+            KernelKind::Tslqt => "TSLQT",
+            KernelKind::Tsmlq => "TSMLQ",
+            KernelKind::Ttlqt => "TTLQT",
+            KernelKind::Ttmlq => "TTMLQ",
+            KernelKind::Laset => "LASET",
+        }
+    }
+
+    /// True for the TS/TT panel kernels and GEQRT/GELQT (i.e. kernels that
+    /// create new Householder reflectors).
+    pub fn is_factorization(self) -> bool {
+        matches!(
+            self,
+            KernelKind::Geqrt
+                | KernelKind::Tsqrt
+                | KernelKind::Ttqrt
+                | KernelKind::Gelqt
+                | KernelKind::Tslqt
+                | KernelKind::Ttlqt
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_weights() {
+        assert_eq!(KernelKind::Geqrt.weight(), 4.0);
+        assert_eq!(KernelKind::Unmqr.weight(), 6.0);
+        assert_eq!(KernelKind::Tsqrt.weight(), 6.0);
+        assert_eq!(KernelKind::Tsmqr.weight(), 12.0);
+        assert_eq!(KernelKind::Ttqrt.weight(), 2.0);
+        assert_eq!(KernelKind::Ttmqr.weight(), 6.0);
+    }
+
+    #[test]
+    fn lq_duals_have_same_weights() {
+        assert_eq!(KernelKind::Gelqt.weight(), KernelKind::Geqrt.weight());
+        assert_eq!(KernelKind::Tsmlq.weight(), KernelKind::Tsmqr.weight());
+        assert_eq!(KernelKind::Ttlqt.weight(), KernelKind::Ttqrt.weight());
+    }
+
+    #[test]
+    fn flops_scale_with_tile_cube() {
+        let f1 = KernelKind::Tsmqr.flops(100);
+        let f2 = KernelKind::Tsmqr.flops(200);
+        assert!((f2 / f1 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factorization_classification() {
+        assert!(KernelKind::Geqrt.is_factorization());
+        assert!(KernelKind::Ttlqt.is_factorization());
+        assert!(!KernelKind::Tsmqr.is_factorization());
+        assert!(!KernelKind::Unmlq.is_factorization());
+    }
+}

@@ -1,0 +1,194 @@
+//! Unblocked (Level-2 BLAS style) bidiagonalization, LAPACK `xGEBD2`.
+//!
+//! This is the classical Golub–Kahan algorithm: alternate column reflectors
+//! (from the left) and row reflectors (from the right), one scalar column and
+//! row at a time.  It serves two roles in the reproduction:
+//!
+//! * as the reference/baseline algorithm class (MKL/ScaLAPACK's `GEBRD` is a
+//!   blocked version of this; see `bidiag-baselines`),
+//! * as the final stage applied to small dense matrices in tests.
+
+use crate::householder::larfg;
+use bidiag_matrix::Matrix;
+
+/// Result of a bidiagonalization: the main diagonal and super-diagonal of the
+/// upper-bidiagonal factor `B` such that `A = U B V^T`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bidiagonal {
+    /// Main diagonal, length `min(m, n)`.
+    pub diag: Vec<f64>,
+    /// Super-diagonal, length `min(m, n) - 1` (empty when `min(m, n) < 2`).
+    pub superdiag: Vec<f64>,
+}
+
+impl Bidiagonal {
+    /// Number of rows/columns of the bidiagonal factor.
+    pub fn len(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// True when the bidiagonal factor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.diag.is_empty()
+    }
+
+    /// Materialise the bidiagonal matrix as a dense square matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.diag.len();
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            b[(i, i)] = self.diag[i];
+            if i + 1 < n {
+                b[(i, i + 1)] = self.superdiag[i];
+            }
+        }
+        b
+    }
+
+    /// Frobenius norm of the bidiagonal factor.
+    pub fn norm_fro(&self) -> f64 {
+        let s: f64 = self.diag.iter().map(|x| x * x).sum::<f64>()
+            + self.superdiag.iter().map(|x| x * x).sum::<f64>();
+        s.sqrt()
+    }
+}
+
+/// Reduce a dense `m x n` matrix (`m >= n`) to upper bidiagonal form in
+/// place using Householder reflections, and return the bidiagonal factor.
+///
+/// On exit `a` holds the Householder vectors (below the diagonal for the
+/// column reflectors, right of the superdiagonal for the row reflectors) and
+/// the bidiagonal entries on its diagonal / superdiagonal, following the
+/// LAPACK `xGEBD2` storage convention.
+pub fn gebd2(a: &mut Matrix) -> Bidiagonal {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "gebd2 expects m >= n (use the transpose otherwise)");
+    let mut diag = Vec::with_capacity(n);
+    let mut superdiag = Vec::with_capacity(n.saturating_sub(1));
+
+    for k in 0..n {
+        // --- Column reflector: zero A[k+1..m, k].
+        let alpha = a.get(k, k);
+        let mut tail: Vec<f64> = (k + 1..m).map(|i| a.get(i, k)).collect();
+        let refl = larfg(alpha, &mut tail);
+        a.set(k, k, refl.beta);
+        for (idx, i) in (k + 1..m).enumerate() {
+            a.set(i, k, tail[idx]);
+        }
+        if refl.tau != 0.0 {
+            for j in (k + 1)..n {
+                let mut w = a.get(k, j);
+                for (idx, i) in (k + 1..m).enumerate() {
+                    w += tail[idx] * a.get(i, j);
+                }
+                w *= refl.tau;
+                a.set(k, j, a.get(k, j) - w);
+                for (idx, i) in (k + 1..m).enumerate() {
+                    a.set(i, j, a.get(i, j) - tail[idx] * w);
+                }
+            }
+        }
+        diag.push(a.get(k, k));
+
+        // --- Row reflector: zero A[k, k+2..n].
+        if k + 1 < n {
+            let alpha = a.get(k, k + 1);
+            let mut tail: Vec<f64> = (k + 2..n).map(|j| a.get(k, j)).collect();
+            let refl = larfg(alpha, &mut tail);
+            a.set(k, k + 1, refl.beta);
+            for (idx, j) in (k + 2..n).enumerate() {
+                a.set(k, j, tail[idx]);
+            }
+            if refl.tau != 0.0 {
+                for i in (k + 1)..m {
+                    let mut w = a.get(i, k + 1);
+                    for (idx, j) in (k + 2..n).enumerate() {
+                        w += tail[idx] * a.get(i, j);
+                    }
+                    w *= refl.tau;
+                    a.set(i, k + 1, a.get(i, k + 1) - w);
+                    for (idx, j) in (k + 2..n).enumerate() {
+                        a.set(i, j, a.get(i, j) - tail[idx] * w);
+                    }
+                }
+            }
+            superdiag.push(a.get(k, k + 1));
+        }
+    }
+
+    Bidiagonal { diag, superdiag }
+}
+
+/// Flop count of the scalar bidiagonalization of an `m x n` matrix
+/// (`4 m n^2 - 4/3 n^3`, see the paper's related-work section).
+pub fn gebd2_flops(m: usize, n: usize) -> f64 {
+    let (m, n) = (m as f64, n as f64);
+    4.0 * m * n * n - 4.0 / 3.0 * n * n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bidiag_matrix::checks::off_bidiagonal_mass;
+    use bidiag_matrix::gen::{latms, random_gaussian, SpectrumKind};
+
+    #[test]
+    fn gebd2_produces_bidiagonal_with_same_frobenius_norm() {
+        let a0 = random_gaussian(12, 8, 5);
+        let mut a = a0.clone();
+        let b = gebd2(&mut a);
+        assert_eq!(b.diag.len(), 8);
+        assert_eq!(b.superdiag.len(), 7);
+        // Orthogonal transformations preserve the Frobenius norm.
+        assert!((b.norm_fro() - a0.norm_fro()).abs() < 1e-10 * a0.norm_fro());
+        assert!(off_bidiagonal_mass(&b.to_dense()) < 1e-13);
+    }
+
+    #[test]
+    fn gebd2_on_square_matrix() {
+        let a0 = random_gaussian(6, 6, 9);
+        let mut a = a0.clone();
+        let b = gebd2(&mut a);
+        assert_eq!(b.len(), 6);
+        assert!((b.norm_fro() - a0.norm_fro()).abs() < 1e-12 * a0.norm_fro());
+    }
+
+    #[test]
+    fn gebd2_diagonal_matrix_is_fixed_point() {
+        let spec = vec![4.0, 3.0, 2.0, 1.0];
+        let mut a = Matrix::from_diag(&spec);
+        let b = gebd2(&mut a);
+        // Diagonal input: the bidiagonal factor has the same singular values
+        // (up to sign) and zero superdiagonal.
+        let mut d: Vec<f64> = b.diag.iter().map(|x| x.abs()).collect();
+        d.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (x, y) in d.iter().zip(spec.iter()) {
+            assert!((x - y).abs() < 1e-14);
+        }
+        for e in &b.superdiag {
+            assert!(e.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gebd2_flop_formula() {
+        assert!((gebd2_flops(1000, 1000) - (4.0e9 - 4.0 / 3.0 * 1.0e9)).abs() < 1.0);
+        // Chan's crossover: preQR+GE2BD(n,n) = 2n^2(m+n) flops is cheaper than
+        // GE2BD(m,n) = 4n^2(m - n/3) when m >= 5n/3.
+        let n = 300.0_f64;
+        let m = 5.0 * n / 3.0;
+        let bidiag = 4.0 * n * n * (m - n / 3.0);
+        let rbidiag = 2.0 * n * n * (m + n);
+        assert!((bidiag - rbidiag).abs() < 1e-6 * bidiag);
+    }
+
+    #[test]
+    fn gebd2_preserves_frobenius_of_prescribed_spectrum() {
+        let (a, sigma) = latms(20, 10, &SpectrumKind::Geometric { cond: 100.0 }, 17);
+        let mut w = a.clone();
+        let b = gebd2(&mut w);
+        let fro2: f64 = sigma.iter().map(|s| s * s).sum();
+        assert!((b.norm_fro().powi(2) - fro2).abs() < 1e-9 * fro2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Givens (plane) rotations.
+//!
+//! Used by the band-to-bidiagonal bulge-chasing stage (`BND2BD`) and by the
+//! implicit-shift bidiagonal QR singular value iteration.
+
+/// A Givens rotation `G = [[c, s], [-s, c]]` chosen so that
+/// `G^T * [f, g]^T = [r, 0]^T`.
+#[derive(Clone, Copy, Debug)]
+pub struct Givens {
+    /// Cosine component.
+    pub c: f64,
+    /// Sine component.
+    pub s: f64,
+    /// The resulting non-zero value `r`.
+    pub r: f64,
+}
+
+/// Compute the Givens rotation zeroing `g` against `f` (LAPACK `dlartg`).
+pub fn givens(f: f64, g: f64) -> Givens {
+    if g == 0.0 {
+        Givens { c: 1.0, s: 0.0, r: f }
+    } else if f == 0.0 {
+        Givens { c: 0.0, s: 1.0, r: g }
+    } else {
+        let r = f.hypot(g);
+        let r = if f >= 0.0 { r } else { -r };
+        Givens { c: f / r, s: g / r, r }
+    }
+}
+
+impl Givens {
+    /// Apply the rotation to the pair `(x, y)`, returning the rotated pair
+    /// `(c*x + s*y, -s*x + c*y)`.
+    #[inline]
+    pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        (self.c * x + self.s * y, -self.s * x + self.c * y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn givens_zeroes_second_component() {
+        for (f, g) in [(3.0, 4.0), (-1.0, 2.0), (0.0, 5.0), (2.0, 0.0), (-3.0, -4.0)] {
+            let rot = givens(f, g);
+            let (r, z) = rot.apply(f, g);
+            assert!(z.abs() < 1e-14, "z = {z} for ({f}, {g})");
+            assert!((r.abs() - f.hypot(g)).abs() < 1e-12);
+            // Rotation is orthogonal: c^2 + s^2 = 1 (unless both inputs are 0).
+            if f != 0.0 || g != 0.0 {
+                assert!((rot.c * rot.c + rot.s * rot.s - 1.0).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_preserves_norm() {
+        let rot = givens(1.5, -2.5);
+        let (a, b) = rot.apply(0.3, 0.7);
+        assert!((a.hypot(b) - 0.3_f64.hypot(0.7)).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,34 @@
+//! # bidiag-kernels
+//!
+//! Pure-Rust numerical kernels for the tiled bidiagonalization reproduction:
+//!
+//! * [`householder`] / [`givens`] — elementary orthogonal transformations,
+//! * [`qr`] — the six tile kernels of the tiled QR factorization
+//!   (GEQRT/UNMQR/TSQRT/TSMQR/TTQRT/TTMQR, Table I of the paper),
+//! * [`lq`] — their LQ duals (GELQT/UNMLQ/TSLQT/TSMLQ/TTLQT/TTMLQ),
+//! * [`gebd2`] — the scalar (Level-2) Golub–Kahan bidiagonalization used by
+//!   the one-stage baselines,
+//! * [`band`] — band storage and the Givens bulge-chasing band-to-bidiagonal
+//!   reduction (the BND2BD stage),
+//! * [`svd`] — bidiagonal singular values by bisection on the Golub–Kahan
+//!   tridiagonal (the BD2VAL stage),
+//! * [`jacobi`] — a one-sided Jacobi SVD used as an independent test oracle,
+//! * [`cost`] — the Table I kernel cost model driving critical paths and the
+//!   machine simulations.
+
+#![warn(missing_docs)]
+
+pub mod band;
+pub mod cost;
+pub mod gebd2;
+pub mod givens;
+pub mod householder;
+pub mod jacobi;
+pub mod lq;
+pub mod qr;
+pub mod svd;
+
+pub use band::BandMatrix;
+pub use cost::KernelKind;
+pub use gebd2::Bidiagonal;
+pub use qr::Trans;

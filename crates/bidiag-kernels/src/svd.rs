@@ -1,0 +1,176 @@
+//! Singular values of a bidiagonal matrix (`BD2VAL`).
+//!
+//! The paper delegates this stage to LAPACK `xBDSQR`; we implement an
+//! equally robust alternative: bisection with Sturm-sequence counts on the
+//! Golub–Kahan tridiagonal form
+//!
+//! ```text
+//!        [ 0   d1              ]
+//!        [ d1  0   e1          ]
+//! T_GK = [     e1  0   d2      ]   (order 2k, zero diagonal)
+//!        [         d2  0  ...  ]
+//! ```
+//!
+//! whose eigenvalues are exactly `{ +sigma_i, -sigma_i }`.  Working on
+//! `T_GK` avoids squaring the matrix and therefore computes even tiny
+//! singular values to high relative accuracy.
+
+use crate::gebd2::Bidiagonal;
+
+/// Number of eigenvalues of the symmetric tridiagonal matrix (zero diagonal,
+/// off-diagonals `off`) that are strictly smaller than `x`, computed with a
+/// Sturm sequence (non-pivoting LDL^T count).
+fn sturm_count(off: &[f64], x: f64, pivmin: f64) -> usize {
+    let m = off.len() + 1;
+    let mut count = 0usize;
+    let mut d = -x;
+    if d < 0.0 {
+        count += 1;
+    }
+    for i in 1..m {
+        let b = off[i - 1];
+        let mut dd = d;
+        if dd.abs() < pivmin {
+            dd = -pivmin;
+        }
+        d = -x - b * b / dd;
+        if d < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Singular values of the bidiagonal matrix with main diagonal `d` and
+/// superdiagonal `e`, returned in non-increasing order.
+///
+/// Runs bisection to roughly machine precision relative to the largest
+/// singular value.
+pub fn bidiagonal_singular_values(d: &[f64], e: &[f64]) -> Vec<f64> {
+    let k = d.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    assert_eq!(e.len(), k - 1, "superdiagonal must have length n-1");
+
+    // Off-diagonals of the Golub-Kahan tridiagonal: d1, e1, d2, e2, ..., dk.
+    let mut off = Vec::with_capacity(2 * k - 1);
+    for i in 0..k {
+        off.push(d[i]);
+        if i + 1 < k {
+            off.push(e[i]);
+        }
+    }
+
+    // Gershgorin bound: diagonal is zero, so |lambda| <= max row sum.
+    let mut bound: f64 = 0.0;
+    let m = 2 * k;
+    for i in 0..m {
+        let left = if i > 0 { off[i - 1].abs() } else { 0.0 };
+        let right = if i < m - 1 { off[i].abs() } else { 0.0 };
+        bound = bound.max(left + right);
+    }
+    if bound == 0.0 {
+        return vec![0.0; k];
+    }
+    let pivmin = f64::MIN_POSITIVE.max(f64::EPSILON * bound * bound * 1e-3);
+    let tol = 2.0 * f64::EPSILON * bound;
+
+    // The j-th largest singular value is the (2k - j + 1)-th smallest
+    // eigenvalue of T_GK (1-based).  Equivalently, sigma_j is the unique
+    // value x >= 0 with count(x) crossing 2k - j.
+    let mut sigmas = Vec::with_capacity(k);
+    for j in 1..=k {
+        let target = 2 * k - j; // count(x) >= target + 1  <=>  lambda_{target+1} < x
+        let mut lo = 0.0_f64;
+        let mut hi = bound * (1.0 + 4.0 * f64::EPSILON);
+        // Bisection: maintain count(lo) <= target < count(hi).
+        while hi - lo > tol.max(f64::EPSILON * hi) {
+            let mid = 0.5 * (lo + hi);
+            if sturm_count(&off, mid, pivmin) > target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        sigmas.push(0.5 * (lo + hi));
+    }
+    sigmas
+}
+
+/// Convenience wrapper over [`bidiagonal_singular_values`] for a
+/// [`Bidiagonal`] factor.
+pub fn singular_values(b: &Bidiagonal) -> Vec<f64> {
+    bidiagonal_singular_values(&b.diag, &b.superdiag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gebd2::gebd2;
+    use crate::jacobi::jacobi_singular_values;
+    use bidiag_matrix::checks::singular_values_match;
+    use bidiag_matrix::gen::{latms, random_gaussian, SpectrumKind};
+    use bidiag_matrix::Matrix;
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let d = vec![3.0, -1.0, 2.0];
+        let e = vec![0.0, 0.0];
+        let s = bidiagonal_singular_values(&d, &e);
+        assert!(singular_values_match(&s, &[3.0, 2.0, 1.0], 1e-14));
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        // B = [[1, 1], [0, 1]]: singular values are golden-ratio related:
+        // sigma = sqrt((3 +- sqrt(5)) / 2).
+        let s = bidiagonal_singular_values(&[1.0, 1.0], &[1.0]);
+        let expected = [((3.0 + 5.0_f64.sqrt()) / 2.0).sqrt(), ((3.0 - 5.0_f64.sqrt()) / 2.0).sqrt()];
+        assert!(singular_values_match(&s, &expected, 1e-13));
+    }
+
+    #[test]
+    fn matches_jacobi_on_random_bidiagonal() {
+        for n in [5usize, 16, 33] {
+            let g = random_gaussian(n, 2, n as u64);
+            let d: Vec<f64> = (0..n).map(|i| g.get(i, 0)).collect();
+            let e: Vec<f64> = (0..n - 1).map(|i| g.get(i, 1)).collect();
+            let mut b = Matrix::zeros(n, n);
+            for i in 0..n {
+                b[(i, i)] = d[i];
+                if i + 1 < n {
+                    b[(i, i + 1)] = e[i];
+                }
+            }
+            let s_bis = bidiagonal_singular_values(&d, &e);
+            let s_jac = jacobi_singular_values(&b);
+            assert!(singular_values_match(&s_bis, &s_jac, 1e-11), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn recovers_prescribed_spectrum_through_gebd2() {
+        let spectrum = vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.25, 0.01];
+        let (a, sigma) = latms(20, 8, &SpectrumKind::Explicit(spectrum), 123);
+        let mut w = a.clone();
+        let bd = gebd2(&mut w);
+        let s = singular_values(&bd);
+        assert!(singular_values_match(&s, &sigma, 1e-12));
+    }
+
+    #[test]
+    fn zero_matrix_and_empty_edge_cases() {
+        assert!(bidiagonal_singular_values(&[], &[]).is_empty());
+        let s = bidiagonal_singular_values(&[0.0, 0.0], &[0.0]);
+        assert_eq!(s, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn tiny_singular_values_resolved() {
+        let d = vec![1.0, 1e-8, 1.0];
+        let e = vec![0.0, 0.0];
+        let s = bidiagonal_singular_values(&d, &e);
+        assert!((s[2] - 1e-8).abs() < 1e-15, "tiny value lost: {}", s[2]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Numerical verification helpers used across the test suites.
+//!
+//! The paper's experimental section states that "for each experiment, we
+//! generated a matrix with prescribed singular values ... and checked that
+//! the computed singular values were satisfactory up to machine precision".
+//! These helpers implement the corresponding residual and orthogonality
+//! checks.
+
+use crate::dense::Matrix;
+
+/// Machine epsilon for `f64`.
+pub const EPS: f64 = f64::EPSILON;
+
+/// Relative orthogonality error `||Q^T Q - I||_max`.
+pub fn orthogonality_error(q: &Matrix) -> f64 {
+    let n = q.cols();
+    let qtq = q.matmul_tn(q);
+    qtq.sub(&Matrix::identity(n)).norm_max()
+}
+
+/// Relative reconstruction error `||A - B||_F / ||A||_F`.
+pub fn relative_error(a: &Matrix, b: &Matrix) -> f64 {
+    let denom = a.norm_fro().max(EPS);
+    a.sub(b).norm_fro() / denom
+}
+
+/// Relative difference between two sets of singular values, both sorted
+/// descending internally: `max_i |s1_i - s2_i| / s1_0`.
+pub fn singular_value_error(s1: &[f64], s2: &[f64]) -> f64 {
+    assert_eq!(s1.len(), s2.len(), "spectrum length mismatch");
+    let mut a = s1.to_vec();
+    let mut b = s2.to_vec();
+    a.sort_by(|x, y| y.partial_cmp(x).unwrap());
+    b.sort_by(|x, y| y.partial_cmp(x).unwrap());
+    let scale = a.first().copied().unwrap_or(1.0).max(EPS);
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max)
+        / scale
+}
+
+/// `true` when the singular values agree to `tol * sigma_max` absolute
+/// accuracy (this is the accuracy that orthogonal reductions guarantee).
+pub fn singular_values_match(s1: &[f64], s2: &[f64], tol: f64) -> bool {
+    singular_value_error(s1, s2) <= tol
+}
+
+/// Frobenius norm of the strictly-lower-triangular part relative to the
+/// whole matrix: measures "how far from upper triangular".
+pub fn below_diagonal_mass(a: &Matrix) -> f64 {
+    let mut s = 0.0;
+    for j in 0..a.cols() {
+        for i in (j + 1)..a.rows() {
+            s += a.get(i, j).powi(2);
+        }
+    }
+    s.sqrt() / a.norm_fro().max(EPS)
+}
+
+/// Frobenius mass outside the upper bidiagonal band, relative to the matrix
+/// norm: measures "how far from upper bidiagonal".
+pub fn off_bidiagonal_mass(a: &Matrix) -> f64 {
+    let mut s = 0.0;
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            if i != j && i + 1 != j {
+                s += a.get(i, j).powi(2);
+            }
+        }
+    }
+    s.sqrt() / a.norm_fro().max(EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{latms, random_orthonormal, SpectrumKind};
+
+    #[test]
+    fn orthogonality_of_random_q() {
+        let q = random_orthonormal(15, 5, 11);
+        assert!(orthogonality_error(&q) < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_zero_for_equal() {
+        let (a, _) = latms(6, 6, &SpectrumKind::Uniform, 1);
+        assert_eq!(relative_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn singular_value_error_is_scale_relative() {
+        let s1 = vec![10.0, 5.0, 1.0];
+        let s2 = vec![10.0, 5.0, 1.0 + 1e-8];
+        assert!(singular_value_error(&s1, &s2) < 1e-8);
+        assert!(singular_values_match(&s1, &s2, 1e-8));
+        assert!(!singular_values_match(&s1, &[10.0, 4.0, 1.0], 1e-3));
+    }
+
+    #[test]
+    fn masses_detect_structure() {
+        let mut a = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            a[(i, i)] = 1.0;
+        }
+        assert_eq!(below_diagonal_mass(&a), 0.0);
+        assert_eq!(off_bidiagonal_mass(&a), 0.0);
+        a[(3, 0)] = 1.0;
+        assert!(below_diagonal_mass(&a) > 0.1);
+        assert!(off_bidiagonal_mass(&a) > 0.1);
+    }
+}

@@ -1,0 +1,411 @@
+//! Dense column-major matrices of `f64`.
+//!
+//! This is the storage substrate used by every tile kernel in the
+//! reproduction.  The layout follows LAPACK conventions (column major,
+//! leading dimension equal to the number of rows) so that the kernels in
+//! `bidiag-kernels` read like their LAPACK counterparts.
+
+use std::fmt;
+
+/// A dense, column-major, heap-allocated matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage, `data[j * rows + i]` is the element `(i, j)`.
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create an `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create an `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a function of the (row, column) index.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build a matrix from row-major data (convenient in tests).
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self::from_fn(rows, cols, |i, j| data[i * cols + j])
+    }
+
+    /// Build a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw column-major data slice.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element access without bounds checking beyond the slice index.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.rows + i]
+    }
+
+    /// Set element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.rows + i] = v;
+    }
+
+    /// A borrowed column as a slice (columns are contiguous).
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// A mutable borrowed column as a slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copy of row `i` (rows are strided, so this allocates).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.cols).map(|j| self.get(i, j)).collect()
+    }
+
+    /// Return the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut c = Matrix::zeros(self.rows, other.cols);
+        // (i,k)*(k,j): iterate j, k, i so the inner loop is over a contiguous column.
+        for j in 0..other.cols {
+            for k in 0..self.cols {
+                let b = other.get(k, j);
+                if b == 0.0 {
+                    continue;
+                }
+                let a_col = self.col(k);
+                let c_col = c.col_mut(j);
+                for i in 0..self.rows {
+                    c_col[i] += a_col[i] * b;
+                }
+            }
+        }
+        c
+    }
+
+    /// `self^T * other` without forming the transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
+        let mut c = Matrix::zeros(self.cols, other.cols);
+        for j in 0..other.cols {
+            for i in 0..self.cols {
+                let mut s = 0.0;
+                let a_col = self.col(i);
+                let b_col = other.col(j);
+                for k in 0..self.rows {
+                    s += a_col[k] * b_col[k];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    /// `self * other^T` without forming the transpose.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
+        let mut c = Matrix::zeros(self.rows, other.rows);
+        for j in 0..other.rows {
+            for k in 0..self.cols {
+                let b = other.get(j, k);
+                if b == 0.0 {
+                    continue;
+                }
+                let a_col = self.col(k);
+                let c_col = c.col_mut(j);
+                for i in 0..self.rows {
+                    c_col[i] += a_col[i] * b;
+                }
+            }
+        }
+        c
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self - other` as a new matrix.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        let mut out = self.clone();
+        out.axpy(-1.0, other);
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// One-norm (maximum absolute column sum).
+    pub fn norm_one(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| self.col(j).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Copy a rectangular block of `other` into `self` at offset `(ro, co)`.
+    pub fn copy_block(&mut self, ro: usize, co: usize, other: &Matrix) {
+        assert!(ro + other.rows <= self.rows && co + other.cols <= self.cols);
+        for j in 0..other.cols {
+            for i in 0..other.rows {
+                self[(ro + i, co + j)] = other.get(i, j);
+            }
+        }
+    }
+
+    /// Extract the block of size `rows x cols` starting at `(ro, co)`.
+    pub fn block(&self, ro: usize, co: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(ro + rows <= self.rows && co + cols <= self.cols);
+        Matrix::from_fn(rows, cols, |i, j| self.get(ro + i, co + j))
+    }
+
+    /// True when every entry below the main diagonal is (almost) zero.
+    pub fn is_upper_triangular(&self, tol: f64) -> bool {
+        for j in 0..self.cols {
+            for i in (j + 1)..self.rows {
+                if self.get(i, j).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True when the matrix is (almost) upper bidiagonal: non-zeros only on
+    /// the main diagonal and the first superdiagonal.
+    pub fn is_upper_bidiagonal(&self, tol: f64) -> bool {
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                if i != j && i + 1 != j && self.get(i, j).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Upper bandwidth: the largest `j - i` over entries larger than `tol`.
+    pub fn upper_bandwidth(&self, tol: f64) -> usize {
+        let mut bw = 0usize;
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                if j > i && self.get(i, j).abs() > tol {
+                    bw = bw.max(j - i);
+                }
+            }
+        }
+        bw
+    }
+
+    /// Extract the main diagonal.
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Extract the first superdiagonal.
+    pub fn superdiag(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n.saturating_sub(1)).map(|i| self.get(i, i + 1)).collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(12);
+        let show_cols = self.cols.min(12);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            for j in 0..show_cols {
+                write!(f, "{:>10.4} ", self.get(i, j))?;
+            }
+            if show_cols < self.cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if show_rows < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let i2 = Matrix::identity(2);
+        let i3 = Matrix::identity(3);
+        assert_eq!(i2.matmul(&a), a);
+        assert_eq!(a.matmul(&i3), a);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_fn(4, 7, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), vec![19.0, 22.0]);
+        assert_eq!(c.row(1), vec![43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_tn_and_nt_match_explicit_transpose() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i + 2 * j) as f64 * 0.5);
+        let b = Matrix::from_fn(5, 4, |i, j| (i * j) as f64 - 1.0);
+        let c1 = a.matmul_tn(&b);
+        let c2 = a.transpose().matmul(&b);
+        assert!(c1.sub(&c2).norm_max() < 1e-12);
+
+        let d = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
+        let e1 = a.matmul_nt(&d);
+        let e2 = a.matmul(&d.transpose());
+        assert!(e1.sub(&e2).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(2, 2, &[3.0, 0.0, 0.0, 4.0]);
+        assert!((a.norm_fro() - 5.0).abs() < 1e-15);
+        assert_eq!(a.norm_max(), 4.0);
+        assert_eq!(a.norm_one(), 4.0);
+    }
+
+    #[test]
+    fn block_and_copy_block() {
+        let a = Matrix::from_fn(6, 6, |i, j| (10 * i + j) as f64);
+        let b = a.block(1, 2, 3, 2);
+        assert_eq!(b.get(0, 0), 12.0);
+        assert_eq!(b.get(2, 1), 33.0);
+        let mut c = Matrix::zeros(6, 6);
+        c.copy_block(1, 2, &b);
+        assert_eq!(c.get(1, 2), 12.0);
+        assert_eq!(c.get(3, 3), 33.0);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn structure_predicates() {
+        let mut a = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            a[(i, i)] = 1.0;
+            if i + 1 < 4 {
+                a[(i, i + 1)] = 0.5;
+            }
+        }
+        assert!(a.is_upper_triangular(0.0));
+        assert!(a.is_upper_bidiagonal(0.0));
+        assert_eq!(a.upper_bandwidth(0.0), 1);
+        a[(0, 3)] = 2.0;
+        assert!(!a.is_upper_bidiagonal(1e-14));
+        assert_eq!(a.upper_bandwidth(0.0), 3);
+    }
+
+    #[test]
+    fn diag_extraction() {
+        let a = Matrix::from_fn(3, 4, |i, j| if i == j { 2.0 } else if i + 1 == j { 1.0 } else { 0.0 });
+        assert_eq!(a.diag(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(a.superdiag(), vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # bidiag-matrix
+//!
+//! Matrix substrate for the tiled bidiagonalization reproduction
+//! (Faverge, Langou, Robert, Dongarra, IPDPS 2017):
+//!
+//! * [`dense::Matrix`] — column-major dense matrices (the storage used inside
+//!   every tile kernel),
+//! * [`tiled::TiledMatrix`] — the `p x q` grid of `nb x nb` tiles on which the
+//!   tiled algorithms operate,
+//! * [`gen`] — LATMS-style generators of matrices with prescribed singular
+//!   values (the paper's experimental input),
+//! * [`dist::BlockCyclic`] — the 2D block-cyclic distribution used for the
+//!   distributed-memory experiments,
+//! * [`checks`] — residual / orthogonality / spectrum comparison helpers used
+//!   throughout the test suites.
+
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod dense;
+pub mod dist;
+pub mod gen;
+pub mod tiled;
+
+pub use dense::Matrix;
+pub use dist::BlockCyclic;
+pub use tiled::{TileCoord, TiledMatrix};

@@ -1,0 +1,23 @@
+//! # bidiag-runtime
+//!
+//! A task-based runtime substrate reproducing the role of PaRSEC/DPLASMA in
+//! the paper:
+//!
+//! * [`graph::TaskGraph`] — data-flow task graphs built by task insertion
+//!   with automatic RAW/WAR/WAW dependency inference,
+//! * [`executor`] — a multi-threaded work queue executing the graph on the
+//!   local machine (shared-memory experiments),
+//! * [`sim`] — a deterministic list-scheduling simulator with per-node core
+//!   pools and an `alpha/beta` communication model, used for critical-path
+//!   measurements and for the distributed-memory experiments that the paper
+//!   runs on a 25-node cluster.
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod graph;
+pub mod sim;
+
+pub use executor::{execute_parallel, execute_sequential, TaskBody};
+pub use graph::{AccessMode, DataKey, TaskGraph, TaskId, TaskNode};
+pub use sim::{critical_path_via_sim, simulate, MachineModel, SimResult};

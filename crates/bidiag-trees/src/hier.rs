@@ -1,0 +1,163 @@
+//! Hierarchical (distributed-memory) reduction trees.
+//!
+//! Following the HQR design used by the paper's DPLASMA implementation, a
+//! distributed panel reduction is built in two levels:
+//!
+//! 1. **local level** — the tile rows owned by each process row (under the 2D
+//!    block-cyclic distribution) are reduced onto the first local row using a
+//!    shared-memory [`TreeConfig`] (FLATTS domains + TT tree),
+//! 2. **high level** — the per-process surviving rows are combined across the
+//!    process grid with a distributed TT tree; the DPLASMA default is a flat
+//!    tree for tall matrices (`p >= 2q`) and a Fibonacci tree otherwise, and a
+//!    greedy tree is also available.
+//!
+//! The domino level of HQR (which pipelines the local and distributed trees)
+//! is not modelled; this is documented in `DESIGN.md`.
+
+use crate::schedule::{emit_top_tree, panel_schedule, PanelSchedule, TopTree, TreeConfig};
+use bidiag_matrix::BlockCyclic;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the inter-process (high level) reduction tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HighLevelTree {
+    /// Sequential chain across process rows (lowest communication volume).
+    Flat,
+    /// Binomial tree across process rows (lowest depth).
+    Greedy,
+    /// Fibonacci tree across process rows (DPLASMA default for squarish
+    /// matrices).
+    Fibonacci,
+}
+
+impl HighLevelTree {
+    fn as_top(self) -> TopTree {
+        match self {
+            HighLevelTree::Flat => TopTree::Flat,
+            HighLevelTree::Greedy => TopTree::Greedy,
+            HighLevelTree::Fibonacci => TopTree::Fibonacci,
+        }
+    }
+
+    /// DPLASMA's default choice: flat when the (remaining) matrix is tall
+    /// (`p >= 2q`), Fibonacci otherwise.
+    pub fn dplasma_default(p: usize, q: usize) -> Self {
+        if p >= 2 * q {
+            HighLevelTree::Flat
+        } else {
+            HighLevelTree::Fibonacci
+        }
+    }
+}
+
+/// Configuration of a hierarchical panel reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HierConfig {
+    /// Local (intra-node) tree.
+    pub local: TreeConfig,
+    /// High-level (inter-node) tree.
+    pub high: HighLevelTree,
+}
+
+/// Build the hierarchical schedule for the panel made of the global tile
+/// rows `rows` (ascending), distributed over `dist.proc_rows` process rows.
+///
+/// The returned schedule first contains the local reductions of every process
+/// row, then the high-level eliminations combining the local survivors.
+pub fn hierarchical_schedule(rows: &[usize], dist: &BlockCyclic, cfg: &HierConfig) -> PanelSchedule {
+    assert!(!rows.is_empty());
+    if dist.proc_rows <= 1 {
+        return panel_schedule(rows, &cfg.local);
+    }
+
+    let mut sched = PanelSchedule::default();
+    // Group rows by owning process row, preserving ascending order inside
+    // each group.  Groups are ordered by the global index of their first row
+    // so that the overall survivor is the globally first row.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); dist.proc_rows];
+    for &r in rows {
+        groups[dist.owner_row(r)].push(r);
+    }
+    let mut heads: Vec<usize> = Vec::new();
+    let mut nonempty: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+    nonempty.sort_by_key(|g| g[0]);
+    for g in &nonempty {
+        let local = panel_schedule(g, &cfg.local);
+        sched.geqrt_rows.extend(local.geqrt_rows);
+        sched.elims.extend(local.elims);
+        heads.push(g[0]);
+    }
+    // High-level combination of the local survivors.
+    emit_top_tree(&heads, cfg.high.as_top(), &mut sched.elims);
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ElimKind;
+
+    #[test]
+    fn single_node_falls_back_to_local_tree() {
+        let dist = BlockCyclic::single_node();
+        let cfg = HierConfig { local: TreeConfig::greedy(), high: HighLevelTree::Flat };
+        let rows: Vec<usize> = (0..10).collect();
+        let h = hierarchical_schedule(&rows, &dist, &cfg);
+        let l = panel_schedule(&rows, &TreeConfig::greedy());
+        assert_eq!(h, l);
+    }
+
+    #[test]
+    fn every_non_survivor_is_eliminated_once() {
+        let dist = BlockCyclic::new(4, 1);
+        let cfg = HierConfig { local: TreeConfig::flat_ts(), high: HighLevelTree::Greedy };
+        let rows: Vec<usize> = (3..20).collect();
+        let s = hierarchical_schedule(&rows, &dist, &cfg);
+        let mut eliminated = std::collections::HashSet::new();
+        for e in &s.elims {
+            assert!(eliminated.insert(e.row), "row {} eliminated twice", e.row);
+            assert!(!eliminated.contains(&e.piv), "pivot {} was already eliminated", e.piv);
+        }
+        assert_eq!(eliminated.len(), rows.len() - 1);
+        assert!(!eliminated.contains(&rows[0]), "survivor must be the first row");
+    }
+
+    #[test]
+    fn high_level_eliminations_are_tt_between_process_heads() {
+        let dist = BlockCyclic::new(3, 1);
+        let cfg = HierConfig { local: TreeConfig::flat_ts(), high: HighLevelTree::Flat };
+        let rows: Vec<usize> = (0..9).collect();
+        let s = hierarchical_schedule(&rows, &dist, &cfg);
+        // Process-row heads are 0, 1, 2; the last two eliminations must be
+        // TT eliminations of 1 and 2 onto 0.
+        let tail: Vec<_> = s.elims.iter().rev().take(2).collect();
+        for e in tail {
+            assert_eq!(e.kind, ElimKind::Tt);
+            assert_eq!(e.piv, 0);
+            assert!(e.row == 1 || e.row == 2);
+        }
+    }
+
+    #[test]
+    fn dplasma_default_switches_on_shape() {
+        assert_eq!(HighLevelTree::dplasma_default(20, 4), HighLevelTree::Flat);
+        assert_eq!(HighLevelTree::dplasma_default(6, 4), HighLevelTree::Fibonacci);
+    }
+
+    #[test]
+    fn partial_panels_only_touch_their_rows() {
+        // Later steps of the factorization pass a suffix of the rows; the
+        // schedule must never reference rows outside that suffix.
+        let dist = BlockCyclic::new(5, 1);
+        let cfg = HierConfig { local: TreeConfig::greedy(), high: HighLevelTree::Fibonacci };
+        let rows: Vec<usize> = (7..23).collect();
+        let s = hierarchical_schedule(&rows, &dist, &cfg);
+        for e in &s.elims {
+            assert!(rows.contains(&e.piv));
+            assert!(rows.contains(&e.row));
+        }
+        for &g in &s.geqrt_rows {
+            assert!(rows.contains(&g));
+        }
+    }
+}

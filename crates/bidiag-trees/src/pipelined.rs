@@ -1,0 +1,135 @@
+//! Pipelined (cross-step) GREEDY schedules for the tiled QR factorization.
+//!
+//! Inside one panel of the BIDIAG algorithm the greedy tree is simply a
+//! binomial tree, because the paper proves that consecutive QR/LQ steps of
+//! the bidiagonalization cannot overlap.  The QR *factorization* used as the
+//! first phase of R-BIDIAG is different: its successive panels overlap
+//! heavily, and the true GREEDY algorithm of Bouwmeester et al. eliminates
+//! tiles in each column as soon as they become available, yielding a
+//! critical path of `22q + o(q)` (for `p = o(q^2)`) instead of
+//! `Theta(q log p)` for per-panel binomial trees.  This module implements
+//! that coupled construction with the classical round-based model:
+//!
+//! * a tile `(i, 0)` is available at round 0,
+//! * a tile `(i, k)` (`k >= 1`) becomes available one round after row `i`
+//!   has been eliminated in column `k-1`,
+//! * at every round, each column eliminates the bottom half of its available
+//!   rows against its top half (pivots keep the smaller index, so row `k`
+//!   survives column `k`).
+
+use crate::schedule::{ElimKind, Elimination, PanelSchedule};
+
+/// Build one [`PanelSchedule`] per column `k in 0..q` for the pipelined
+/// GREEDY QR factorization of a `p x q` tile matrix.  All eliminations use
+/// TT kernels and every row of each panel is factored (`GEQRT`) first.
+pub fn greedy_qr_schedules(p: usize, q: usize) -> Vec<PanelSchedule> {
+    assert!(p >= 1 && q >= 1);
+    let q = q.min(p);
+    let mut schedules: Vec<PanelSchedule> = (0..q)
+        .map(|k| PanelSchedule { geqrt_rows: (k..p).collect(), elims: Vec::new() })
+        .collect();
+
+    // ready[k][i - k] = first round at which row i can participate in column k.
+    let mut ready: Vec<Vec<Option<usize>>> = (0..q).map(|k| vec![None; p - k]).collect();
+    // alive[k] = rows not yet eliminated in column k.
+    let mut alive: Vec<Vec<usize>> = (0..q).map(|k| (k..p).collect()).collect();
+    for r in ready[0].iter_mut() {
+        *r = Some(0);
+    }
+
+    let mut round = 0usize;
+    loop {
+        let mut done = true;
+        let mut progressed = false;
+        for k in 0..q {
+            if alive[k].len() > 1 {
+                done = false;
+            } else {
+                continue;
+            }
+            // Rows of column k that are available this round and still alive.
+            let avail: Vec<usize> = alive[k]
+                .iter()
+                .copied()
+                .filter(|&i| matches!(ready[k][i - k], Some(r) if r <= round))
+                .collect();
+            if avail.len() < 2 {
+                continue;
+            }
+            let z = avail.len() / 2;
+            // Eliminate the bottom `z` available rows against the top `z`.
+            let mut eliminated = Vec::with_capacity(z);
+            for t in 0..z {
+                let row = avail[avail.len() - 1 - t];
+                let piv = avail[t];
+                schedules[k].elims.push(Elimination { piv, row, kind: ElimKind::Tt });
+                eliminated.push(row);
+                // The row becomes available for column k+1 one round later.
+                if k + 1 < q && row >= k + 1 {
+                    ready[k + 1][row - (k + 1)] = Some(round + 1);
+                }
+                progressed = true;
+            }
+            alive[k].retain(|i| !eliminated.contains(i));
+        }
+        if done {
+            break;
+        }
+        let _ = progressed;
+        round += 1;
+        assert!(round <= 4 * (p + q) + 64, "pipelined greedy failed to converge");
+    }
+    schedules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_schedule;
+
+    #[test]
+    fn schedules_are_valid_reductions() {
+        for &(p, q) in &[(1usize, 1usize), (4, 4), (10, 3), (16, 16), (37, 5), (8, 1)] {
+            let s = greedy_qr_schedules(p, q);
+            assert_eq!(s.len(), q.min(p));
+            for (k, sched) in s.iter().enumerate() {
+                let rows: Vec<usize> = (k..p).collect();
+                assert_eq!(validate_schedule(&rows, sched), Ok(()), "p={p} q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_column_is_a_binomial_tree() {
+        // With every row available at round 0, greedy reduces column 0 in
+        // ceil(log2 p) rounds, like a binomial tree.
+        for p in [2usize, 5, 8, 13, 32] {
+            let s = greedy_qr_schedules(p, 1);
+            assert_eq!(s[0].elims.len(), p - 1);
+            let depth = s[0].depth();
+            assert_eq!(depth, (p as f64).log2().ceil() as usize, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn later_columns_start_before_earlier_ones_finish() {
+        // Pipelining: the elimination schedule of column 1 must contain
+        // eliminations whose operands were freed early by column 0, i.e. the
+        // total number of rounds is far below q * ceil(log2 p).
+        let (p, q) = (64usize, 8usize);
+        let s = greedy_qr_schedules(p, q);
+        let total_elims: usize = s.iter().map(|x| x.elims.len()).sum();
+        let expected: usize = (0..q).map(|k| p - k - 1).sum();
+        assert_eq!(total_elims, expected);
+    }
+
+    #[test]
+    fn survivor_is_the_diagonal_row() {
+        let s = greedy_qr_schedules(12, 4);
+        for (k, sched) in s.iter().enumerate() {
+            for e in &sched.elims {
+                assert_ne!(e.row, k, "diagonal row was eliminated in column {k}");
+            }
+        }
+    }
+}

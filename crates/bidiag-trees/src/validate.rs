@@ -1,0 +1,174 @@
+//! Validation of panel schedules.
+//!
+//! A schedule is *valid* when executing its eliminations in order performs a
+//! complete and well-formed reduction of the panel:
+//!
+//! * every row except the first (the survivor) is eliminated exactly once,
+//! * a pivot is never a row that has already been eliminated,
+//! * TT eliminations only involve rows that have been factored into
+//!   triangles (`GEQRT`) or that are domain heads,
+//! * TS eliminations only eliminate rows that have *not* been factored into
+//!   triangles (they expect a full square tile).
+//!
+//! Property-based tests in this crate and in `bidiag-core` run every tree
+//! configuration through this validator.
+
+use crate::schedule::{ElimKind, PanelSchedule};
+use std::collections::HashSet;
+
+/// Errors a schedule can exhibit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A row outside the panel is referenced.
+    UnknownRow(usize),
+    /// A row is eliminated more than once.
+    DoubleElimination(usize),
+    /// An elimination uses a pivot that has already been eliminated.
+    DeadPivot {
+        /// The offending pivot row.
+        piv: usize,
+        /// The row being eliminated.
+        row: usize,
+    },
+    /// A TT elimination references a row that was never factored (GEQRT).
+    TtOnSquare(usize),
+    /// A TS elimination eliminates a row that was factored into a triangle.
+    TsOnTriangle(usize),
+    /// Some rows were never eliminated.
+    IncompleteReduction(Vec<usize>),
+    /// The survivor (first row) was eliminated.
+    SurvivorEliminated,
+}
+
+/// Validate `schedule` against the panel `rows` (ascending global indices).
+pub fn validate_schedule(rows: &[usize], schedule: &PanelSchedule) -> Result<(), ScheduleError> {
+    let row_set: HashSet<usize> = rows.iter().copied().collect();
+    let triangles: HashSet<usize> = schedule.geqrt_rows.iter().copied().collect();
+    for &g in &schedule.geqrt_rows {
+        if !row_set.contains(&g) {
+            return Err(ScheduleError::UnknownRow(g));
+        }
+    }
+
+    let survivor = rows[0];
+    let mut eliminated: HashSet<usize> = HashSet::new();
+    for e in &schedule.elims {
+        if !row_set.contains(&e.piv) {
+            return Err(ScheduleError::UnknownRow(e.piv));
+        }
+        if !row_set.contains(&e.row) {
+            return Err(ScheduleError::UnknownRow(e.row));
+        }
+        if eliminated.contains(&e.row) {
+            return Err(ScheduleError::DoubleElimination(e.row));
+        }
+        if eliminated.contains(&e.piv) {
+            return Err(ScheduleError::DeadPivot { piv: e.piv, row: e.row });
+        }
+        match e.kind {
+            ElimKind::Tt => {
+                // Both participants must be triangles.
+                if !triangles.contains(&e.row) {
+                    return Err(ScheduleError::TtOnSquare(e.row));
+                }
+                if !triangles.contains(&e.piv) {
+                    return Err(ScheduleError::TtOnSquare(e.piv));
+                }
+            }
+            ElimKind::Ts => {
+                // The pivot must be a triangle, the eliminated row must not.
+                if triangles.contains(&e.row) {
+                    return Err(ScheduleError::TsOnTriangle(e.row));
+                }
+                if !triangles.contains(&e.piv) {
+                    return Err(ScheduleError::TtOnSquare(e.piv));
+                }
+            }
+        }
+        eliminated.insert(e.row);
+    }
+
+    if eliminated.contains(&survivor) {
+        return Err(ScheduleError::SurvivorEliminated);
+    }
+    let missing: Vec<usize> =
+        rows.iter().copied().filter(|r| *r != survivor && !eliminated.contains(r)).collect();
+    if !missing.is_empty() {
+        return Err(ScheduleError::IncompleteReduction(missing));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{panel_schedule, DomainSize, Elimination, TopTree, TreeConfig};
+
+    fn all_configs() -> Vec<TreeConfig> {
+        let mut v = vec![TreeConfig::flat_ts(), TreeConfig::flat_tt(), TreeConfig::greedy()];
+        for a in [2usize, 3, 5, 8] {
+            for top in [TopTree::Flat, TopTree::Greedy, TopTree::Fibonacci] {
+                v.push(TreeConfig { domain: DomainSize::Fixed(a), top });
+            }
+        }
+        v.push(TreeConfig { domain: DomainSize::One, top: TopTree::Fibonacci });
+        v
+    }
+
+    #[test]
+    fn every_builtin_config_is_valid_on_many_sizes() {
+        for cfg in all_configs() {
+            for n in 1..=40usize {
+                let rows: Vec<usize> = (0..n).collect();
+                let s = panel_schedule(&rows, &cfg);
+                assert_eq!(validate_schedule(&rows, &s), Ok(()), "cfg {cfg:?} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_double_elimination() {
+        let rows: Vec<usize> = (0..4).collect();
+        let mut s = panel_schedule(&rows, &TreeConfig::flat_ts());
+        let dup = s.elims[1];
+        s.elims.push(dup);
+        assert!(matches!(validate_schedule(&rows, &s), Err(ScheduleError::DoubleElimination(_))));
+    }
+
+    #[test]
+    fn detects_dead_pivot() {
+        let rows: Vec<usize> = (0..4).collect();
+        let mut s = panel_schedule(&rows, &TreeConfig::flat_tt());
+        // Eliminate 1 onto 0, then use 1 as a pivot.
+        s.elims.push(Elimination { piv: 1, row: 2, kind: ElimKind::Tt });
+        // Remove the legitimate elimination of 2 to keep it single.
+        s.elims.retain(|e| !(e.row == 2 && e.piv == 0));
+        let err = validate_schedule(&rows, &s);
+        assert!(
+            matches!(err, Err(ScheduleError::DeadPivot { .. }) | Err(ScheduleError::DoubleElimination(_))),
+            "unexpected result {err:?}"
+        );
+    }
+
+    #[test]
+    fn detects_incomplete_reduction() {
+        let rows: Vec<usize> = (0..5).collect();
+        let mut s = panel_schedule(&rows, &TreeConfig::greedy());
+        s.elims.pop();
+        assert!(matches!(validate_schedule(&rows, &s), Err(ScheduleError::IncompleteReduction(_))));
+    }
+
+    #[test]
+    fn detects_kernel_type_misuse() {
+        let rows: Vec<usize> = (0..3).collect();
+        // TT elimination on a row that never got GEQRT.
+        let s = PanelSchedule {
+            geqrt_rows: vec![0],
+            elims: vec![
+                Elimination { piv: 0, row: 1, kind: ElimKind::Tt },
+                Elimination { piv: 0, row: 2, kind: ElimKind::Ts },
+            ],
+        };
+        assert_eq!(validate_schedule(&rows, &s), Err(ScheduleError::TtOnSquare(1)));
+    }
+}

@@ -1,0 +1,44 @@
+//! Explore the critical paths of the six algorithm/tree combinations and the
+//! BIDIAG vs R-BIDIAG crossover for a matrix shape given on the command line.
+//!
+//! Run with: `cargo run --release --example critical_path_explorer -- 32 8`
+//! (arguments are the number of tile rows `p` and tile columns `q`).
+
+use bidiag_repro::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let q: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    assert!(p >= q && q >= 1, "need p >= q >= 1");
+
+    println!("critical paths for a {p} x {q} tile matrix (unit: nb^3/3 flops)\n");
+    println!("{:<10} {:>16} {:>16} {:>10}", "tree", "BiDiag", "R-BiDiag", "ratio");
+    for tree in [NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy] {
+        let b = cp::measured_cp(Algorithm::Bidiag, tree, p, q);
+        let r = cp::measured_cp(Algorithm::RBidiag, tree, p, q);
+        println!("{:<10} {:>16.0} {:>16.0} {:>10.3}", tree.name(), b, r, b / r);
+    }
+
+    println!("\nclosed-form checks (BiDiag):");
+    println!("  FlatTS formula  : {}", cp::bidiag_cp_flatts_closed(p, q));
+    println!("  FlatTT formula  : {}", cp::bidiag_cp_flattt_closed(p, q));
+    println!("  Greedy formula  : {}", cp::bidiag_cp_greedy_closed(p, q));
+
+    if q >= 2 && q <= 12 {
+        let c = cp::crossover(q, 16);
+        match c.ratio {
+            Some(r) => println!("\ncrossover for q = {q}: R-BiDiag wins from p = {} (delta_s = {r:.2})", c.p_star.unwrap()),
+            None => println!("\ncrossover for q = {q}: not reached below p = 16q"),
+        }
+    }
+
+    // Task-level parallelism profile of the GREEDY BIDIAG DAG.
+    let ops = bidiag_ops(p, q, &GenConfig::shared(NamedTree::Greedy));
+    let graph = bidiag_repro::core::exec::build_graph(&ops, q, &BlockCyclic::single_node());
+    println!("\nGREEDY BiDiag DAG: {} tasks, critical path {:.0}, max parallelism {}, sequential/CP = {:.1}",
+        graph.len(),
+        graph.critical_path(),
+        graph.max_parallelism(),
+        graph.total_weight() / graph.critical_path());
+}

@@ -1,0 +1,45 @@
+//! Simulate the distributed-memory execution of GE2BND on a cluster of
+//! 24-core nodes with a 2D block-cyclic distribution, as in Section VI.D of
+//! the paper, and print the strong-scaling profile of the four trees.
+//!
+//! Run with: `cargo run --release --example distributed_simulation -- 6000 6000`
+
+use bidiag_repro::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let m: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let nb = 160;
+    let p = m.div_ceil(nb);
+    let q = n.div_ceil(nb);
+    let algorithm = if 3 * m >= 5 * n { Algorithm::RBidiag } else { Algorithm::Bidiag };
+
+    println!("GE2BND strong scaling, M={m} N={n} nb={nb} ({p} x {q} tiles), algorithm {algorithm:?}");
+    println!("{:<7} {:>10} {:>10} {:>10} {:>10} {:>12}", "nodes", "FlatTS", "FlatTT", "Greedy", "Auto", "messages");
+
+    for nodes in [1usize, 2, 4, 9, 16, 25] {
+        let grid = if m == n { BlockCyclic::square_grid(nodes) } else { BlockCyclic::tall_grid(nodes) };
+        let cfg = if nodes == 1 {
+            GenConfig::shared(NamedTree::Greedy)
+        } else {
+            GenConfig::distributed(NamedTree::Greedy, grid)
+        };
+        let mut rates = Vec::new();
+        let mut msgs = 0;
+        for tree in NamedTree::paper_variants(24) {
+            let cfg = GenConfig { tree, ..cfg };
+            let ops = ge2bnd_ops(p, q, algorithm, &cfg);
+            let graph = bidiag_repro::core::exec::build_graph(&ops, q, &grid);
+            let machine = MachineModel::calibrated(nodes, 24, 37.0, nb, 5.0, 2.0e-6);
+            let sim = simulate(&graph, &machine);
+            msgs = sim.messages;
+            rates.push(flops::gflops(flops::reporting_flops(m, n), sim.makespan));
+        }
+        println!(
+            "{:<7} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>12}",
+            nodes, rates[0], rates[1], rates[2], rates[3], msgs
+        );
+    }
+    println!("\n(rates in GFlop/s, normalised by the BIDIAG operation count; communication model alpha+beta)");
+}

@@ -1,0 +1,99 @@
+//! Property-based tests (proptest) of the schedule generators, the task
+//! graphs and the critical-path results of Section IV.
+
+use bidiag_repro::prelude::*;
+use bidiag_core::cp;
+use bidiag_core::exec::build_graph;
+use bidiag_trees::{greedy_qr_schedules, panel_schedule, validate_schedule, TreeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The measured DAG critical path equals the paper's per-step sum for
+    /// every static tree and shape.
+    #[test]
+    fn dag_critical_path_matches_formula(p in 1usize..14, extra in 0usize..10) {
+        let q = p;
+        let p = p + extra;
+        for tree in [NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy] {
+            let measured = cp::measured_cp(Algorithm::Bidiag, tree, p, q);
+            let formula = cp::bidiag_cp(tree, p, q);
+            prop_assert!((measured - formula).abs() < 1e-9,
+                "{tree:?} p={p} q={q}: {measured} vs {formula}");
+        }
+    }
+
+    /// Greedy critical paths never exceed flat-tree critical paths.
+    #[test]
+    fn greedy_is_never_worse_than_flat_trees(p in 1usize..20, extra in 0usize..16) {
+        let q = p;
+        let p = p + extra;
+        let g = cp::bidiag_cp(NamedTree::Greedy, p, q);
+        prop_assert!(g <= cp::bidiag_cp(NamedTree::FlatTt, p, q) + 1e-9);
+        prop_assert!(g <= cp::bidiag_cp(NamedTree::FlatTs, p, q) + 1e-9);
+    }
+
+    /// Every tree configuration produces a valid panel reduction on any row set.
+    #[test]
+    fn panel_schedules_are_valid(n in 1usize..60, domain in 1usize..9, top in 0usize..3) {
+        let rows: Vec<usize> = (0..n).collect();
+        let cfg = TreeConfig {
+            domain: match domain { 1 => bidiag_repro::trees::DomainSize::One,
+                                   8 => bidiag_repro::trees::DomainSize::Whole,
+                                   d => bidiag_repro::trees::DomainSize::Fixed(d) },
+            top: match top { 0 => bidiag_repro::trees::TopTree::Flat,
+                             1 => bidiag_repro::trees::TopTree::Greedy,
+                             _ => bidiag_repro::trees::TopTree::Fibonacci },
+        };
+        let s = panel_schedule(&rows, &cfg);
+        prop_assert_eq!(validate_schedule(&rows, &s), Ok(()));
+    }
+
+    /// The pipelined greedy QR schedules are valid reductions for every column.
+    #[test]
+    fn pipelined_greedy_schedules_are_valid(p in 1usize..40, q in 1usize..10) {
+        let q = q.min(p);
+        let schedules = greedy_qr_schedules(p, q);
+        for (k, sched) in schedules.iter().enumerate() {
+            let rows: Vec<usize> = (k..p).collect();
+            prop_assert_eq!(validate_schedule(&rows, sched), Ok(()), "column {}", k);
+        }
+    }
+
+    /// The DAG of any algorithm/tree pair has: total weight >= critical path,
+    /// and the critical path of R-BIDIAG on a square matrix is at least the
+    /// critical path of BIDIAG (Section IV.B).
+    #[test]
+    fn graph_invariants(q in 2usize..9) {
+        for tree in [NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy] {
+            for alg in [Algorithm::Bidiag, Algorithm::RBidiag] {
+                let ops = ge2bnd_ops(q + 2, q, alg, &GenConfig::shared(tree));
+                let g = build_graph(&ops, q, &BlockCyclic::single_node());
+                prop_assert!(g.total_weight() + 1e-9 >= g.critical_path());
+            }
+        }
+        let b = cp::measured_cp(Algorithm::Bidiag, NamedTree::Greedy, q, q);
+        let r = cp::measured_cp(Algorithm::RBidiag, NamedTree::Greedy, q, q);
+        prop_assert!(b <= r + 1e-9, "square: BIDIAG {} should not exceed R-BIDIAG {}", b, r);
+    }
+
+    /// Simulated makespans are sandwiched between the critical path and the
+    /// sequential time, and do not increase with the core count.
+    #[test]
+    fn simulated_makespan_bounds(q in 2usize..7, extra in 0usize..6) {
+        let p = q + extra;
+        let ops = bidiag_ops(p, q, &GenConfig::shared(NamedTree::Greedy));
+        let g = build_graph(&ops, q, &BlockCyclic::single_node());
+        let cp_len = g.critical_path();
+        let seq = g.total_weight();
+        let mut prev = f64::INFINITY;
+        for cores in [1usize, 2, 4, 8, 64] {
+            let mk = simulate(&g, &MachineModel::shared_memory(cores)).makespan;
+            prop_assert!(mk <= seq + 1e-9);
+            prop_assert!(mk + 1e-9 >= cp_len);
+            prop_assert!(mk <= prev + 1e-6);
+            prev = mk;
+        }
+    }
+}
