@@ -14,7 +14,11 @@ use bidiag_matrix::Matrix;
 /// Singular values of `a` via Chan's algorithm (QR + one-stage
 /// bidiagonalization of R), in non-increasing order.
 pub fn chan_singular_values(a: &Matrix) -> Vec<f64> {
-    let mut w = if a.rows() >= a.cols() { a.clone() } else { a.transpose() };
+    let mut w = if a.rows() >= a.cols() {
+        a.clone()
+    } else {
+        a.transpose()
+    };
     let n = w.cols();
     // Dense Householder QR; keep only the R factor.
     let _taus = geqrt(&mut w);
@@ -32,7 +36,11 @@ pub fn chan_singular_values(a: &Matrix) -> Vec<f64> {
 
 /// Flop count of Chan's algorithm (`2 n^2 (m + n)` for `m >= n`).
 pub fn chan_flops(m: usize, n: usize) -> f64 {
-    let (m, n) = if m >= n { (m as f64, n as f64) } else { (n as f64, m as f64) };
+    let (m, n) = if m >= n {
+        (m as f64, n as f64)
+    } else {
+        (n as f64, m as f64)
+    };
     2.0 * n * n * (m + n)
 }
 

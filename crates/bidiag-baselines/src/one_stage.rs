@@ -13,7 +13,11 @@ use bidiag_matrix::Matrix;
 
 /// Reduce a copy of `a` to bidiagonal form with the one-stage algorithm.
 pub fn one_stage_bidiagonalize(a: &Matrix) -> Bidiagonal {
-    let mut w = if a.rows() >= a.cols() { a.clone() } else { a.transpose() };
+    let mut w = if a.rows() >= a.cols() {
+        a.clone()
+    } else {
+        a.transpose()
+    };
     gebd2(&mut w)
 }
 

@@ -42,12 +42,20 @@ impl MachineSpec {
     /// One miriel-like node: 24 cores at 37 GFlop/s, ~25 GFlop/s of
     /// memory-bound Level-2 throughput.
     pub fn paper_node() -> Self {
-        Self { nodes: 1, cores_per_node: 24, core_gflops: 37.0, node_level2_gflops: 25.0 }
+        Self {
+            nodes: 1,
+            cores_per_node: 24,
+            core_gflops: 37.0,
+            node_level2_gflops: 25.0,
+        }
     }
 
     /// A cluster of miriel-like nodes.
     pub fn paper_cluster(nodes: usize) -> Self {
-        Self { nodes, ..Self::paper_node() }
+        Self {
+            nodes,
+            ..Self::paper_node()
+        }
     }
 
     /// Aggregate Level-3 peak of the machine.
@@ -113,8 +121,10 @@ impl PerfModel {
                 // memory-bound second stage of ~8 n^2 nb flops.
                 let flops = one_stage_flops(m, n);
                 let eff = 0.62 * Self::size_efficiency(n);
-                let stage1 = flops / (spec.cores_per_node as f64 * spec.core_gflops * 1.0e9 * eff.max(1e-3));
-                let stage2 = 8.0 * (n as f64) * (n as f64) * 160.0 / (spec.node_level2_gflops * 1.0e9);
+                let stage1 =
+                    flops / (spec.cores_per_node as f64 * spec.core_gflops * 1.0e9 * eff.max(1e-3));
+                let stage2 =
+                    8.0 * (n as f64) * (n as f64) * 160.0 / (spec.node_level2_gflops * 1.0e9);
                 stage1 + stage2
             }
             CompetitorClass::ScalapackLike => {
@@ -173,14 +183,23 @@ mod tests {
         let small = PerfModel::new(CompetitorClass::ScalapackLike, MachineSpec::paper_node());
         let big = PerfModel::new(
             CompetitorClass::ScalapackLike,
-            MachineSpec { cores_per_node: 96, ..MachineSpec::paper_node() },
+            MachineSpec {
+                cores_per_node: 96,
+                ..MachineSpec::paper_node()
+            },
         );
         let r1 = small.gflops(20_000, 20_000);
         let r2 = big.gflops(20_000, 20_000);
         // Quadrupling the cores cannot even double the one-stage rate.
-        assert!(r2 < 2.0 * r1, "one-stage model must be memory bound ({r1} -> {r2})");
+        assert!(
+            r2 < 2.0 * r1,
+            "one-stage model must be memory bound ({r1} -> {r2})"
+        );
         // And the absolute level matches the ~50 GFlop/s plateau of the paper.
-        assert!(r1 > 20.0 && r1 < 90.0, "unexpected ScaLAPACK-like rate {r1}");
+        assert!(
+            r1 > 20.0 && r1 < 90.0,
+            "unexpected ScaLAPACK-like rate {r1}"
+        );
     }
 
     #[test]
@@ -210,8 +229,14 @@ mod tests {
 
     #[test]
     fn distributed_scaling_is_sublinear() {
-        let one = PerfModel::new(CompetitorClass::ElementalLike, MachineSpec::paper_cluster(1));
-        let many = PerfModel::new(CompetitorClass::ElementalLike, MachineSpec::paper_cluster(25));
+        let one = PerfModel::new(
+            CompetitorClass::ElementalLike,
+            MachineSpec::paper_cluster(1),
+        );
+        let many = PerfModel::new(
+            CompetitorClass::ElementalLike,
+            MachineSpec::paper_cluster(25),
+        );
         let r1 = one.gflops(2_000_000, 2_000);
         let r25 = many.gflops(2_000_000, 2_000);
         assert!(r25 > r1, "more nodes must not slow the model down");

@@ -2,17 +2,32 @@
 //! multi-threaded task runtime, BIDIAG vs R-BIDIAG, and the four reduction
 //! trees, on matrices small enough for repeated timing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bidiag_core::pipeline::{ge2bnd, AlgorithmChoice, Ge2Options};
 use bidiag_matrix::gen::{latms, SpectrumKind};
 use bidiag_trees::NamedTree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_trees(c: &mut Criterion) {
     let (a, _) = latms(512, 384, &SpectrumKind::Geometric { cond: 1.0e4 }, 42);
     let mut group = c.benchmark_group("ge2bnd_trees_512x384_nb64");
-    for tree in [NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy, NamedTree::Auto { gamma: 2.0, ncores: 4 }] {
+    for tree in [
+        NamedTree::FlatTs,
+        NamedTree::FlatTt,
+        NamedTree::Greedy,
+        NamedTree::Auto {
+            gamma: 2.0,
+            ncores: 4,
+        },
+    ] {
         group.bench_with_input(BenchmarkId::new("seq", tree.name()), &tree, |bench, &t| {
-            bench.iter(|| ge2bnd(&a, &Ge2Options::new(64).with_tree(t).with_algorithm(AlgorithmChoice::Bidiag)))
+            bench.iter(|| {
+                ge2bnd(
+                    &a,
+                    &Ge2Options::new(64)
+                        .with_tree(t)
+                        .with_algorithm(AlgorithmChoice::Bidiag),
+                )
+            })
         });
     }
     group.finish();
@@ -23,17 +38,21 @@ fn bench_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("ge2bnd_threads_768x512_nb64");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("greedy", threads), &threads, |bench, &t| {
-            bench.iter(|| {
-                ge2bnd(
-                    &a,
-                    &Ge2Options::new(64)
-                        .with_tree(NamedTree::Greedy)
-                        .with_algorithm(AlgorithmChoice::Bidiag)
-                        .with_threads(t),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy", threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| {
+                    ge2bnd(
+                        &a,
+                        &Ge2Options::new(64)
+                            .with_tree(NamedTree::Greedy)
+                            .with_algorithm(AlgorithmChoice::Bidiag)
+                            .with_threads(t),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -42,10 +61,19 @@ fn bench_rbidiag(c: &mut Criterion) {
     let (a, _) = latms(1536, 192, &SpectrumKind::Uniform, 9);
     let mut group = c.benchmark_group("ge2bnd_tall_skinny_1536x192_nb64");
     group.sample_size(10);
-    for (label, alg) in [("bidiag", AlgorithmChoice::Bidiag), ("rbidiag", AlgorithmChoice::RBidiag)] {
+    for (label, alg) in [
+        ("bidiag", AlgorithmChoice::Bidiag),
+        ("rbidiag", AlgorithmChoice::RBidiag),
+    ] {
         group.bench_with_input(BenchmarkId::new(label, 4), &alg, |bench, &alg| {
             bench.iter(|| {
-                ge2bnd(&a, &Ge2Options::new(64).with_tree(NamedTree::Greedy).with_algorithm(alg).with_threads(4))
+                ge2bnd(
+                    &a,
+                    &Ge2Options::new(64)
+                        .with_tree(NamedTree::Greedy)
+                        .with_algorithm(alg)
+                        .with_threads(4),
+                )
             })
         });
     }

@@ -1,12 +1,16 @@
 //! Criterion microbenchmarks of the tile kernels (Table I).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bidiag_kernels::qr;
 use bidiag_matrix::gen::random_gaussian;
 use bidiag_matrix::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn upper(a: &Matrix) -> Matrix {
-    Matrix::from_fn(a.rows(), a.cols(), |i, j| if j >= i { a.get(i, j) } else { 0.0 })
+    Matrix::from_fn(
+        a.rows(),
+        a.cols(),
+        |i, j| if j >= i { a.get(i, j) } else { 0.0 },
+    )
 }
 
 fn bench_kernels(c: &mut Criterion) {

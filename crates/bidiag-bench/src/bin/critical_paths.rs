@@ -37,7 +37,11 @@ fn main() {
                 tree.name().to_string(),
                 format!("{formula:.0}"),
                 format!("{measured:.0}"),
-                if (formula - measured).abs() < 1e-9 { "yes".into() } else { "NO".into() },
+                if (formula - measured).abs() < 1e-9 {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
                 format!("{r_measured:.0}"),
                 format!("{:.3}", measured / r_measured),
             ]);
@@ -45,7 +49,16 @@ fn main() {
     }
     print_tsv(
         "Critical paths (units of nb^3/3): paper formulas vs measured task DAG",
-        &["p", "q", "tree", "BiDiag_formula", "BiDiag_DAG", "match", "R-BiDiag_DAG", "ratio BiDiag/R-BiDiag"],
+        &[
+            "p",
+            "q",
+            "tree",
+            "BiDiag_formula",
+            "BiDiag_DAG",
+            "match",
+            "R-BiDiag_DAG",
+            "ratio BiDiag/R-BiDiag",
+        ],
         &rows,
     );
 
@@ -54,7 +67,12 @@ fn main() {
     for q in [8usize, 16, 32, 64, 128] {
         let exact = cp::bidiag_cp(NamedTree::Greedy, q, q);
         let asym = cp::bidiag_cp_asymptotic(0.0, q);
-        rows2.push(vec![format!("{q}"), format!("{exact:.0}"), format!("{asym:.0}"), format!("{:.3}", exact / asym)]);
+        rows2.push(vec![
+            format!("{q}"),
+            format!("{exact:.0}"),
+            format!("{asym:.0}"),
+            format!("{:.3}", exact / asym),
+        ]);
     }
     print_tsv(
         "Theorem 1: BIDIAG-GREEDY(q,q) vs its asymptotic equivalent 12 q log2 q",

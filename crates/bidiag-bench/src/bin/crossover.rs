@@ -12,14 +12,21 @@ use bidiag_bench::print_tsv;
 use bidiag_core::cp::crossover;
 
 fn main() {
-    let qmax: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let qmax: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let mut rows = Vec::new();
     for q in 2..=qmax {
         let c = crossover(q, 16);
         rows.push(vec![
             format!("{q}"),
-            c.p_star.map(|p| p.to_string()).unwrap_or_else(|| ">16q".into()),
-            c.ratio.map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into()),
+            c.p_star
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| ">16q".into()),
+            c.ratio
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "-".into()),
             "1.67".to_string(),
         ]);
     }

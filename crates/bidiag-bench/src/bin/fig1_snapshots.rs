@@ -35,8 +35,14 @@ fn render(state: &[Vec<S>], title: &str) {
 }
 
 fn main() {
-    let p: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let q: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let p: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let q: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     println!("# Figure 1 — snapshots of BIDIAG on a {p} x {q} tile matrix (Greedy trees)\n");
 
     let ops = bidiag_ops(p, q, &GenConfig::shared(NamedTree::Greedy));
@@ -61,14 +67,20 @@ fn main() {
             | TileOp::Ttmlq { k, .. } => (k, true),
             TileOp::ZeroLower { .. } => continue,
         };
-        if current.is_some() && current != Some(phase) {
-            let (k, lq) = current.unwrap();
-            render(&state, &if lq { format!("after LQ({})", k + 1) } else { format!("after QR({})", k + 1) });
+        if let Some((k, lq)) = current.filter(|&c| c != phase) {
+            render(
+                &state,
+                &if lq {
+                    format!("after LQ({})", k + 1)
+                } else {
+                    format!("after QR({})", k + 1)
+                },
+            );
         }
         current = Some(phase);
         // Update the logical structure.
         match *op {
-            TileOp::Geqrt { k, i } => state[i][k] = if i == k { S::UpperTri } else { S::UpperTri },
+            TileOp::Geqrt { k, i } => state[i][k] = S::UpperTri,
             TileOp::Tsqrt { k, i, .. } | TileOp::Ttqrt { k, i, .. } => state[i][k] = S::Zeroed,
             TileOp::Gelqt { k, j } => state[k][j] = S::LowerTri,
             TileOp::Tslqt { k, j, .. } | TileOp::Ttlqt { k, j, .. } => state[k][j] = S::Zeroed,
@@ -82,7 +94,14 @@ fn main() {
         }
     }
     if let Some((k, lq)) = current {
-        render(&state, &if lq { format!("after LQ({})", k + 1) } else { format!("after QR({})", k + 1) });
+        render(
+            &state,
+            &if lq {
+                format!("after LQ({})", k + 1)
+            } else {
+                format!("after QR({})", k + 1)
+            },
+        );
     }
     println!("(R = triangularised tile, L = LQ-triangularised tile, . = annihilated tile, x = full tile)");
 }

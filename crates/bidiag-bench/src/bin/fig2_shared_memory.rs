@@ -26,7 +26,11 @@ fn panel_ge2bnd(title: &str, shapes: &[(usize, usize)], algos: &[Algorithm], nb:
     let mut header = vec!["M".to_string(), "N".to_string()];
     for alg in algos {
         for t in trees() {
-            header.push(if algos.len() > 1 { format!("{}-{}", alg.name(), t.name()) } else { t.name().to_string() });
+            header.push(if algos.len() > 1 {
+                format!("{}-{}", alg.name(), t.name())
+            } else {
+                t.name().to_string()
+            });
         }
     }
     let mut rows = Vec::new();
@@ -48,7 +52,10 @@ fn panel_ge2val(title: &str, shapes: &[(usize, usize)], best_algo: Algorithm, nb
     let grid = BlockCyclic::single_node();
     let mut rows = Vec::new();
     for &(m, n) in shapes {
-        let auto = NamedTree::Auto { gamma: 2.0, ncores: CORES_PER_NODE };
+        let auto = NamedTree::Auto {
+            gamma: 2.0,
+            ncores: CORES_PER_NODE,
+        };
         let dplasma = ge2val_sim_gflops(m, n, nb, auto, best_algo, 1, grid);
         let plasma = ge2val_sim_gflops(m, n, nb, NamedTree::FlatTs, Algorithm::Bidiag, 1, grid);
         let mkl = competitor_gflops(CompetitorClass::MklLike, m, n, 1);
@@ -64,32 +71,67 @@ fn panel_ge2val(title: &str, shapes: &[(usize, usize)], best_algo: Algorithm, nb
             format!("{sca:.1}"),
         ]);
     }
-    print_tsv(title, &["M", "N", "DPLASMA(ours)", "MKL", "PLASMA", "Elemental", "Scalapack"], &rows);
+    print_tsv(
+        title,
+        &[
+            "M",
+            "N",
+            "DPLASMA(ours)",
+            "MKL",
+            "PLASMA",
+            "Elemental",
+            "Scalapack",
+        ],
+        &rows,
+    );
 }
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let nb = 160;
     let square: Vec<(usize, usize)> = if full {
-        vec![5000, 10000, 15000, 20000, 25000, 30000].into_iter().map(|n| (n, n)).collect()
+        vec![5000, 10000, 15000, 20000, 25000, 30000]
+            .into_iter()
+            .map(|n| (n, n))
+            .collect()
     } else {
-        vec![2000, 4000, 6000, 8000, 10000, 12000].into_iter().map(|n| (n, n)).collect()
+        vec![2000, 4000, 6000, 8000, 10000, 12000]
+            .into_iter()
+            .map(|n| (n, n))
+            .collect()
     };
     let ts2000: Vec<(usize, usize)> = if full {
-        vec![5000, 10000, 20000, 30000, 40000].into_iter().map(|m| (m, 2000)).collect()
+        vec![5000, 10000, 20000, 30000, 40000]
+            .into_iter()
+            .map(|m| (m, 2000))
+            .collect()
     } else {
-        vec![4000, 8000, 16000, 24000, 32000, 40000].into_iter().map(|m| (m, 2000)).collect()
+        vec![4000, 8000, 16000, 24000, 32000, 40000]
+            .into_iter()
+            .map(|m| (m, 2000))
+            .collect()
     };
     let ts_wide: Vec<(usize, usize)> = if full {
-        vec![10000, 20000, 40000, 60000, 80000, 100000].into_iter().map(|m| (m, 10000)).collect()
+        vec![10000, 20000, 40000, 60000, 80000, 100000]
+            .into_iter()
+            .map(|m| (m, 10000))
+            .collect()
     } else {
-        vec![8000, 12000, 16000, 24000, 32000].into_iter().map(|m| (m, 4000)).collect()
+        vec![8000, 12000, 16000, 24000, 32000]
+            .into_iter()
+            .map(|m| (m, 4000))
+            .collect()
     };
 
     println!("# Figure 2 — shared-memory performance on a single 24-core node (nb = {nb})");
     println!("# (simulated with the calibrated DAG model; see EXPERIMENTS.md)\n");
 
-    panel_ge2bnd("Fig 2 top-left: GE2BND, square matrices (BiDiag)", &square, &[Algorithm::Bidiag], nb);
+    panel_ge2bnd(
+        "Fig 2 top-left: GE2BND, square matrices (BiDiag)",
+        &square,
+        &[Algorithm::Bidiag],
+        nb,
+    );
     panel_ge2bnd(
         "Fig 2 top-middle: GE2BND, tall-skinny N=2000 (BiDiag vs R-BiDiag)",
         &ts2000,
@@ -102,7 +144,22 @@ fn main() {
         &[Algorithm::Bidiag, Algorithm::RBidiag],
         nb,
     );
-    panel_ge2val("Fig 2 bottom-left: GE2VAL, square matrices", &square, Algorithm::Bidiag, nb);
-    panel_ge2val("Fig 2 bottom-middle: GE2VAL, tall-skinny N=2000", &ts2000, Algorithm::RBidiag, nb);
-    panel_ge2val("Fig 2 bottom-right: GE2VAL, tall-skinny wide panel", &ts_wide, Algorithm::RBidiag, nb);
+    panel_ge2val(
+        "Fig 2 bottom-left: GE2VAL, square matrices",
+        &square,
+        Algorithm::Bidiag,
+        nb,
+    );
+    panel_ge2val(
+        "Fig 2 bottom-middle: GE2VAL, tall-skinny N=2000",
+        &ts2000,
+        Algorithm::RBidiag,
+        nb,
+    );
+    panel_ge2val(
+        "Fig 2 bottom-right: GE2VAL, tall-skinny wide panel",
+        &ts_wide,
+        Algorithm::RBidiag,
+        nb,
+    );
 }

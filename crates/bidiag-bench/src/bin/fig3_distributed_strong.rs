@@ -23,7 +23,15 @@ fn grid_for(nodes: usize, square: bool) -> BlockCyclic {
     }
 }
 
-fn ge2bnd_panel(title: &str, m: usize, n: usize, algorithm: Algorithm, square: bool, nodes_list: &[usize], nb: usize) {
+fn ge2bnd_panel(
+    title: &str,
+    m: usize,
+    n: usize,
+    algorithm: Algorithm,
+    square: bool,
+    nodes_list: &[usize],
+    nb: usize,
+) {
     let mut rows = Vec::new();
     for &nodes in nodes_list {
         let grid = grid_for(nodes, square);
@@ -42,16 +50,34 @@ fn ge2bnd_panel(title: &str, m: usize, n: usize, algorithm: Algorithm, square: b
     }
     print_tsv(
         &format!("{title} (M={m}, N={n}, {})", algorithm.name()),
-        &["nodes", "FlatTS", "FlatTT", "Greedy", "Auto", "PerfectScaling"],
+        &[
+            "nodes",
+            "FlatTS",
+            "FlatTT",
+            "Greedy",
+            "Auto",
+            "PerfectScaling",
+        ],
         &rows,
     );
 }
 
-fn ge2val_panel(title: &str, m: usize, n: usize, algorithm: Algorithm, square: bool, nodes_list: &[usize], nb: usize) {
+fn ge2val_panel(
+    title: &str,
+    m: usize,
+    n: usize,
+    algorithm: Algorithm,
+    square: bool,
+    nodes_list: &[usize],
+    nb: usize,
+) {
     let mut rows = Vec::new();
     for &nodes in nodes_list {
         let grid = grid_for(nodes, square);
-        let auto = NamedTree::Auto { gamma: 2.0, ncores: CORES_PER_NODE };
+        let auto = NamedTree::Auto {
+            gamma: 2.0,
+            ncores: CORES_PER_NODE,
+        };
         let ours = ge2val_sim_gflops(m, n, nb, auto, algorithm, nodes, grid);
         let ele = competitor_gflops(CompetitorClass::ElementalLike, m, n, nodes);
         let sca = competitor_gflops(CompetitorClass::ScalapackLike, m, n, nodes);
@@ -66,7 +92,13 @@ fn ge2val_panel(title: &str, m: usize, n: usize, algorithm: Algorithm, square: b
     }
     print_tsv(
         &format!("{title} (M={m}, N={n}, {})", algorithm.name()),
-        &["nodes", "DPLASMA(ours)", "Elemental", "Scalapack", "UpperBound(BND2VAL)"],
+        &[
+            "nodes",
+            "DPLASMA(ours)",
+            "Elemental",
+            "Scalapack",
+            "UpperBound(BND2VAL)",
+        ],
         &rows,
     );
 }
@@ -75,18 +107,86 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let nb = 160;
     let nodes_list: Vec<usize> = vec![1, 2, 4, 9, 16, 25];
-    let (sq1, sq2) = if full { (20_000, 30_000) } else { (8_000, 12_000) };
-    let (ts1_m, ts1_n) = if full { (2_000_000, 2_000) } else { (200_000, 2_000) };
-    let (ts2_m, ts2_n) = if full { (1_000_000, 10_000) } else { (100_000, 5_000) };
+    let (sq1, sq2) = if full {
+        (20_000, 30_000)
+    } else {
+        (8_000, 12_000)
+    };
+    let (ts1_m, ts1_n) = if full {
+        (2_000_000, 2_000)
+    } else {
+        (200_000, 2_000)
+    };
+    let (ts2_m, ts2_n) = if full {
+        (1_000_000, 10_000)
+    } else {
+        (100_000, 5_000)
+    };
 
     println!("# Figure 3 — distributed-memory strong scaling (simulated cluster of 24-core nodes, nb = {nb})\n");
 
-    ge2bnd_panel("Fig 3 top-left: GE2BND square (small)", sq1, sq1, Algorithm::Bidiag, true, &nodes_list, nb);
-    ge2bnd_panel("Fig 3 top-left: GE2BND square (large)", sq2, sq2, Algorithm::Bidiag, true, &nodes_list, nb);
-    ge2bnd_panel("Fig 3 top-middle: GE2BND tall-skinny", ts1_m, ts1_n, Algorithm::RBidiag, false, &nodes_list, nb);
-    ge2bnd_panel("Fig 3 top-right: GE2BND tall-skinny wide", ts2_m, ts2_n, Algorithm::RBidiag, false, &nodes_list, nb);
+    ge2bnd_panel(
+        "Fig 3 top-left: GE2BND square (small)",
+        sq1,
+        sq1,
+        Algorithm::Bidiag,
+        true,
+        &nodes_list,
+        nb,
+    );
+    ge2bnd_panel(
+        "Fig 3 top-left: GE2BND square (large)",
+        sq2,
+        sq2,
+        Algorithm::Bidiag,
+        true,
+        &nodes_list,
+        nb,
+    );
+    ge2bnd_panel(
+        "Fig 3 top-middle: GE2BND tall-skinny",
+        ts1_m,
+        ts1_n,
+        Algorithm::RBidiag,
+        false,
+        &nodes_list,
+        nb,
+    );
+    ge2bnd_panel(
+        "Fig 3 top-right: GE2BND tall-skinny wide",
+        ts2_m,
+        ts2_n,
+        Algorithm::RBidiag,
+        false,
+        &nodes_list,
+        nb,
+    );
 
-    ge2val_panel("Fig 3 bottom-left: GE2VAL square", sq1, sq1, Algorithm::Bidiag, true, &nodes_list, nb);
-    ge2val_panel("Fig 3 bottom-middle: GE2VAL tall-skinny", ts1_m, ts1_n, Algorithm::RBidiag, false, &nodes_list, nb);
-    ge2val_panel("Fig 3 bottom-right: GE2VAL tall-skinny wide", ts2_m, ts2_n, Algorithm::RBidiag, false, &nodes_list, nb);
+    ge2val_panel(
+        "Fig 3 bottom-left: GE2VAL square",
+        sq1,
+        sq1,
+        Algorithm::Bidiag,
+        true,
+        &nodes_list,
+        nb,
+    );
+    ge2val_panel(
+        "Fig 3 bottom-middle: GE2VAL tall-skinny",
+        ts1_m,
+        ts1_n,
+        Algorithm::RBidiag,
+        false,
+        &nodes_list,
+        nb,
+    );
+    ge2val_panel(
+        "Fig 3 bottom-right: GE2VAL tall-skinny wide",
+        ts2_m,
+        ts2_n,
+        Algorithm::RBidiag,
+        false,
+        &nodes_list,
+        nb,
+    );
 }

@@ -28,11 +28,19 @@ fn weak_row(title: &str, base_m: usize, n: usize, nodes_list: &[usize], nb: usiz
         }
         rows_bnd.push(row);
 
-        let auto = NamedTree::Auto { gamma: 2.0, ncores: CORES_PER_NODE };
+        let auto = NamedTree::Auto {
+            gamma: 2.0,
+            ncores: CORES_PER_NODE,
+        };
         let ours = ge2val_sim_gflops(m, n, nb, auto, Algorithm::RBidiag, nodes, grid);
         let ele = competitor_gflops(CompetitorClass::ElementalLike, m, n, nodes);
         let sca = competitor_gflops(CompetitorClass::ScalapackLike, m, n, nodes);
-        rows_val.push(vec![nodes.to_string(), format!("{ours:.0}"), format!("{ele:.0}"), format!("{sca:.0}")]);
+        rows_val.push(vec![
+            nodes.to_string(),
+            format!("{ours:.0}"),
+            format!("{ele:.0}"),
+            format!("{sca:.0}"),
+        ]);
 
         if nodes == nodes_list[0] {
             ours_single = Some(ours / nodes as f64);
@@ -41,22 +49,52 @@ fn weak_row(title: &str, base_m: usize, n: usize, nodes_list: &[usize], nb: usiz
         eff_rows.push(vec![
             nodes.to_string(),
             format!("{:.3}", ours / (base * nodes as f64)),
-            format!("{:.3}", ele / (competitor_gflops(CompetitorClass::ElementalLike, base_m, n, 1) * nodes as f64)),
-            format!("{:.3}", sca / (competitor_gflops(CompetitorClass::ScalapackLike, base_m, n, 1) * nodes as f64)),
+            format!(
+                "{:.3}",
+                ele / (competitor_gflops(CompetitorClass::ElementalLike, base_m, n, 1)
+                    * nodes as f64)
+            ),
+            format!(
+                "{:.3}",
+                sca / (competitor_gflops(CompetitorClass::ScalapackLike, base_m, n, 1)
+                    * nodes as f64)
+            ),
         ]);
     }
-    print_tsv(&format!("{title}: GE2BND"), &["nodes", "M", "FlatTS", "FlatTT", "Greedy", "Auto"], &rows_bnd);
-    print_tsv(&format!("{title}: GE2VAL"), &["nodes", "DPLASMA(ours)", "Elemental", "Scalapack"], &rows_val);
-    print_tsv(&format!("{title}: GE2VAL efficiency"), &["nodes", "DPLASMA(ours)", "Elemental", "Scalapack"], &eff_rows);
+    print_tsv(
+        &format!("{title}: GE2BND"),
+        &["nodes", "M", "FlatTS", "FlatTT", "Greedy", "Auto"],
+        &rows_bnd,
+    );
+    print_tsv(
+        &format!("{title}: GE2VAL"),
+        &["nodes", "DPLASMA(ours)", "Elemental", "Scalapack"],
+        &rows_val,
+    );
+    print_tsv(
+        &format!("{title}: GE2VAL efficiency"),
+        &["nodes", "DPLASMA(ours)", "Elemental", "Scalapack"],
+        &eff_rows,
+    );
 }
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let nb = 160;
     let nodes_list: Vec<usize> = vec![1, 2, 4, 8, 16, 25];
-    let (base1, base2, wide_n) = if full { (80_000, 100_000, 10_000) } else { (20_000, 20_000, 5_000) };
+    let (base1, base2, wide_n) = if full {
+        (80_000, 100_000, 10_000)
+    } else {
+        (20_000, 20_000, 5_000)
+    };
 
     println!("# Figure 4 — weak scaling on tall-skinny matrices (simulated cluster, nb = {nb})\n");
     weak_row("Fig 4 row 1 (N=2000)", base1, 2_000, &nodes_list, nb);
-    weak_row(&format!("Fig 4 row 2 (N={wide_n})"), base2, wide_n, &nodes_list, nb);
+    weak_row(
+        &format!("Fig 4 row 2 (N={wide_n})"),
+        base2,
+        wide_n,
+        &nodes_list,
+        nb,
+    );
 }

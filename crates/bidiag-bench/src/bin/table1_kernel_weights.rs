@@ -15,10 +15,18 @@ use bidiag_matrix::Matrix;
 use std::time::Instant;
 
 fn upper(a: &Matrix) -> Matrix {
-    Matrix::from_fn(a.rows(), a.cols(), |i, j| if j >= i { a.get(i, j) } else { 0.0 })
+    Matrix::from_fn(
+        a.rows(),
+        a.cols(),
+        |i, j| if j >= i { a.get(i, j) } else { 0.0 },
+    )
 }
 fn lower(a: &Matrix) -> Matrix {
-    Matrix::from_fn(a.rows(), a.cols(), |i, j| if j <= i { a.get(i, j) } else { 0.0 })
+    Matrix::from_fn(
+        a.rows(),
+        a.cols(),
+        |i, j| if j <= i { a.get(i, j) } else { 0.0 },
+    )
 }
 
 fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -30,7 +38,10 @@ fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 }
 
 fn main() {
-    let nb: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(128);
+    let nb: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
     let reps = 3;
     let a = random_gaussian(nb, nb, 1);
     let b = random_gaussian(nb, nb, 2);
@@ -38,55 +49,79 @@ fn main() {
 
     let mut results: Vec<(KernelKind, f64)> = Vec::new();
 
-    results.push((KernelKind::Geqrt, time(reps, || {
-        let mut w = a.clone();
-        let _ = qr::geqrt(&mut w);
-    })));
+    results.push((
+        KernelKind::Geqrt,
+        time(reps, || {
+            let mut w = a.clone();
+            let _ = qr::geqrt(&mut w);
+        }),
+    ));
     let mut v = a.clone();
     let taus = qr::geqrt(&mut v);
-    results.push((KernelKind::Unmqr, time(reps, || {
-        let mut w = b.clone();
-        qr::unmqr(&v, &taus, &mut w, qr::Trans::Transpose);
-    })));
+    results.push((
+        KernelKind::Unmqr,
+        time(reps, || {
+            let mut w = b.clone();
+            qr::unmqr(&v, &taus, &mut w, qr::Trans::Transpose);
+        }),
+    ));
     let r1 = upper(&v);
-    results.push((KernelKind::Tsqrt, time(reps, || {
-        let mut r = r1.clone();
-        let mut w = b.clone();
-        let _ = qr::tsqrt(&mut r, &mut w);
-    })));
+    results.push((
+        KernelKind::Tsqrt,
+        time(reps, || {
+            let mut r = r1.clone();
+            let mut w = b.clone();
+            let _ = qr::tsqrt(&mut r, &mut w);
+        }),
+    ));
     let mut rts = r1.clone();
     let mut vts = b.clone();
     let taus_ts = qr::tsqrt(&mut rts, &mut vts);
-    results.push((KernelKind::Tsmqr, time(reps, || {
-        let mut w1 = b.clone();
-        let mut w2 = c.clone();
-        qr::tsmqr(&mut w1, &mut w2, &vts, &taus_ts, qr::Trans::Transpose);
-    })));
+    results.push((
+        KernelKind::Tsmqr,
+        time(reps, || {
+            let mut w1 = b.clone();
+            let mut w2 = c.clone();
+            qr::tsmqr(&mut w1, &mut w2, &vts, &taus_ts, qr::Trans::Transpose);
+        }),
+    ));
     let r2 = upper(&random_gaussian(nb, nb, 4));
-    results.push((KernelKind::Ttqrt, time(reps, || {
-        let mut x = r1.clone();
-        let mut y = r2.clone();
-        let _ = qr::ttqrt(&mut x, &mut y);
-    })));
+    results.push((
+        KernelKind::Ttqrt,
+        time(reps, || {
+            let mut x = r1.clone();
+            let mut y = r2.clone();
+            let _ = qr::ttqrt(&mut x, &mut y);
+        }),
+    ));
     let mut rtt = r1.clone();
     let mut vtt = r2.clone();
     let taus_tt = qr::ttqrt(&mut rtt, &mut vtt);
-    results.push((KernelKind::Ttmqr, time(reps, || {
-        let mut w1 = b.clone();
-        let mut w2 = c.clone();
-        qr::ttmqr(&mut w1, &mut w2, &vtt, &taus_tt, qr::Trans::Transpose);
-    })));
+    results.push((
+        KernelKind::Ttmqr,
+        time(reps, || {
+            let mut w1 = b.clone();
+            let mut w2 = c.clone();
+            qr::ttmqr(&mut w1, &mut w2, &vtt, &taus_tt, qr::Trans::Transpose);
+        }),
+    ));
     // LQ duals.
-    results.push((KernelKind::Gelqt, time(reps, || {
-        let mut w = a.clone();
-        let _ = lq::gelqt(&mut w);
-    })));
+    results.push((
+        KernelKind::Gelqt,
+        time(reps, || {
+            let mut w = a.clone();
+            let _ = lq::gelqt(&mut w);
+        }),
+    ));
     let l1 = lower(&random_gaussian(nb, nb, 5));
-    results.push((KernelKind::Tslqt, time(reps, || {
-        let mut l = l1.clone();
-        let mut w = b.clone();
-        let _ = lq::tslqt(&mut l, &mut w);
-    })));
+    results.push((
+        KernelKind::Tslqt,
+        time(reps, || {
+            let mut l = l1.clone();
+            let mut w = b.clone();
+            let _ = lq::tslqt(&mut l, &mut w);
+        }),
+    ));
 
     let unit_flops = (nb as f64).powi(3) / 3.0;
     let rows: Vec<Vec<String>> = results
@@ -107,7 +142,13 @@ fn main() {
         .collect();
     print_tsv(
         &format!("Table I — kernel weights (nb = {nb}, unit = nb^3/3 = {unit_flops:.0} flops)"),
-        &["kernel", "paper_weight", "measured_weight(norm. to GEQRT=4)", "seconds", "GFlop/s"],
+        &[
+            "kernel",
+            "paper_weight",
+            "measured_weight(norm. to GEQRT=4)",
+            "seconds",
+            "GFlop/s",
+        ],
         &rows,
     );
 }

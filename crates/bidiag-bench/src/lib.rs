@@ -62,7 +62,9 @@ pub struct RatePoint {
 /// Kernel efficiency of one tile operation (fraction of GEMM peak).
 pub fn kernel_efficiency(kernel: KernelKind) -> f64 {
     match kernel {
-        KernelKind::Ttqrt | KernelKind::Ttmqr | KernelKind::Ttlqt | KernelKind::Ttmlq => TT_KERNEL_EFFICIENCY,
+        KernelKind::Ttqrt | KernelKind::Ttmqr | KernelKind::Ttlqt | KernelKind::Ttmlq => {
+            TT_KERNEL_EFFICIENCY
+        }
         KernelKind::Laset => 1.0,
         _ => TS_KERNEL_EFFICIENCY,
     }
@@ -84,7 +86,14 @@ pub fn build_sim_graph(ops: &[TileOp], q: usize, dist: &BlockCyclic) -> TaskGrap
 
 /// The machine model of a cluster of miriel-like nodes for tile size `nb`.
 pub fn paper_machine(nodes: usize, nb: usize) -> MachineModel {
-    MachineModel::calibrated(nodes, CORES_PER_NODE, CORE_GFLOPS, nb, NET_GBYTES, NET_LATENCY)
+    MachineModel::calibrated(
+        nodes,
+        CORES_PER_NODE,
+        CORE_GFLOPS,
+        nb,
+        NET_GBYTES,
+        NET_LATENCY,
+    )
 }
 
 /// Simulated execution time (seconds) of GE2BND for an `m x n` matrix on
@@ -100,7 +109,11 @@ pub fn ge2bnd_sim_seconds(
 ) -> f64 {
     let p = m.div_ceil(nb);
     let q = n.div_ceil(nb);
-    let cfg = if nodes <= 1 { GenConfig::shared(tree) } else { GenConfig::distributed(tree, grid) };
+    let cfg = if nodes <= 1 {
+        GenConfig::shared(tree)
+    } else {
+        GenConfig::distributed(tree, grid)
+    };
     let ops = ge2bnd_ops(p, q, algorithm, &cfg);
     let graph = build_sim_graph(&ops, q, &grid);
     let machine = paper_machine(nodes, nb);
@@ -176,16 +189,50 @@ mod tests {
         // FlatTS; on large matrices FlatTS catches up thanks to its more
         // efficient kernels.
         let grid = BlockCyclic::single_node();
-        let small_greedy =
-            ge2bnd_sim_gflops(2_000, 2_000, 160, NamedTree::Greedy, Algorithm::Bidiag, 1, grid);
-        let small_flatts =
-            ge2bnd_sim_gflops(2_000, 2_000, 160, NamedTree::FlatTs, Algorithm::Bidiag, 1, grid);
-        assert!(small_greedy > small_flatts, "{small_greedy} vs {small_flatts}");
-        let large_greedy =
-            ge2bnd_sim_gflops(12_000, 12_000, 160, NamedTree::Greedy, Algorithm::Bidiag, 1, grid);
-        let large_flatts =
-            ge2bnd_sim_gflops(12_000, 12_000, 160, NamedTree::FlatTs, Algorithm::Bidiag, 1, grid);
-        assert!(large_flatts > large_greedy, "{large_flatts} vs {large_greedy}");
+        let small_greedy = ge2bnd_sim_gflops(
+            2_000,
+            2_000,
+            160,
+            NamedTree::Greedy,
+            Algorithm::Bidiag,
+            1,
+            grid,
+        );
+        let small_flatts = ge2bnd_sim_gflops(
+            2_000,
+            2_000,
+            160,
+            NamedTree::FlatTs,
+            Algorithm::Bidiag,
+            1,
+            grid,
+        );
+        assert!(
+            small_greedy > small_flatts,
+            "{small_greedy} vs {small_flatts}"
+        );
+        let large_greedy = ge2bnd_sim_gflops(
+            12_000,
+            12_000,
+            160,
+            NamedTree::Greedy,
+            Algorithm::Bidiag,
+            1,
+            grid,
+        );
+        let large_flatts = ge2bnd_sim_gflops(
+            12_000,
+            12_000,
+            160,
+            NamedTree::FlatTs,
+            Algorithm::Bidiag,
+            1,
+            grid,
+        );
+        assert!(
+            large_flatts > large_greedy,
+            "{large_flatts} vs {large_greedy}"
+        );
     }
 
     #[test]
@@ -196,7 +243,10 @@ mod tests {
                 m,
                 n,
                 160,
-                NamedTree::Auto { gamma: 2.0, ncores: 24 },
+                NamedTree::Auto {
+                    gamma: 2.0,
+                    ncores: 24,
+                },
                 Algorithm::Bidiag,
                 1,
                 grid,
@@ -222,10 +272,24 @@ mod tests {
     fn dplasma_model_beats_competitor_models_on_square_ge2val() {
         let grid = BlockCyclic::single_node();
         let (m, n) = (12_000usize, 12_000usize);
-        let ours = ge2val_sim_gflops(m, n, 160, NamedTree::Auto { gamma: 2.0, ncores: 24 }, Algorithm::Bidiag, 1, grid);
+        let ours = ge2val_sim_gflops(
+            m,
+            n,
+            160,
+            NamedTree::Auto {
+                gamma: 2.0,
+                ncores: 24,
+            },
+            Algorithm::Bidiag,
+            1,
+            grid,
+        );
         let sca = competitor_gflops(CompetitorClass::ScalapackLike, m, n, 1);
         let ele = competitor_gflops(CompetitorClass::ElementalLike, m, n, 1);
-        assert!(ours > sca && ours > ele, "ours {ours}, scalapack {sca}, elemental {ele}");
+        assert!(
+            ours > sca && ours > ele,
+            "ours {ours}, scalapack {sca}, elemental {ele}"
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@
 use crate::ops::TileOp;
 use bidiag_matrix::BlockCyclic;
 use bidiag_trees::{
-    hierarchical_schedule, panel_schedule, ElimKind, HierConfig, HighLevelTree, NamedTree, PanelSchedule,
+    hierarchical_schedule, panel_schedule, ElimKind, HierConfig, HighLevelTree, NamedTree,
+    PanelSchedule,
 };
 use serde::{Deserialize, Serialize};
 
@@ -53,33 +54,57 @@ pub struct GenConfig {
 impl GenConfig {
     /// Shared-memory configuration with the given tree.
     pub fn shared(tree: NamedTree) -> Self {
-        Self { tree, dist: BlockCyclic::single_node(), high: None }
+        Self {
+            tree,
+            dist: BlockCyclic::single_node(),
+            high: None,
+        }
     }
 
     /// Distributed configuration with the given tree and process grid.
     pub fn distributed(tree: NamedTree, dist: BlockCyclic) -> Self {
-        Self { tree, dist, high: None }
+        Self {
+            tree,
+            dist,
+            high: None,
+        }
     }
 
-    fn schedule_for(&self, indices: &[usize], trailing: usize, p: usize, q: usize) -> PanelSchedule {
+    fn schedule_for(
+        &self,
+        indices: &[usize],
+        trailing: usize,
+        p: usize,
+        q: usize,
+    ) -> PanelSchedule {
         let local = self.tree.config_for(indices.len(), trailing);
         if self.dist.proc_rows <= 1 {
             panel_schedule(indices, &local)
         } else {
-            let high = self.high.unwrap_or_else(|| HighLevelTree::dplasma_default(p, q));
+            let high = self
+                .high
+                .unwrap_or_else(|| HighLevelTree::dplasma_default(p, q));
             hierarchical_schedule(indices, &self.dist, &HierConfig { local, high })
         }
     }
 
     /// Column-panel schedule (LQ steps): the distribution across process
     /// *columns* governs the hierarchical grouping.
-    fn col_schedule_for(&self, indices: &[usize], trailing: usize, p: usize, q: usize) -> PanelSchedule {
+    fn col_schedule_for(
+        &self,
+        indices: &[usize],
+        trailing: usize,
+        p: usize,
+        q: usize,
+    ) -> PanelSchedule {
         let local = self.tree.config_for(indices.len(), trailing);
         if self.dist.proc_cols <= 1 {
             panel_schedule(indices, &local)
         } else {
             let col_dist = BlockCyclic::new(self.dist.proc_cols, self.dist.proc_rows);
-            let high = self.high.unwrap_or_else(|| HighLevelTree::dplasma_default(q, p));
+            let high = self
+                .high
+                .unwrap_or_else(|| HighLevelTree::dplasma_default(q, p));
             hierarchical_schedule(indices, &col_dist, &HierConfig { local, high })
         }
     }
@@ -115,15 +140,33 @@ fn lq_step_ops(k: usize, row_end: usize, col_end: usize, cfg: &GenConfig, out: &
     for e in &sched.elims {
         match e.kind {
             ElimKind::Ts => {
-                out.push(TileOp::Tslqt { k, piv: e.piv, j: e.row });
+                out.push(TileOp::Tslqt {
+                    k,
+                    piv: e.piv,
+                    j: e.row,
+                });
                 for i in (k + 1)..row_end {
-                    out.push(TileOp::Tsmlq { k, piv: e.piv, j: e.row, i });
+                    out.push(TileOp::Tsmlq {
+                        k,
+                        piv: e.piv,
+                        j: e.row,
+                        i,
+                    });
                 }
             }
             ElimKind::Tt => {
-                out.push(TileOp::Ttlqt { k, piv: e.piv, j: e.row });
+                out.push(TileOp::Ttlqt {
+                    k,
+                    piv: e.piv,
+                    j: e.row,
+                });
                 for i in (k + 1)..row_end {
-                    out.push(TileOp::Ttmlq { k, piv: e.piv, j: e.row, i });
+                    out.push(TileOp::Ttmlq {
+                        k,
+                        piv: e.piv,
+                        j: e.row,
+                        i,
+                    });
                 }
             }
         }
@@ -133,7 +176,10 @@ fn lq_step_ops(k: usize, row_end: usize, col_end: usize, cfg: &GenConfig, out: &
 /// Operation list of the BIDIAG algorithm on a `p x q` tile grid
 /// (`p >= q >= 1`): `QR(0); LQ(0); QR(1); LQ(1); ...; QR(q-1)`.
 pub fn bidiag_ops(p: usize, q: usize, cfg: &GenConfig) -> Vec<TileOp> {
-    assert!(p >= q && q >= 1, "BIDIAG requires p >= q >= 1 (got {p} x {q})");
+    assert!(
+        p >= q && q >= 1,
+        "BIDIAG requires p >= q >= 1 (got {p} x {q})"
+    );
     let mut ops = Vec::new();
     for k in 0..q {
         qr_step_ops(k, p, q, cfg, &mut ops);
@@ -171,7 +217,12 @@ pub fn qr_factorization_ops(p: usize, q: usize, cfg: &GenConfig) -> Vec<TileOp> 
 
 /// Emit the operations of QR step `k` (trailing columns `k+1..col_end`) from
 /// an explicit panel schedule.
-fn emit_qr_step_from_schedule(k: usize, col_end: usize, sched: &PanelSchedule, out: &mut Vec<TileOp>) {
+fn emit_qr_step_from_schedule(
+    k: usize,
+    col_end: usize,
+    sched: &PanelSchedule,
+    out: &mut Vec<TileOp>,
+) {
     for &i in &sched.geqrt_rows {
         out.push(TileOp::Geqrt { k, i });
         for j in (k + 1)..col_end {
@@ -181,15 +232,33 @@ fn emit_qr_step_from_schedule(k: usize, col_end: usize, sched: &PanelSchedule, o
     for e in &sched.elims {
         match e.kind {
             ElimKind::Ts => {
-                out.push(TileOp::Tsqrt { k, piv: e.piv, i: e.row });
+                out.push(TileOp::Tsqrt {
+                    k,
+                    piv: e.piv,
+                    i: e.row,
+                });
                 for j in (k + 1)..col_end {
-                    out.push(TileOp::Tsmqr { k, piv: e.piv, i: e.row, j });
+                    out.push(TileOp::Tsmqr {
+                        k,
+                        piv: e.piv,
+                        i: e.row,
+                        j,
+                    });
                 }
             }
             ElimKind::Tt => {
-                out.push(TileOp::Ttqrt { k, piv: e.piv, i: e.row });
+                out.push(TileOp::Ttqrt {
+                    k,
+                    piv: e.piv,
+                    i: e.row,
+                });
                 for j in (k + 1)..col_end {
-                    out.push(TileOp::Ttmqr { k, piv: e.piv, i: e.row, j });
+                    out.push(TileOp::Ttmqr {
+                        k,
+                        piv: e.piv,
+                        i: e.row,
+                        j,
+                    });
                 }
             }
         }
@@ -200,7 +269,10 @@ fn emit_qr_step_from_schedule(k: usize, col_end: usize, sched: &PanelSchedule, o
 /// full QR factorization, then bidiagonalization of the top `q x q` R factor
 /// (whose first QR step is already done).
 pub fn rbidiag_ops(p: usize, q: usize, cfg: &GenConfig) -> Vec<TileOp> {
-    assert!(p >= q && q >= 1, "R-BIDIAG requires p >= q >= 1 (got {p} x {q})");
+    assert!(
+        p >= q && q >= 1,
+        "R-BIDIAG requires p >= q >= 1 (got {p} x {q})"
+    );
     let mut ops = qr_factorization_ops(p, q, cfg);
     // Discard the Householder vectors stored below the diagonal of the R
     // factor (the true R is upper triangular): zero the strictly-lower tiles
@@ -209,9 +281,17 @@ pub fn rbidiag_ops(p: usize, q: usize, cfg: &GenConfig) -> Vec<TileOp> {
     // bidiagonalization never reads again.  This mirrors the xLASET calls of
     // reference R-bidiagonalization codes and carries no Table I cost.
     for jcol in 1..q {
-        ops.push(TileOp::ZeroLower { i: jcol, j: jcol, whole: false });
+        ops.push(TileOp::ZeroLower {
+            i: jcol,
+            j: jcol,
+            whole: false,
+        });
         for irow in (jcol + 1)..q {
-            ops.push(TileOp::ZeroLower { i: irow, j: jcol, whole: true });
+            ops.push(TileOp::ZeroLower {
+                i: irow,
+                j: jcol,
+                whole: true,
+            });
         }
     }
     // Bidiagonalization of the square R factor: LQ(0); QR(1); LQ(1); ... QR(q-1),
@@ -273,15 +353,30 @@ mod tests {
     #[test]
     fn flat_ts_uses_only_ts_kernels_and_one_geqrt_per_step() {
         let ops = bidiag_ops(5, 3, &shared(NamedTree::FlatTs));
-        assert!(!ops.iter().any(|o| matches!(o, TileOp::Ttqrt { .. } | TileOp::Ttmqr { .. } | TileOp::Ttlqt { .. } | TileOp::Ttmlq { .. })));
-        let geqrts: Vec<_> = ops.iter().filter(|o| matches!(o, TileOp::Geqrt { .. })).collect();
+        assert!(!ops.iter().any(|o| matches!(
+            o,
+            TileOp::Ttqrt { .. }
+                | TileOp::Ttmqr { .. }
+                | TileOp::Ttlqt { .. }
+                | TileOp::Ttmlq { .. }
+        )));
+        let geqrts: Vec<_> = ops
+            .iter()
+            .filter(|o| matches!(o, TileOp::Geqrt { .. }))
+            .collect();
         assert_eq!(geqrts.len(), 3);
     }
 
     #[test]
     fn greedy_uses_only_tt_eliminations() {
         let ops = bidiag_ops(5, 3, &shared(NamedTree::Greedy));
-        assert!(!ops.iter().any(|o| matches!(o, TileOp::Tsqrt { .. } | TileOp::Tsmqr { .. } | TileOp::Tslqt { .. } | TileOp::Tsmlq { .. })));
+        assert!(!ops.iter().any(|o| matches!(
+            o,
+            TileOp::Tsqrt { .. }
+                | TileOp::Tsmqr { .. }
+                | TileOp::Tslqt { .. }
+                | TileOp::Tsmlq { .. }
+        )));
     }
 
     #[test]
@@ -292,12 +387,18 @@ mod tests {
             let elim_rows: Vec<usize> = ops
                 .iter()
                 .filter_map(|o| match *o {
-                    TileOp::Tsqrt { k: kk, i, .. } | TileOp::Ttqrt { k: kk, i, .. } if kk == k => Some(i),
+                    TileOp::Tsqrt { k: kk, i, .. } | TileOp::Ttqrt { k: kk, i, .. } if kk == k => {
+                        Some(i)
+                    }
                     _ => None,
                 })
                 .collect();
             let uniq: HashSet<usize> = elim_rows.iter().copied().collect();
-            assert_eq!(elim_rows.len(), uniq.len(), "duplicate elimination in step {k}");
+            assert_eq!(
+                elim_rows.len(),
+                uniq.len(),
+                "duplicate elimination in step {k}"
+            );
             assert_eq!(uniq, ((k + 1)..p).collect::<HashSet<_>>(), "step {k}");
         }
     }
@@ -309,12 +410,16 @@ mod tests {
         // The R-BIDIAG op list must never touch tile rows >= q after the QR
         // factorization part, i.e. LQ kernels only update rows < q.
         for o in &ops {
-            if let TileOp::Unmlq { i, .. } | TileOp::Tsmlq { i, .. } | TileOp::Ttmlq { i, .. } = *o {
+            if let TileOp::Unmlq { i, .. } | TileOp::Tsmlq { i, .. } | TileOp::Ttmlq { i, .. } = *o
+            {
                 assert!(i < q, "LQ update touches row {i} outside the R factor");
             }
         }
         // And it must contain (q-1) + ... eliminations for the square part.
-        let n_lq_factor = ops.iter().filter(|o| matches!(o, TileOp::Gelqt { .. })).count();
+        let n_lq_factor = ops
+            .iter()
+            .filter(|o| matches!(o, TileOp::Gelqt { .. }))
+            .count();
         assert!(n_lq_factor >= q - 1);
     }
 
@@ -341,7 +446,14 @@ mod tests {
 
     #[test]
     fn auto_tree_generates_valid_oplists() {
-        let ops = bidiag_ops(10, 4, &shared(NamedTree::Auto { gamma: 2.0, ncores: 4 }));
+        let ops = bidiag_ops(
+            10,
+            4,
+            &shared(NamedTree::Auto {
+                gamma: 2.0,
+                ncores: 4,
+            }),
+        );
         assert!(!ops.is_empty());
         // Mixture of TS and TT eliminations is allowed; just check every
         // QR step still eliminates each subdiagonal tile once.

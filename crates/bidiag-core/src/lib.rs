@@ -34,7 +34,9 @@ pub mod flops;
 pub mod ops;
 pub mod pipeline;
 
-pub use drivers::{bidiag_ops, ge2bnd_ops, qr_factorization_ops, rbidiag_ops, Algorithm, GenConfig};
+pub use drivers::{
+    bidiag_ops, ge2bnd_ops, qr_factorization_ops, rbidiag_ops, Algorithm, GenConfig,
+};
 pub use exec::{build_graph, execute_parallel, execute_sequential};
 pub use ops::{ops_flops, TauStore, TileOp};
 pub use pipeline::{ge2bnd, ge2val, AlgorithmChoice, Ge2BndResult, Ge2Options, Ge2ValResult};

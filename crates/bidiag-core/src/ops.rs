@@ -189,7 +189,9 @@ impl TauStore {
     /// Fetch the tau vector for `key` (panics if missing — the DAG guarantees
     /// producers run before consumers).
     pub fn get(&self, key: TauKey) -> &[f64] {
-        self.map.get(&key.0).expect("tau vector read before being produced")
+        self.map
+            .get(&key.0)
+            .expect("tau vector read before being produced")
     }
     /// Number of stored vectors.
     pub fn len(&self) -> usize {
@@ -247,12 +249,20 @@ impl TileOp {
         match *self {
             TileOp::Geqrt { k, i } => tau_key(TauClass::QrFactor, k, i),
             TileOp::Unmqr { k, i, .. } => tau_key(TauClass::QrFactor, k, i),
-            TileOp::Tsqrt { k, i, .. } | TileOp::Ttqrt { k, i, .. } => tau_key(TauClass::QrElim, k, i),
-            TileOp::Tsmqr { k, i, .. } | TileOp::Ttmqr { k, i, .. } => tau_key(TauClass::QrElim, k, i),
+            TileOp::Tsqrt { k, i, .. } | TileOp::Ttqrt { k, i, .. } => {
+                tau_key(TauClass::QrElim, k, i)
+            }
+            TileOp::Tsmqr { k, i, .. } | TileOp::Ttmqr { k, i, .. } => {
+                tau_key(TauClass::QrElim, k, i)
+            }
             TileOp::Gelqt { k, j } => tau_key(TauClass::LqFactor, k, j),
             TileOp::Unmlq { k, j, .. } => tau_key(TauClass::LqFactor, k, j),
-            TileOp::Tslqt { k, j, .. } | TileOp::Ttlqt { k, j, .. } => tau_key(TauClass::LqElim, k, j),
-            TileOp::Tsmlq { k, j, .. } | TileOp::Ttmlq { k, j, .. } => tau_key(TauClass::LqElim, k, j),
+            TileOp::Tslqt { k, j, .. } | TileOp::Ttlqt { k, j, .. } => {
+                tau_key(TauClass::LqElim, k, j)
+            }
+            TileOp::Tsmlq { k, j, .. } | TileOp::Ttmlq { k, j, .. } => {
+                tau_key(TauClass::LqElim, k, j)
+            }
             TileOp::ZeroLower { .. } => unreachable!("ZeroLower has no reflector scalars"),
         }
     }
@@ -275,9 +285,8 @@ impl TileOp {
         let up = |r: usize, c: usize| -> DataKey { ((r * q + c) as DataKey) * 4 + 1 };
         let lo = |r: usize, c: usize| -> DataKey { ((r * q + c) as DataKey) * 4 + 2 };
         // All three regions of a tile with the same access mode.
-        let all = |r: usize, c: usize, m: AccessMode| {
-            vec![(dg(r, c), m), (up(r, c), m), (lo(r, c), m)]
-        };
+        let all =
+            |r: usize, c: usize, m: AccessMode| vec![(dg(r, c), m), (up(r, c), m), (lo(r, c), m)];
         match *self {
             TileOp::ZeroLower { i, j, whole } => {
                 if whole {
@@ -460,7 +469,10 @@ impl TileOp {
         let idx = |r: usize, c: usize| r * q + c;
         let read_tile = |r: usize, c: usize| -> Matrix { tiles[idx(r, c)].read().clone() };
         let read_tau = || -> Vec<f64> {
-            taus.read().get(&self.tau().0).expect("tau read before being produced").clone()
+            taus.read()
+                .get(&self.tau().0)
+                .expect("tau read before being produced")
+                .clone()
         };
         match *self {
             TileOp::ZeroLower { i, j, whole } => {
@@ -570,18 +582,35 @@ mod tests {
     #[test]
     fn weights_follow_table_one() {
         assert_eq!(TileOp::Geqrt { k: 0, i: 0 }.weight(), 4.0);
-        assert_eq!(TileOp::Tsmqr { k: 0, piv: 0, i: 1, j: 1 }.weight(), 12.0);
+        assert_eq!(
+            TileOp::Tsmqr {
+                k: 0,
+                piv: 0,
+                i: 1,
+                j: 1
+            }
+            .weight(),
+            12.0
+        );
         assert_eq!(TileOp::Ttlqt { k: 0, piv: 1, j: 2 }.weight(), 2.0);
     }
 
     #[test]
     fn accesses_distinguish_reads_and_writes() {
-        let op = TileOp::Tsmqr { k: 0, piv: 0, i: 2, j: 3 };
+        let op = TileOp::Tsmqr {
+            k: 0,
+            piv: 0,
+            i: 2,
+            j: 3,
+        };
         let acc = op.accesses(5);
         // Reads the three regions of tile (2,0) and the tau; writes the three
         // regions of tiles (0,3) and (2,3).
         let reads: Vec<_> = acc.iter().filter(|(_, m)| *m == AccessMode::Read).collect();
-        let writes: Vec<_> = acc.iter().filter(|(_, m)| *m == AccessMode::Write).collect();
+        let writes: Vec<_> = acc
+            .iter()
+            .filter(|(_, m)| *m == AccessMode::Write)
+            .collect();
         assert_eq!(reads.len(), 4);
         assert_eq!(writes.len(), 6);
     }
@@ -640,12 +669,39 @@ mod tests {
         assert_ne!(a, d);
         // Updates share the key of their producer.
         assert_eq!(TileOp::Unmqr { k: 1, i: 3, j: 4 }.tau(), a);
-        assert_eq!(TileOp::Ttmqr { k: 1, piv: 0, i: 3, j: 4 }.tau(), b);
+        assert_eq!(
+            TileOp::Ttmqr {
+                k: 1,
+                piv: 0,
+                i: 3,
+                j: 4
+            }
+            .tau(),
+            b
+        );
     }
 
     #[test]
     fn owner_tile_is_the_second_operand() {
-        assert_eq!(TileOp::Tsmqr { k: 0, piv: 0, i: 2, j: 3 }.output_tile(), (2, 3));
-        assert_eq!(TileOp::Tsmlq { k: 0, piv: 1, j: 2, i: 3 }.output_tile(), (3, 2));
+        assert_eq!(
+            TileOp::Tsmqr {
+                k: 0,
+                piv: 0,
+                i: 2,
+                j: 3
+            }
+            .output_tile(),
+            (2, 3)
+        );
+        assert_eq!(
+            TileOp::Tsmlq {
+                k: 0,
+                piv: 1,
+                j: 2,
+                i: 3
+            }
+            .output_tile(),
+            (3, 2)
+        );
     }
 }

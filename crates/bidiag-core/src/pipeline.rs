@@ -44,7 +44,12 @@ impl Ge2Options {
     /// Reasonable defaults for small/medium problems: greedy tree, automatic
     /// algorithm selection, sequential execution, `nb = 32`.
     pub fn new(nb: usize) -> Self {
-        Self { nb, tree: NamedTree::Greedy, algorithm: AlgorithmChoice::Auto, threads: 1 }
+        Self {
+            nb,
+            tree: NamedTree::Greedy,
+            algorithm: AlgorithmChoice::Auto,
+            threads: 1,
+        }
     }
 
     /// Builder-style: set the reduction tree.
@@ -92,7 +97,10 @@ pub struct Ge2BndResult {
 /// Reduce a dense `m x n` matrix (`m >= n`) to band bidiagonal form using
 /// the tiled BIDIAG or R-BIDIAG algorithm.
 pub fn ge2bnd(a: &Matrix, opts: &Ge2Options) -> Ge2BndResult {
-    assert!(a.rows() >= a.cols(), "ge2bnd expects m >= n; transpose the input otherwise");
+    assert!(
+        a.rows() >= a.cols(),
+        "ge2bnd expects m >= n; transpose the input otherwise"
+    );
     let algorithm = opts.resolve_algorithm(a.rows(), a.cols());
     let mut tiled = TiledMatrix::from_dense(a, opts.nb);
     let cfg = GenConfig::shared(opts.tree);
@@ -142,7 +150,10 @@ pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
     // BD2VAL: bisection on the Golub-Kahan tridiagonal.
     let mut sv = bidiagonal_singular_values(&bidiag.diag, &bidiag.superdiag);
     sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    Ge2ValResult { singular_values: sv, ge2bnd: stage1 }
+    Ge2ValResult {
+        singular_values: sv,
+        ge2bnd: stage1,
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +169,10 @@ mod tests {
     #[test]
     fn ge2bnd_produces_a_band_with_the_right_bandwidth() {
         let (a, _) = latms(24, 16, &spectrum(16), 3);
-        let r = ge2bnd(&a, &Ge2Options::new(4).with_algorithm(AlgorithmChoice::Bidiag));
+        let r = ge2bnd(
+            &a,
+            &Ge2Options::new(4).with_algorithm(AlgorithmChoice::Bidiag),
+        );
         assert_eq!(r.algorithm, Algorithm::Bidiag);
         let dense_band = r.band.to_dense();
         assert_eq!(dense_band.rows(), 16);
@@ -170,14 +184,20 @@ mod tests {
     #[test]
     fn ge2val_recovers_prescribed_singular_values_bidiag() {
         let (a, sigma) = latms(20, 12, &SpectrumKind::Geometric { cond: 1e4 }, 11);
-        let r = ge2val(&a, &Ge2Options::new(4).with_algorithm(AlgorithmChoice::Bidiag));
+        let r = ge2val(
+            &a,
+            &Ge2Options::new(4).with_algorithm(AlgorithmChoice::Bidiag),
+        );
         assert!(singular_values_match(&r.singular_values, &sigma, 1e-10));
     }
 
     #[test]
     fn ge2val_recovers_prescribed_singular_values_rbidiag() {
         let (a, sigma) = latms(40, 8, &spectrum(8), 13);
-        let r = ge2val(&a, &Ge2Options::new(4).with_algorithm(AlgorithmChoice::RBidiag));
+        let r = ge2val(
+            &a,
+            &Ge2Options::new(4).with_algorithm(AlgorithmChoice::RBidiag),
+        );
         assert_eq!(r.ge2bnd.algorithm, Algorithm::RBidiag);
         assert!(singular_values_match(&r.singular_values, &sigma, 1e-10));
     }
@@ -202,17 +222,44 @@ mod tests {
     #[test]
     fn parallel_pipeline_matches_sequential() {
         let (a, sigma) = latms(30, 18, &SpectrumKind::Geometric { cond: 100.0 }, 5);
-        let seq = ge2val(&a, &Ge2Options::new(5).with_threads(1).with_tree(NamedTree::Greedy));
-        let par = ge2val(&a, &Ge2Options::new(5).with_threads(4).with_tree(NamedTree::Greedy));
-        assert!(singular_values_match(&seq.singular_values, &par.singular_values, 1e-13));
+        let seq = ge2val(
+            &a,
+            &Ge2Options::new(5)
+                .with_threads(1)
+                .with_tree(NamedTree::Greedy),
+        );
+        let par = ge2val(
+            &a,
+            &Ge2Options::new(5)
+                .with_threads(4)
+                .with_tree(NamedTree::Greedy),
+        );
+        assert!(singular_values_match(
+            &seq.singular_values,
+            &par.singular_values,
+            1e-13
+        ));
         assert!(singular_values_match(&seq.singular_values, &sigma, 1e-10));
     }
 
     #[test]
     fn all_trees_give_the_same_singular_values() {
         let (a, sigma) = latms(21, 14, &SpectrumKind::Arithmetic { cond: 50.0 }, 8);
-        for tree in [NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy, NamedTree::Auto { gamma: 2.0, ncores: 4 }] {
-            let r = ge2val(&a, &Ge2Options::new(4).with_tree(tree).with_algorithm(AlgorithmChoice::Bidiag));
+        for tree in [
+            NamedTree::FlatTs,
+            NamedTree::FlatTt,
+            NamedTree::Greedy,
+            NamedTree::Auto {
+                gamma: 2.0,
+                ncores: 4,
+            },
+        ] {
+            let r = ge2val(
+                &a,
+                &Ge2Options::new(4)
+                    .with_tree(tree)
+                    .with_algorithm(AlgorithmChoice::Bidiag),
+            );
             assert!(
                 singular_values_match(&r.singular_values, &sigma, 1e-10),
                 "tree {tree:?} changed the singular values"
@@ -226,7 +273,10 @@ mod tests {
         let (a, sigma) = latms(17, 11, &spectrum(11), 31);
         for alg in [AlgorithmChoice::Bidiag, AlgorithmChoice::RBidiag] {
             let r = ge2val(&a, &Ge2Options::new(4).with_algorithm(alg));
-            assert!(singular_values_match(&r.singular_values, &sigma, 1e-10), "{alg:?}");
+            assert!(
+                singular_values_match(&r.singular_values, &sigma, 1e-10),
+                "{alg:?}"
+            );
         }
     }
 }

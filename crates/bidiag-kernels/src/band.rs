@@ -36,7 +36,11 @@ impl BandMatrix {
         assert!(n > 0);
         let bw = bw.max(1).min(n.saturating_sub(1).max(1));
         let ndiag = bw + 3; // -1 ..= bw+1
-        Self { n, bw, data: vec![0.0; ndiag * n] }
+        Self {
+            n,
+            bw,
+            data: vec![0.0; ndiag * n],
+        }
     }
 
     /// Build from a dense matrix, keeping only the upper band `0..=bw`.
@@ -169,7 +173,9 @@ impl BandMatrix {
         }
 
         let diag: Vec<f64> = (0..n).map(|i| self.get(i, i)).collect();
-        let superdiag: Vec<f64> = (0..n.saturating_sub(1)).map(|i| self.get(i, i + 1)).collect();
+        let superdiag: Vec<f64> = (0..n.saturating_sub(1))
+            .map(|i| self.get(i, i + 1))
+            .collect();
         Bidiagonal { diag, superdiag }
     }
 }

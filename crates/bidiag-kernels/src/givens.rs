@@ -18,13 +18,25 @@ pub struct Givens {
 /// Compute the Givens rotation zeroing `g` against `f` (LAPACK `dlartg`).
 pub fn givens(f: f64, g: f64) -> Givens {
     if g == 0.0 {
-        Givens { c: 1.0, s: 0.0, r: f }
+        Givens {
+            c: 1.0,
+            s: 0.0,
+            r: f,
+        }
     } else if f == 0.0 {
-        Givens { c: 0.0, s: 1.0, r: g }
+        Givens {
+            c: 0.0,
+            s: 1.0,
+            r: g,
+        }
     } else {
         let r = f.hypot(g);
         let r = if f >= 0.0 { r } else { -r };
-        Givens { c: f / r, s: g / r, r }
+        Givens {
+            c: f / r,
+            s: g / r,
+            r,
+        }
     }
 }
 
@@ -43,7 +55,13 @@ mod tests {
 
     #[test]
     fn givens_zeroes_second_component() {
-        for (f, g) in [(3.0, 4.0), (-1.0, 2.0), (0.0, 5.0), (2.0, 0.0), (-3.0, -4.0)] {
+        for (f, g) in [
+            (3.0, 4.0),
+            (-1.0, 2.0),
+            (0.0, 5.0),
+            (2.0, 0.0),
+            (-3.0, -4.0),
+        ] {
             let rot = givens(f, g);
             let (r, z) = rot.apply(f, g);
             assert!(z.abs() < 1e-14, "z = {z} for ({f}, {g})");

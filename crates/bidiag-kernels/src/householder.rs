@@ -21,7 +21,10 @@ pub fn larfg(alpha: f64, x: &mut [f64]) -> Reflector {
     let xnorm = norm2(x);
     if xnorm == 0.0 {
         // Already in the desired form, H = I.
-        return Reflector { tau: 0.0, beta: alpha };
+        return Reflector {
+            tau: 0.0,
+            beta: alpha,
+        };
     }
     let beta = -alpha.signum() * (alpha * alpha + xnorm * xnorm).sqrt();
     let tau = (beta - alpha) / beta;

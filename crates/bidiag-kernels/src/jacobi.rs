@@ -15,7 +15,11 @@ use bidiag_matrix::Matrix;
 /// sweeps; use it only for modest sizes (tests, oracles).
 pub fn jacobi_singular_values(a: &Matrix) -> Vec<f64> {
     // Work on the version with at least as many rows as columns.
-    let mut w = if a.rows() >= a.cols() { a.clone() } else { a.transpose() };
+    let mut w = if a.rows() >= a.cols() {
+        a.clone()
+    } else {
+        a.transpose()
+    };
     let n = w.cols();
     if n == 0 {
         return Vec::new();

@@ -112,7 +112,11 @@ mod tests {
     use bidiag_matrix::gen::random_gaussian;
 
     fn lower_triangle_of(a: &Matrix) -> Matrix {
-        Matrix::from_fn(a.rows(), a.cols(), |i, j| if j <= i { a.get(i, j) } else { 0.0 })
+        Matrix::from_fn(
+            a.rows(),
+            a.cols(),
+            |i, j| if j <= i { a.get(i, j) } else { 0.0 },
+        )
     }
 
     #[test]
@@ -224,7 +228,11 @@ mod tests {
         lhs.copy_block(0, 0, &l1_0);
         lhs.copy_block(0, nb, &l2_0);
         let mut lnew = Matrix::zeros(nb, 2 * nb);
-        lnew.copy_block(0, 0, &Matrix::from_fn(nb, nb, |i, j| if j <= i { l1.get(i, j) } else { 0.0 }));
+        lnew.copy_block(
+            0,
+            0,
+            &Matrix::from_fn(nb, nb, |i, j| if j <= i { l1.get(i, j) } else { 0.0 }),
+        );
         assert!(relative_error(&lhs, &lnew.matmul(&q)) < 1e-12);
 
         let c1_0 = random_gaussian(3, nb, 92);

@@ -119,19 +119,19 @@ pub fn tsqrt(r1: &mut Matrix, a2: &mut Matrix) -> Vec<f64> {
         let mut tail: Vec<f64> = (0..m2).map(|i| a2.get(i, k)).collect();
         let r = larfg(alpha, &mut tail);
         r1.set(k, k, r.beta);
-        for i in 0..m2 {
-            a2.set(i, k, tail[i]);
+        for (i, &t) in tail.iter().enumerate() {
+            a2.set(i, k, t);
         }
         if r.tau != 0.0 {
             for j in (k + 1)..n {
                 let mut w = r1.get(k, j);
-                for i in 0..m2 {
-                    w += tail[i] * a2.get(i, j);
+                for (i, &t) in tail.iter().enumerate() {
+                    w += t * a2.get(i, j);
                 }
                 w *= r.tau;
                 r1.set(k, j, r1.get(k, j) - w);
-                for i in 0..m2 {
-                    a2.set(i, j, a2.get(i, j) - tail[i] * w);
+                for (i, &t) in tail.iter().enumerate() {
+                    a2.set(i, j, a2.get(i, j) - t * w);
                 }
             }
         }
@@ -190,19 +190,19 @@ pub fn ttqrt(r1: &mut Matrix, r2: &mut Matrix) -> Vec<f64> {
         let mut tail: Vec<f64> = (0..rlen).map(|i| r2.get(i, k)).collect();
         let r = larfg(alpha, &mut tail);
         r1.set(k, k, r.beta);
-        for i in 0..rlen {
-            r2.set(i, k, tail[i]);
+        for (i, &t) in tail.iter().enumerate() {
+            r2.set(i, k, t);
         }
         if r.tau != 0.0 {
             for j in (k + 1)..n {
                 let mut w = r1.get(k, j);
-                for i in 0..rlen {
-                    w += tail[i] * r2.get(i, j);
+                for (i, &t) in tail.iter().enumerate() {
+                    w += t * r2.get(i, j);
                 }
                 w *= r.tau;
                 r1.set(k, j, r1.get(k, j) - w);
-                for i in 0..rlen {
-                    r2.set(i, j, r2.get(i, j) - tail[i] * w);
+                for (i, &t) in tail.iter().enumerate() {
+                    r2.set(i, j, r2.get(i, j) - t * w);
                 }
             }
         }
@@ -266,7 +266,11 @@ mod tests {
     use bidiag_matrix::gen::random_gaussian;
 
     fn upper_triangle_of(a: &Matrix) -> Matrix {
-        Matrix::from_fn(a.rows(), a.cols(), |i, j| if j >= i { a.get(i, j) } else { 0.0 })
+        Matrix::from_fn(
+            a.rows(),
+            a.cols(),
+            |i, j| if j >= i { a.get(i, j) } else { 0.0 },
+        )
     }
 
     #[test]
@@ -288,8 +292,14 @@ mod tests {
             let taus = geqrt(&mut a);
             let q = build_q(&a, &taus);
             let r = upper_triangle_of(&a);
-            assert!(orthogonality_error(&q) < 1e-13, "Q not orthogonal for {m}x{n}");
-            assert!(relative_error(&a0, &q.matmul(&r)) < 1e-13, "A != QR for {m}x{n}");
+            assert!(
+                orthogonality_error(&q) < 1e-13,
+                "Q not orthogonal for {m}x{n}"
+            );
+            assert!(
+                relative_error(&a0, &q.matmul(&r)) < 1e-13,
+                "A != QR for {m}x{n}"
+            );
         }
     }
 

@@ -126,7 +126,10 @@ mod tests {
         // B = [[1, 1], [0, 1]]: singular values are golden-ratio related:
         // sigma = sqrt((3 +- sqrt(5)) / 2).
         let s = bidiagonal_singular_values(&[1.0, 1.0], &[1.0]);
-        let expected = [((3.0 + 5.0_f64.sqrt()) / 2.0).sqrt(), ((3.0 - 5.0_f64.sqrt()) / 2.0).sqrt()];
+        let expected = [
+            ((3.0 + 5.0_f64.sqrt()) / 2.0).sqrt(),
+            ((3.0 - 5.0_f64.sqrt()) / 2.0).sqrt(),
+        ];
         assert!(singular_values_match(&s, &expected, 1e-13));
     }
 

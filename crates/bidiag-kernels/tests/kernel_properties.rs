@@ -1,0 +1,74 @@
+//! Property tests (proptest) of the elementary orthogonal transformations:
+//! Householder reflector orthogonality and Givens rotation determinant /
+//! norm preservation on random inputs.
+
+use bidiag_kernels::givens::givens;
+use bidiag_kernels::householder::larfg;
+use bidiag_kernels::qr::{build_q, geqrt};
+use bidiag_matrix::checks::orthogonality_error;
+use bidiag_matrix::gen::random_gaussian;
+use bidiag_matrix::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The explicit reflector `H = I - tau * v * v^T` built from `larfg` is
+    /// orthogonal (`||H^T H - I|| <= tol`) and annihilates the tail of the
+    /// vector it was generated from.
+    #[test]
+    fn householder_reflector_is_orthogonal(n in 2usize..24, seed in 0u64..1000) {
+        let g = random_gaussian(n, 1, seed);
+        let alpha = g.get(0, 0);
+        let mut tail: Vec<f64> = (1..n).map(|i| g.get(i, 0)).collect();
+        let r = larfg(alpha, &mut tail);
+
+        // v = (1, tail), H = I - tau * v * v^T.
+        let mut v = vec![1.0];
+        v.extend_from_slice(&tail);
+        let h = Matrix::from_fn(n, n, |i, j| {
+            (if i == j { 1.0 } else { 0.0 }) - r.tau * v[i] * v[j]
+        });
+        prop_assert!(orthogonality_error(&h) < 1e-13, "||H^T H - I|| too large");
+
+        // H * (alpha, x_old) = (beta, 0, ..., 0).
+        let hx = h.matmul(&g);
+        prop_assert!((hx.get(0, 0) - r.beta).abs() < 1e-12 * (1.0 + r.beta.abs()));
+        for i in 1..n {
+            prop_assert!(hx.get(i, 0).abs() < 1e-12, "tail entry {} not annihilated", i);
+        }
+    }
+
+    /// The accumulated Q of a full tile QR factorization is orthogonal.
+    #[test]
+    fn accumulated_q_is_orthogonal(m in 1usize..24, n in 1usize..24, seed in 0u64..1000) {
+        let mut a = random_gaussian(m, n, seed);
+        let taus = geqrt(&mut a);
+        let q = build_q(&a, &taus);
+        prop_assert!(orthogonality_error(&q) < 1e-12, "||Q^T Q - I|| too large");
+    }
+
+    /// A Givens rotation `G = [[c, s], [-s, c]]` has determinant 1, preserves
+    /// the Euclidean norm of every pair it is applied to, and zeroes the
+    /// second component of the pair it was generated from.
+    #[test]
+    fn givens_rotation_preserves_norm_and_determinant(
+        f in -10.0f64..10.0,
+        g in -10.0f64..10.0,
+        x in -10.0f64..10.0,
+        y in -10.0f64..10.0,
+    ) {
+        let rot = givens(f, g);
+        let det = rot.c * rot.c + rot.s * rot.s;
+        prop_assert!((det - 1.0).abs() < 1e-14, "det(G) = {det}");
+
+        let (xr, yr) = rot.apply(x, y);
+        let before = x.hypot(y);
+        let after = xr.hypot(yr);
+        prop_assert!((before - after).abs() < 1e-12 * (1.0 + before), "norm not preserved");
+
+        let (r, zero) = rot.apply(f, g);
+        prop_assert!(zero.abs() < 1e-12 * (1.0 + f.hypot(g)), "g not annihilated");
+        prop_assert!((r.abs() - f.hypot(g)).abs() < 1e-12 * (1.0 + f.hypot(g)));
+    }
+}

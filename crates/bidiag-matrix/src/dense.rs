@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create an `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create an `n x n` identity matrix.
@@ -275,13 +279,17 @@ impl Matrix {
 
     /// Extract the main diagonal.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Extract the first superdiagonal.
     pub fn superdiag(&self) -> Vec<f64> {
         let n = self.rows.min(self.cols);
-        (0..n.saturating_sub(1)).map(|i| self.get(i, i + 1)).collect()
+        (0..n.saturating_sub(1))
+            .map(|i| self.get(i, i + 1))
+            .collect()
     }
 }
 
@@ -404,7 +412,15 @@ mod tests {
 
     #[test]
     fn diag_extraction() {
-        let a = Matrix::from_fn(3, 4, |i, j| if i == j { 2.0 } else if i + 1 == j { 1.0 } else { 0.0 });
+        let a = Matrix::from_fn(3, 4, |i, j| {
+            if i == j {
+                2.0
+            } else if i + 1 == j {
+                1.0
+            } else {
+                0.0
+            }
+        });
         assert_eq!(a.diag(), vec![2.0, 2.0, 2.0]);
         assert_eq!(a.superdiag(), vec![1.0, 1.0]);
     }

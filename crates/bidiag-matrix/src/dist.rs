@@ -23,7 +23,10 @@ impl BlockCyclic {
     /// Create a distribution over an `R x C` process grid.
     pub fn new(proc_rows: usize, proc_cols: usize) -> Self {
         assert!(proc_rows > 0 && proc_cols > 0);
-        Self { proc_rows, proc_cols }
+        Self {
+            proc_rows,
+            proc_cols,
+        }
     }
 
     /// A single-node distribution (shared memory).
@@ -37,7 +40,7 @@ impl BlockCyclic {
     pub fn square_grid(nodes: usize) -> Self {
         assert!(nodes > 0);
         let mut r = (nodes as f64).sqrt().floor() as usize;
-        while r > 1 && nodes % r != 0 {
+        while r > 1 && !nodes.is_multiple_of(r) {
             r -= 1;
         }
         Self::new(r.max(1), nodes / r.max(1))

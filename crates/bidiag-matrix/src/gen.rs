@@ -122,8 +122,14 @@ fn orthonormal_columns(mut a: Matrix) -> Matrix {
                 }
             }
         }
-        let nrm: f64 = (0..a.rows()).map(|i| a.get(i, j).powi(2)).sum::<f64>().sqrt();
-        assert!(nrm > 0.0, "rank-deficient random matrix (astronomically unlikely)");
+        let nrm: f64 = (0..a.rows())
+            .map(|i| a.get(i, j).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            nrm > 0.0,
+            "rank-deficient random matrix (astronomically unlikely)"
+        );
         for i in 0..a.rows() {
             let v = a.get(i, j) / nrm;
             a.set(i, j, v);
@@ -150,8 +156,7 @@ pub fn latms(m: usize, n: usize, spectrum: &SpectrumKind, seed: u64) -> (Matrix,
     let v = random_orthonormal(n, k, seed ^ 0x5eed_0002);
     // A = U * S * V^T computed as (U * S) * V^T.
     let mut us = u;
-    for j in 0..k {
-        let s = sigma[j];
+    for (j, &s) in sigma.iter().enumerate() {
         for i in 0..us.rows() {
             let val = us.get(i, j) * s;
             us.set(i, j, val);

@@ -51,7 +51,14 @@ impl TiledMatrix {
                 tiles.push(Matrix::zeros(tm, tn));
             }
         }
-        Self { m, n, nb, p, q, tiles }
+        Self {
+            m,
+            n,
+            nb,
+            p,
+            q,
+            tiles,
+        }
     }
 
     /// Partition a dense matrix into tiles.
@@ -59,7 +66,12 @@ impl TiledMatrix {
         let mut t = Self::zeros(a.rows(), a.cols(), nb);
         for i in 0..t.p {
             for j in 0..t.q {
-                let block = a.block(i * nb, j * nb, tile_dim(a.rows(), nb, i), tile_dim(a.cols(), nb, j));
+                let block = a.block(
+                    i * nb,
+                    j * nb,
+                    tile_dim(a.rows(), nb, i),
+                    tile_dim(a.cols(), nb, j),
+                );
                 *t.tile_mut(i, j) = block;
             }
         }
@@ -138,7 +150,8 @@ impl TiledMatrix {
 
     /// Element access through the tile structure (slow; for tests/checks).
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.tile(i / self.nb, j / self.nb).get(i % self.nb, j % self.nb)
+        self.tile(i / self.nb, j / self.nb)
+            .get(i % self.nb, j % self.nb)
     }
 
     /// Element update through the tile structure (slow; for tests/checks).

@@ -30,15 +30,19 @@ pub fn execute_parallel(graph: &TaskGraph, bodies: Vec<TaskBody>, threads: usize
     let threads = threads.max(1);
 
     // Remaining predecessor counters.
-    let remaining: Vec<AtomicUsize> =
-        (0..n).map(|i| AtomicUsize::new(graph.predecessors(i).len())).collect();
+    let remaining: Vec<AtomicUsize> = (0..n)
+        .map(|i| AtomicUsize::new(graph.predecessors(i).len()))
+        .collect();
     let completed = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<TaskBody>>> = bodies.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let slots: Vec<Mutex<Option<TaskBody>>> =
+        bodies.into_iter().map(|b| Mutex::new(Some(b))).collect();
 
     let (tx, rx): (Sender<TaskId>, Receiver<TaskId>) = unbounded();
     // Seed with the source tasks, highest-priority (longest bottom level) first.
     let bl = graph.bottom_levels();
-    let mut sources: Vec<TaskId> = (0..n).filter(|&i| graph.predecessors(i).is_empty()).collect();
+    let mut sources: Vec<TaskId> = (0..n)
+        .filter(|&i| graph.predecessors(i).is_empty())
+        .collect();
     sources.sort_by(|&a, &b| bl[b].partial_cmp(&bl[a]).unwrap());
     for id in sources {
         tx.send(id).expect("queue alive");
@@ -54,7 +58,11 @@ pub fn execute_parallel(graph: &TaskGraph, bodies: Vec<TaskBody>, threads: usize
             scope.spawn(move || loop {
                 match rx.recv_timeout(Duration::from_millis(5)) {
                     Ok(id) => {
-                        let body = slots[id].lock().unwrap().take().expect("task executed twice");
+                        let body = slots[id]
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("task executed twice");
                         body();
                         for &succ in graph.successors(id) {
                             if remaining[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -75,7 +83,11 @@ pub fn execute_parallel(graph: &TaskGraph, bodies: Vec<TaskBody>, threads: usize
         drop(rx);
     });
 
-    assert_eq!(completed.load(Ordering::Acquire), n, "not every task was executed");
+    assert_eq!(
+        completed.load(Ordering::Acquire),
+        n,
+        "not every task was executed"
+    );
 }
 
 /// Execute the tasks sequentially in insertion order (which is a topological
@@ -111,7 +123,10 @@ mod tests {
                 }
             }
         }
-        let sink_accesses: Vec<_> = (0..4u64).map(|c| (1000 + c, Read)).chain([(2000, Write)]).collect();
+        let sink_accesses: Vec<_> = (0..4u64)
+            .map(|c| (1000 + c, Read))
+            .chain([(2000, Write)])
+            .collect();
         g.add_task(1.0, 0, 0, &sink_accesses);
 
         let n = g.len();
@@ -169,7 +184,10 @@ mod tests {
             })
             .collect();
         execute_sequential(&g, bodies_seq);
-        assert_eq!(acc_par.load(Ordering::SeqCst), acc_seq.load(Ordering::SeqCst));
+        assert_eq!(
+            acc_par.load(Ordering::SeqCst),
+            acc_seq.load(Ordering::SeqCst)
+        );
     }
 
     #[test]

@@ -103,7 +103,13 @@ impl TaskGraph {
     /// Insert a task.  `accesses` lists every piece of data the task touches
     /// together with the access mode; dependencies on previously inserted
     /// tasks are inferred automatically.
-    pub fn add_task(&mut self, weight: f64, owner: usize, tag: u32, accesses: &[(DataKey, AccessMode)]) -> TaskId {
+    pub fn add_task(
+        &mut self,
+        weight: f64,
+        owner: usize,
+        tag: u32,
+        accesses: &[(DataKey, AccessMode)],
+    ) -> TaskId {
         let id = self.tasks.len();
         self.tasks.push(TaskNode { weight, owner, tag });
         self.successors.push(Vec::new());
@@ -159,7 +165,10 @@ impl TaskGraph {
         let mut finish = vec![0.0_f64; self.tasks.len()];
         let mut best: f64 = 0.0;
         for id in 0..self.tasks.len() {
-            let start = self.predecessors[id].iter().map(|&p| finish[p]).fold(0.0_f64, f64::max);
+            let start = self.predecessors[id]
+                .iter()
+                .map(|&p| finish[p])
+                .fold(0.0_f64, f64::max);
             finish[id] = start + self.tasks[id].weight;
             best = best.max(finish[id]);
         }
@@ -173,7 +182,10 @@ impl TaskGraph {
         let n = self.tasks.len();
         let mut bl = vec![0.0_f64; n];
         for id in (0..n).rev() {
-            let succ_max = self.successors[id].iter().map(|&s| bl[s]).fold(0.0_f64, f64::max);
+            let succ_max = self.successors[id]
+                .iter()
+                .map(|&s| bl[s])
+                .fold(0.0_f64, f64::max);
             bl[id] = self.tasks[id].weight + succ_max;
         }
         bl
@@ -181,7 +193,9 @@ impl TaskGraph {
 
     /// Number of tasks with no predecessor (initially ready tasks).
     pub fn num_sources(&self) -> usize {
-        (0..self.len()).filter(|&i| self.predecessors[i].is_empty()).count()
+        (0..self.len())
+            .filter(|&i| self.predecessors[i].is_empty())
+            .count()
     }
 
     /// Maximum number of simultaneously runnable tasks under an ASAP
@@ -195,7 +209,10 @@ impl TaskGraph {
         let mut start = vec![0.0_f64; n];
         let mut finish = vec![0.0_f64; n];
         for id in 0..n {
-            let s = self.predecessors[id].iter().map(|&p| finish[p]).fold(0.0_f64, f64::max);
+            let s = self.predecessors[id]
+                .iter()
+                .map(|&p| finish[p])
+                .fold(0.0_f64, f64::max);
             start[id] = s;
             finish[id] = s + self.tasks[id].weight;
         }

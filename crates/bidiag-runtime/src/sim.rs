@@ -60,8 +60,20 @@ impl MachineModel {
     }
 
     /// A cluster of `nodes` nodes with `cores` cores each.
-    pub fn cluster(nodes: usize, cores: usize, time_per_weight_unit: f64, comm_latency: f64, comm_tile_time: f64) -> Self {
-        Self { nodes, cores_per_node: cores, time_per_weight_unit, comm_latency, comm_tile_time }
+    pub fn cluster(
+        nodes: usize,
+        cores: usize,
+        time_per_weight_unit: f64,
+        comm_latency: f64,
+        comm_tile_time: f64,
+    ) -> Self {
+        Self {
+            nodes,
+            cores_per_node: cores,
+            time_per_weight_unit,
+            comm_latency,
+            comm_tile_time,
+        }
     }
 
     /// Calibrate the model from hardware-like characteristics: per-core
@@ -69,12 +81,25 @@ impl MachineModel {
     ///
     /// The paper's platform is 24-core Haswell nodes at ~37 GFlop/s per core
     /// with a 40 Gb/s InfiniBand network.
-    pub fn calibrated(nodes: usize, cores: usize, core_gflops: f64, nb: usize, net_gbytes_per_s: f64, latency: f64) -> Self {
+    pub fn calibrated(
+        nodes: usize,
+        cores: usize,
+        core_gflops: f64,
+        nb: usize,
+        net_gbytes_per_s: f64,
+        latency: f64,
+    ) -> Self {
         let unit_flops = (nb as f64).powi(3) / 3.0;
         let time_per_weight_unit = unit_flops / (core_gflops * 1.0e9);
         let tile_bytes = (nb * nb * 8) as f64;
         let comm_tile_time = tile_bytes / (net_gbytes_per_s * 1.0e9);
-        Self { nodes, cores_per_node: cores, time_per_weight_unit, comm_latency: latency, comm_tile_time }
+        Self {
+            nodes,
+            cores_per_node: cores,
+            time_per_weight_unit,
+            comm_latency: latency,
+            comm_tile_time,
+        }
     }
 }
 
@@ -96,7 +121,12 @@ pub struct SimResult {
 pub fn simulate(graph: &TaskGraph, machine: &MachineModel) -> SimResult {
     let n = graph.len();
     if n == 0 {
-        return SimResult { makespan: 0.0, finish_times: Vec::new(), messages: 0, efficiency: 1.0 };
+        return SimResult {
+            makespan: 0.0,
+            finish_times: Vec::new(),
+            messages: 0,
+            efficiency: 1.0,
+        };
     }
     let unbounded = machine.cores_per_node == usize::MAX;
     let bl = graph.bottom_levels();
@@ -136,7 +166,11 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineModel) -> SimResult {
     let mut ready: BinaryHeap<Ready> = BinaryHeap::new();
     for id in 0..n {
         if remaining[id] == 0 {
-            ready.push(Ready { time: 0.0, priority: bl[id], id });
+            ready.push(Ready {
+                time: 0.0,
+                priority: bl[id],
+                id,
+            });
         }
     }
 
@@ -156,11 +190,16 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineModel) -> SimResult {
 
     while let Some(Ready { time, id, .. }) = ready.pop() {
         let exec = graph.task(id).weight * machine.time_per_weight_unit;
-        let node = if machine.nodes <= 1 { 0 } else { graph.task(id).owner % machine.nodes };
+        let node = if machine.nodes <= 1 {
+            0
+        } else {
+            graph.task(id).owner % machine.nodes
+        };
         let start = if unbounded {
             time
         } else {
-            let Reverse(OrderedF64(core_free)) = cores[node].pop().expect("node has at least one core");
+            let Reverse(OrderedF64(core_free)) =
+                cores[node].pop().expect("node has at least one core");
             let s = time.max(core_free);
             cores[node].push(Reverse(OrderedF64(s + exec)));
             s
@@ -172,7 +211,11 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineModel) -> SimResult {
 
         for &succ in graph.successors(id) {
             // Communication cost if the successor lives on another node.
-            let succ_node = if machine.nodes <= 1 { 0 } else { graph.task(succ).owner % machine.nodes };
+            let succ_node = if machine.nodes <= 1 {
+                0
+            } else {
+                graph.task(succ).owner % machine.nodes
+            };
             let mut avail = f;
             if succ_node != node && machine.nodes > 1 {
                 avail += machine.comm_latency + machine.comm_tile_time;
@@ -183,7 +226,11 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineModel) -> SimResult {
             }
             remaining[succ] -= 1;
             if remaining[succ] == 0 {
-                ready.push(Ready { time: data_ready[succ], priority: bl[succ], id: succ });
+                ready.push(Ready {
+                    time: data_ready[succ],
+                    priority: bl[succ],
+                    id: succ,
+                });
             }
         }
     }
@@ -194,7 +241,12 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineModel) -> SimResult {
         let total_cores = (machine.nodes.max(1) * machine.cores_per_node) as f64;
         busy_time / (makespan.max(f64::MIN_POSITIVE) * total_cores)
     };
-    SimResult { makespan, finish_times: finish, messages, efficiency }
+    SimResult {
+        makespan,
+        finish_times: finish,
+        messages,
+        efficiency,
+    }
 }
 
 /// Convenience: critical path of the graph through the simulator (must agree
@@ -278,13 +330,19 @@ mod tests {
         for i in 0..16 {
             g.add_task(1.0, 0, 0, &[(0, Read), (10 + i, Write)]);
         }
-        let accesses: Vec<_> = (0..16).map(|i| (10 + i as u64, Read)).chain([(100u64, Write)]).collect();
+        let accesses: Vec<_> = (0..16)
+            .map(|i| (10 + i as u64, Read))
+            .chain([(100u64, Write)])
+            .collect();
         g.add_task(1.0, 0, 0, &accesses);
 
         let mut prev = f64::INFINITY;
         for cores in [1usize, 2, 4, 8, 16, 32] {
             let r = simulate(&g, &MachineModel::shared_memory(cores));
-            assert!(r.makespan <= prev + 1e-12, "makespan increased with more cores");
+            assert!(
+                r.makespan <= prev + 1e-12,
+                "makespan increased with more cores"
+            );
             prev = r.makespan;
         }
         // With >= 16 cores the makespan equals the critical path.

@@ -16,7 +16,12 @@
 /// over-provisioning factor `gamma`.
 ///
 /// Returns a value in `1..=rows_in_panel` (at least 1 even for tiny panels).
-pub fn auto_domain_size(rows_in_panel: usize, trailing_cols: usize, gamma: f64, ncores: usize) -> usize {
+pub fn auto_domain_size(
+    rows_in_panel: usize,
+    trailing_cols: usize,
+    gamma: f64,
+    ncores: usize,
+) -> usize {
     if rows_in_panel <= 1 {
         return 1;
     }
@@ -64,9 +69,15 @@ mod tests {
                 // Either the constraint is met, or it is infeasible even with
                 // a = 1 (not enough tasks at all), in which case a must be 1.
                 if parallelism(rows, trailing, 1) >= target {
-                    assert!(par >= target, "rows={rows} trailing={trailing} a={a} par={par}");
+                    assert!(
+                        par >= target,
+                        "rows={rows} trailing={trailing} a={a} par={par}"
+                    );
                 } else {
-                    assert_eq!(a, 1, "infeasible case must fall back to maximum parallelism");
+                    assert_eq!(
+                        a, 1,
+                        "infeasible case must fall back to maximum parallelism"
+                    );
                 }
             }
         }

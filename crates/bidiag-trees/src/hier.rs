@@ -64,7 +64,11 @@ pub struct HierConfig {
 ///
 /// The returned schedule first contains the local reductions of every process
 /// row, then the high-level eliminations combining the local survivors.
-pub fn hierarchical_schedule(rows: &[usize], dist: &BlockCyclic, cfg: &HierConfig) -> PanelSchedule {
+pub fn hierarchical_schedule(
+    rows: &[usize],
+    dist: &BlockCyclic,
+    cfg: &HierConfig,
+) -> PanelSchedule {
     assert!(!rows.is_empty());
     if dist.proc_rows <= 1 {
         return panel_schedule(rows, &cfg.local);
@@ -100,7 +104,10 @@ mod tests {
     #[test]
     fn single_node_falls_back_to_local_tree() {
         let dist = BlockCyclic::single_node();
-        let cfg = HierConfig { local: TreeConfig::greedy(), high: HighLevelTree::Flat };
+        let cfg = HierConfig {
+            local: TreeConfig::greedy(),
+            high: HighLevelTree::Flat,
+        };
         let rows: Vec<usize> = (0..10).collect();
         let h = hierarchical_schedule(&rows, &dist, &cfg);
         let l = panel_schedule(&rows, &TreeConfig::greedy());
@@ -110,22 +117,35 @@ mod tests {
     #[test]
     fn every_non_survivor_is_eliminated_once() {
         let dist = BlockCyclic::new(4, 1);
-        let cfg = HierConfig { local: TreeConfig::flat_ts(), high: HighLevelTree::Greedy };
+        let cfg = HierConfig {
+            local: TreeConfig::flat_ts(),
+            high: HighLevelTree::Greedy,
+        };
         let rows: Vec<usize> = (3..20).collect();
         let s = hierarchical_schedule(&rows, &dist, &cfg);
         let mut eliminated = std::collections::HashSet::new();
         for e in &s.elims {
             assert!(eliminated.insert(e.row), "row {} eliminated twice", e.row);
-            assert!(!eliminated.contains(&e.piv), "pivot {} was already eliminated", e.piv);
+            assert!(
+                !eliminated.contains(&e.piv),
+                "pivot {} was already eliminated",
+                e.piv
+            );
         }
         assert_eq!(eliminated.len(), rows.len() - 1);
-        assert!(!eliminated.contains(&rows[0]), "survivor must be the first row");
+        assert!(
+            !eliminated.contains(&rows[0]),
+            "survivor must be the first row"
+        );
     }
 
     #[test]
     fn high_level_eliminations_are_tt_between_process_heads() {
         let dist = BlockCyclic::new(3, 1);
-        let cfg = HierConfig { local: TreeConfig::flat_ts(), high: HighLevelTree::Flat };
+        let cfg = HierConfig {
+            local: TreeConfig::flat_ts(),
+            high: HighLevelTree::Flat,
+        };
         let rows: Vec<usize> = (0..9).collect();
         let s = hierarchical_schedule(&rows, &dist, &cfg);
         // Process-row heads are 0, 1, 2; the last two eliminations must be
@@ -141,7 +161,10 @@ mod tests {
     #[test]
     fn dplasma_default_switches_on_shape() {
         assert_eq!(HighLevelTree::dplasma_default(20, 4), HighLevelTree::Flat);
-        assert_eq!(HighLevelTree::dplasma_default(6, 4), HighLevelTree::Fibonacci);
+        assert_eq!(
+            HighLevelTree::dplasma_default(6, 4),
+            HighLevelTree::Fibonacci
+        );
     }
 
     #[test]
@@ -149,7 +172,10 @@ mod tests {
         // Later steps of the factorization pass a suffix of the rows; the
         // schedule must never reference rows outside that suffix.
         let dist = BlockCyclic::new(5, 1);
-        let cfg = HierConfig { local: TreeConfig::greedy(), high: HighLevelTree::Fibonacci };
+        let cfg = HierConfig {
+            local: TreeConfig::greedy(),
+            high: HighLevelTree::Fibonacci,
+        };
         let rows: Vec<usize> = (7..23).collect();
         let s = hierarchical_schedule(&rows, &dist, &cfg);
         for e in &s.elims {

@@ -36,9 +36,11 @@ pub mod schedule;
 pub mod validate;
 
 pub use auto::auto_domain_size;
-pub use pipelined::greedy_qr_schedules;
 pub use hier::{hierarchical_schedule, HierConfig, HighLevelTree};
-pub use schedule::{panel_schedule, DomainSize, ElimKind, Elimination, PanelSchedule, TopTree, TreeConfig};
+pub use pipelined::greedy_qr_schedules;
+pub use schedule::{
+    panel_schedule, DomainSize, ElimKind, Elimination, PanelSchedule, TopTree, TreeConfig,
+};
 pub use validate::validate_schedule;
 
 use serde::{Deserialize, Serialize};
@@ -71,12 +73,24 @@ impl NamedTree {
     /// Section V of the paper.
     pub fn config_for(&self, rows_in_panel: usize, trailing: usize) -> TreeConfig {
         match *self {
-            NamedTree::FlatTs => TreeConfig { domain: DomainSize::Whole, top: TopTree::Flat },
-            NamedTree::FlatTt => TreeConfig { domain: DomainSize::One, top: TopTree::Flat },
-            NamedTree::Greedy => TreeConfig { domain: DomainSize::One, top: TopTree::Greedy },
+            NamedTree::FlatTs => TreeConfig {
+                domain: DomainSize::Whole,
+                top: TopTree::Flat,
+            },
+            NamedTree::FlatTt => TreeConfig {
+                domain: DomainSize::One,
+                top: TopTree::Flat,
+            },
+            NamedTree::Greedy => TreeConfig {
+                domain: DomainSize::One,
+                top: TopTree::Greedy,
+            },
             NamedTree::Auto { gamma, ncores } => {
                 let a = auto_domain_size(rows_in_panel, trailing, gamma, ncores);
-                TreeConfig { domain: DomainSize::Fixed(a), top: TopTree::Greedy }
+                TreeConfig {
+                    domain: DomainSize::Fixed(a),
+                    top: TopTree::Greedy,
+                }
             }
         }
     }
@@ -115,7 +129,11 @@ mod tests {
         let greedy = NamedTree::Greedy.config_for(rows, 4);
         assert_eq!(greedy.domain, DomainSize::One);
         assert_eq!(greedy.top, TopTree::Greedy);
-        let auto = NamedTree::Auto { gamma: 2.0, ncores: 4 }.config_for(rows, 4);
+        let auto = NamedTree::Auto {
+            gamma: 2.0,
+            ncores: 4,
+        }
+        .config_for(rows, 4);
         match auto.domain {
             DomainSize::Fixed(a) => assert!(a >= 1 && a <= rows),
             _ => panic!("auto must resolve to a fixed domain size"),
@@ -125,7 +143,14 @@ mod tests {
     #[test]
     fn names_and_variants() {
         assert_eq!(NamedTree::FlatTs.name(), "FlatTS");
-        assert_eq!(NamedTree::Auto { gamma: 2.0, ncores: 24 }.name(), "Auto");
+        assert_eq!(
+            NamedTree::Auto {
+                gamma: 2.0,
+                ncores: 24
+            }
+            .name(),
+            "Auto"
+        );
         assert_eq!(NamedTree::paper_variants(24).len(), 4);
     }
 }

@@ -26,7 +26,10 @@ pub fn greedy_qr_schedules(p: usize, q: usize) -> Vec<PanelSchedule> {
     assert!(p >= 1 && q >= 1);
     let q = q.min(p);
     let mut schedules: Vec<PanelSchedule> = (0..q)
-        .map(|k| PanelSchedule { geqrt_rows: (k..p).collect(), elims: Vec::new() })
+        .map(|k| PanelSchedule {
+            geqrt_rows: (k..p).collect(),
+            elims: Vec::new(),
+        })
         .collect();
 
     // ready[k][i - k] = first round at which row i can participate in column k.
@@ -62,10 +65,14 @@ pub fn greedy_qr_schedules(p: usize, q: usize) -> Vec<PanelSchedule> {
             for t in 0..z {
                 let row = avail[avail.len() - 1 - t];
                 let piv = avail[t];
-                schedules[k].elims.push(Elimination { piv, row, kind: ElimKind::Tt });
+                schedules[k].elims.push(Elimination {
+                    piv,
+                    row,
+                    kind: ElimKind::Tt,
+                });
                 eliminated.push(row);
                 // The row becomes available for column k+1 one round later.
-                if k + 1 < q && row >= k + 1 {
+                if k + 1 < q && row > k {
                     ready[k + 1][row - (k + 1)] = Some(round + 1);
                 }
                 progressed = true;
@@ -77,7 +84,10 @@ pub fn greedy_qr_schedules(p: usize, q: usize) -> Vec<PanelSchedule> {
         }
         let _ = progressed;
         round += 1;
-        assert!(round <= 4 * (p + q) + 64, "pipelined greedy failed to converge");
+        assert!(
+            round <= 4 * (p + q) + 64,
+            "pipelined greedy failed to converge"
+        );
     }
     schedules
 }

@@ -64,15 +64,24 @@ pub struct TreeConfig {
 impl TreeConfig {
     /// FLATTS preset.
     pub fn flat_ts() -> Self {
-        Self { domain: DomainSize::Whole, top: TopTree::Flat }
+        Self {
+            domain: DomainSize::Whole,
+            top: TopTree::Flat,
+        }
     }
     /// FLATTT preset.
     pub fn flat_tt() -> Self {
-        Self { domain: DomainSize::One, top: TopTree::Flat }
+        Self {
+            domain: DomainSize::One,
+            top: TopTree::Flat,
+        }
     }
     /// GREEDY preset.
     pub fn greedy() -> Self {
-        Self { domain: DomainSize::One, top: TopTree::Greedy }
+        Self {
+            domain: DomainSize::One,
+            top: TopTree::Greedy,
+        }
     }
 }
 
@@ -107,7 +116,11 @@ impl PanelSchedule {
         let mut avail: HashMap<usize, usize> = HashMap::new();
         let mut depth = 0;
         for e in &self.elims {
-            let start = avail.get(&e.piv).copied().unwrap_or(0).max(avail.get(&e.row).copied().unwrap_or(0));
+            let start = avail
+                .get(&e.piv)
+                .copied()
+                .unwrap_or(0)
+                .max(avail.get(&e.row).copied().unwrap_or(0));
             let end = start + 1;
             avail.insert(e.piv, end);
             avail.insert(e.row, end);
@@ -122,7 +135,10 @@ impl PanelSchedule {
 /// the reduction.
 pub fn panel_schedule(rows: &[usize], cfg: &TreeConfig) -> PanelSchedule {
     assert!(!rows.is_empty(), "panel must contain at least one row");
-    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be strictly increasing");
+    debug_assert!(
+        rows.windows(2).all(|w| w[0] < w[1]),
+        "rows must be strictly increasing"
+    );
 
     let mut sched = PanelSchedule::default();
 
@@ -142,7 +158,11 @@ pub fn panel_schedule(rows: &[usize], cfg: &TreeConfig) -> PanelSchedule {
         heads.push(head);
         sched.geqrt_rows.push(head);
         for &r in &d[1..] {
-            sched.elims.push(Elimination { piv: head, row: r, kind: ElimKind::Ts });
+            sched.elims.push(Elimination {
+                piv: head,
+                row: r,
+                kind: ElimKind::Ts,
+            });
         }
     }
 
@@ -161,7 +181,11 @@ pub(crate) fn emit_top_tree(heads: &[usize], top: TopTree, out: &mut Vec<Elimina
     match top {
         TopTree::Flat => {
             for &h in &heads[1..] {
-                out.push(Elimination { piv: heads[0], row: h, kind: ElimKind::Tt });
+                out.push(Elimination {
+                    piv: heads[0],
+                    row: h,
+                    kind: ElimKind::Tt,
+                });
             }
         }
         TopTree::Greedy => {
@@ -170,7 +194,11 @@ pub(crate) fn emit_top_tree(heads: &[usize], top: TopTree, out: &mut Vec<Elimina
             while stride < d {
                 let mut i = 0;
                 while i + stride < d {
-                    out.push(Elimination { piv: heads[i], row: heads[i + stride], kind: ElimKind::Tt });
+                    out.push(Elimination {
+                        piv: heads[i],
+                        row: heads[i + stride],
+                        kind: ElimKind::Tt,
+                    });
                     i += 2 * stride;
                 }
                 stride *= 2;
@@ -194,7 +222,11 @@ pub(crate) fn emit_top_tree(heads: &[usize], top: TopTree, out: &mut Vec<Elimina
                     // Pivot: distribute over the surviving heads to keep the
                     // pairs disjoint within the round.
                     let piv = alive[(first_killed + t) % first_killed.max(1)];
-                    out.push(Elimination { piv, row, kind: ElimKind::Tt });
+                    out.push(Elimination {
+                        piv,
+                        row,
+                        kind: ElimKind::Tt,
+                    });
                 }
                 alive.truncate(first_killed);
                 let next = f1 + f2;
@@ -255,7 +287,10 @@ mod tests {
 
     #[test]
     fn bounded_domains_mix_ts_and_tt() {
-        let cfg = TreeConfig { domain: DomainSize::Fixed(4), top: TopTree::Greedy };
+        let cfg = TreeConfig {
+            domain: DomainSize::Fixed(4),
+            top: TopTree::Greedy,
+        };
         let s = panel_schedule(&rows(16), &cfg);
         assert_eq!(s.geqrt_rows, vec![0, 4, 8, 12]);
         let ts = s.elims.iter().filter(|e| e.kind == ElimKind::Ts).count();

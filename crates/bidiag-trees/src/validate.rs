@@ -63,7 +63,10 @@ pub fn validate_schedule(rows: &[usize], schedule: &PanelSchedule) -> Result<(),
             return Err(ScheduleError::DoubleElimination(e.row));
         }
         if eliminated.contains(&e.piv) {
-            return Err(ScheduleError::DeadPivot { piv: e.piv, row: e.row });
+            return Err(ScheduleError::DeadPivot {
+                piv: e.piv,
+                row: e.row,
+            });
         }
         match e.kind {
             ElimKind::Tt => {
@@ -91,8 +94,11 @@ pub fn validate_schedule(rows: &[usize], schedule: &PanelSchedule) -> Result<(),
     if eliminated.contains(&survivor) {
         return Err(ScheduleError::SurvivorEliminated);
     }
-    let missing: Vec<usize> =
-        rows.iter().copied().filter(|r| *r != survivor && !eliminated.contains(r)).collect();
+    let missing: Vec<usize> = rows
+        .iter()
+        .copied()
+        .filter(|r| *r != survivor && !eliminated.contains(r))
+        .collect();
     if !missing.is_empty() {
         return Err(ScheduleError::IncompleteReduction(missing));
     }
@@ -105,13 +111,23 @@ mod tests {
     use crate::schedule::{panel_schedule, DomainSize, Elimination, TopTree, TreeConfig};
 
     fn all_configs() -> Vec<TreeConfig> {
-        let mut v = vec![TreeConfig::flat_ts(), TreeConfig::flat_tt(), TreeConfig::greedy()];
+        let mut v = vec![
+            TreeConfig::flat_ts(),
+            TreeConfig::flat_tt(),
+            TreeConfig::greedy(),
+        ];
         for a in [2usize, 3, 5, 8] {
             for top in [TopTree::Flat, TopTree::Greedy, TopTree::Fibonacci] {
-                v.push(TreeConfig { domain: DomainSize::Fixed(a), top });
+                v.push(TreeConfig {
+                    domain: DomainSize::Fixed(a),
+                    top,
+                });
             }
         }
-        v.push(TreeConfig { domain: DomainSize::One, top: TopTree::Fibonacci });
+        v.push(TreeConfig {
+            domain: DomainSize::One,
+            top: TopTree::Fibonacci,
+        });
         v
     }
 
@@ -132,7 +148,10 @@ mod tests {
         let mut s = panel_schedule(&rows, &TreeConfig::flat_ts());
         let dup = s.elims[1];
         s.elims.push(dup);
-        assert!(matches!(validate_schedule(&rows, &s), Err(ScheduleError::DoubleElimination(_))));
+        assert!(matches!(
+            validate_schedule(&rows, &s),
+            Err(ScheduleError::DoubleElimination(_))
+        ));
     }
 
     #[test]
@@ -140,12 +159,19 @@ mod tests {
         let rows: Vec<usize> = (0..4).collect();
         let mut s = panel_schedule(&rows, &TreeConfig::flat_tt());
         // Eliminate 1 onto 0, then use 1 as a pivot.
-        s.elims.push(Elimination { piv: 1, row: 2, kind: ElimKind::Tt });
+        s.elims.push(Elimination {
+            piv: 1,
+            row: 2,
+            kind: ElimKind::Tt,
+        });
         // Remove the legitimate elimination of 2 to keep it single.
         s.elims.retain(|e| !(e.row == 2 && e.piv == 0));
         let err = validate_schedule(&rows, &s);
         assert!(
-            matches!(err, Err(ScheduleError::DeadPivot { .. }) | Err(ScheduleError::DoubleElimination(_))),
+            matches!(
+                err,
+                Err(ScheduleError::DeadPivot { .. }) | Err(ScheduleError::DoubleElimination(_))
+            ),
             "unexpected result {err:?}"
         );
     }
@@ -155,7 +181,10 @@ mod tests {
         let rows: Vec<usize> = (0..5).collect();
         let mut s = panel_schedule(&rows, &TreeConfig::greedy());
         s.elims.pop();
-        assert!(matches!(validate_schedule(&rows, &s), Err(ScheduleError::IncompleteReduction(_))));
+        assert!(matches!(
+            validate_schedule(&rows, &s),
+            Err(ScheduleError::IncompleteReduction(_))
+        ));
     }
 
     #[test]
@@ -165,10 +194,21 @@ mod tests {
         let s = PanelSchedule {
             geqrt_rows: vec![0],
             elims: vec![
-                Elimination { piv: 0, row: 1, kind: ElimKind::Tt },
-                Elimination { piv: 0, row: 2, kind: ElimKind::Ts },
+                Elimination {
+                    piv: 0,
+                    row: 1,
+                    kind: ElimKind::Tt,
+                },
+                Elimination {
+                    piv: 0,
+                    row: 2,
+                    kind: ElimKind::Ts,
+                },
             ],
         };
-        assert_eq!(validate_schedule(&rows, &s), Err(ScheduleError::TtOnSquare(1)));
+        assert_eq!(
+            validate_schedule(&rows, &s),
+            Err(ScheduleError::TtOnSquare(1))
+        );
     }
 }

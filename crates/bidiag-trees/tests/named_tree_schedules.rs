@@ -1,0 +1,103 @@
+//! Integration tests: every named tree of the paper (FLATTS / FLATTT /
+//! GREEDY / AUTO) resolves to a `TreeConfig` whose panel schedules are valid
+//! eliminations — every non-survivor row eliminated exactly once, pivots
+//! alive (never previously eliminated) at the time they are used — checked
+//! both through the `validate` hooks and independently here.
+
+use bidiag_trees::{panel_schedule, validate_schedule, NamedTree, PanelSchedule};
+use std::collections::HashSet;
+
+fn named_trees() -> Vec<NamedTree> {
+    let mut v = vec![NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy];
+    for ncores in [1usize, 4, 16, 48] {
+        for gamma in [1.0, 2.0, 4.0] {
+            v.push(NamedTree::Auto { gamma, ncores });
+        }
+    }
+    v
+}
+
+/// Independent re-implementation of the two core invariants, so the test
+/// does not rely solely on `validate_schedule` agreeing with itself.
+fn check_elimination_order(rows: &[usize], s: &PanelSchedule) {
+    let survivor = rows[0];
+    let mut eliminated: HashSet<usize> = HashSet::new();
+    for e in &s.elims {
+        assert!(
+            !eliminated.contains(&e.row),
+            "row {} eliminated twice",
+            e.row
+        );
+        assert!(
+            !eliminated.contains(&e.piv),
+            "pivot {} used after being eliminated (pivots must precede dependents)",
+            e.piv
+        );
+        eliminated.insert(e.row);
+    }
+    assert!(!eliminated.contains(&survivor), "survivor was eliminated");
+    assert_eq!(
+        eliminated.len(),
+        rows.len() - 1,
+        "every non-survivor row must be eliminated exactly once"
+    );
+}
+
+#[test]
+fn named_trees_produce_valid_schedules_on_contiguous_panels() {
+    for tree in named_trees() {
+        for n in 1..=48usize {
+            for trailing in [1usize, 4, 12] {
+                let cfg = tree.config_for(n, trailing);
+                let rows: Vec<usize> = (0..n).collect();
+                let s = panel_schedule(&rows, &cfg);
+                assert_eq!(
+                    validate_schedule(&rows, &s),
+                    Ok(()),
+                    "{} n={} trailing={}",
+                    tree.name(),
+                    n,
+                    trailing
+                );
+                check_elimination_order(&rows, &s);
+            }
+        }
+    }
+}
+
+#[test]
+fn named_trees_produce_valid_schedules_on_sparse_panels() {
+    // Later factorization steps operate on non-contiguous global row indices
+    // (e.g. the surviving heads of a previous step).
+    let sparse_panels: [&[usize]; 4] = [
+        &[3],
+        &[2, 7],
+        &[1, 4, 9, 16, 25, 36],
+        &[0, 5, 6, 11, 12, 17, 18, 23, 24, 29, 30, 35],
+    ];
+    for tree in named_trees() {
+        for rows in sparse_panels {
+            let cfg = tree.config_for(rows.len(), 3);
+            let s = panel_schedule(rows, &cfg);
+            assert_eq!(
+                validate_schedule(rows, &s),
+                Ok(()),
+                "{} rows={rows:?}",
+                tree.name()
+            );
+            check_elimination_order(rows, &s);
+        }
+    }
+}
+
+#[test]
+fn paper_variants_cover_all_four_trees() {
+    let variants = NamedTree::paper_variants(24);
+    let names: Vec<&str> = variants.iter().map(|t| t.name()).collect();
+    assert_eq!(names, ["FlatTS", "FlatTT", "Greedy", "Auto"]);
+    for tree in variants {
+        let rows: Vec<usize> = (0..24).collect();
+        let s = panel_schedule(&rows, &tree.config_for(24, 8));
+        assert_eq!(validate_schedule(&rows, &s), Ok(()), "{}", tree.name());
+    }
+}

@@ -13,11 +13,20 @@ fn main() {
     assert!(p >= q && q >= 1, "need p >= q >= 1");
 
     println!("critical paths for a {p} x {q} tile matrix (unit: nb^3/3 flops)\n");
-    println!("{:<10} {:>16} {:>16} {:>10}", "tree", "BiDiag", "R-BiDiag", "ratio");
+    println!(
+        "{:<10} {:>16} {:>16} {:>10}",
+        "tree", "BiDiag", "R-BiDiag", "ratio"
+    );
     for tree in [NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy] {
         let b = cp::measured_cp(Algorithm::Bidiag, tree, p, q);
         let r = cp::measured_cp(Algorithm::RBidiag, tree, p, q);
-        println!("{:<10} {:>16.0} {:>16.0} {:>10.3}", tree.name(), b, r, b / r);
+        println!(
+            "{:<10} {:>16.0} {:>16.0} {:>10.3}",
+            tree.name(),
+            b,
+            r,
+            b / r
+        );
     }
 
     println!("\nclosed-form checks (BiDiag):");
@@ -25,10 +34,13 @@ fn main() {
     println!("  FlatTT formula  : {}", cp::bidiag_cp_flattt_closed(p, q));
     println!("  Greedy formula  : {}", cp::bidiag_cp_greedy_closed(p, q));
 
-    if q >= 2 && q <= 12 {
+    if (2..=12).contains(&q) {
         let c = cp::crossover(q, 16);
         match c.ratio {
-            Some(r) => println!("\ncrossover for q = {q}: R-BiDiag wins from p = {} (delta_s = {r:.2})", c.p_star.unwrap()),
+            Some(r) => println!(
+                "\ncrossover for q = {q}: R-BiDiag wins from p = {} (delta_s = {r:.2})",
+                c.p_star.unwrap()
+            ),
             None => println!("\ncrossover for q = {q}: not reached below p = 16q"),
         }
     }

@@ -13,13 +13,26 @@ fn main() {
     let nb = 160;
     let p = m.div_ceil(nb);
     let q = n.div_ceil(nb);
-    let algorithm = if 3 * m >= 5 * n { Algorithm::RBidiag } else { Algorithm::Bidiag };
+    let algorithm = if 3 * m >= 5 * n {
+        Algorithm::RBidiag
+    } else {
+        Algorithm::Bidiag
+    };
 
-    println!("GE2BND strong scaling, M={m} N={n} nb={nb} ({p} x {q} tiles), algorithm {algorithm:?}");
-    println!("{:<7} {:>10} {:>10} {:>10} {:>10} {:>12}", "nodes", "FlatTS", "FlatTT", "Greedy", "Auto", "messages");
+    println!(
+        "GE2BND strong scaling, M={m} N={n} nb={nb} ({p} x {q} tiles), algorithm {algorithm:?}"
+    );
+    println!(
+        "{:<7} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "nodes", "FlatTS", "FlatTT", "Greedy", "Auto", "messages"
+    );
 
     for nodes in [1usize, 2, 4, 9, 16, 25] {
-        let grid = if m == n { BlockCyclic::square_grid(nodes) } else { BlockCyclic::tall_grid(nodes) };
+        let grid = if m == n {
+            BlockCyclic::square_grid(nodes)
+        } else {
+            BlockCyclic::tall_grid(nodes)
+        };
         let cfg = if nodes == 1 {
             GenConfig::shared(NamedTree::Greedy)
         } else {

@@ -30,20 +30,37 @@ fn main() {
         flops::rbidiag_flops(samples, features)
     );
 
-    let opts_r = Ge2Options::new(32).with_tree(NamedTree::Greedy).with_threads(4).with_algorithm(AlgorithmChoice::RBidiag);
-    let opts_b = Ge2Options::new(32).with_tree(NamedTree::Greedy).with_threads(4).with_algorithm(AlgorithmChoice::Bidiag);
+    let opts_r = Ge2Options::new(32)
+        .with_tree(NamedTree::Greedy)
+        .with_threads(4)
+        .with_algorithm(AlgorithmChoice::RBidiag);
+    let opts_b = Ge2Options::new(32)
+        .with_tree(NamedTree::Greedy)
+        .with_threads(4)
+        .with_algorithm(AlgorithmChoice::Bidiag);
     let sv_r = ge2val(&x, &opts_r).singular_values;
     let sv_b = ge2val(&x, &opts_b).singular_values;
-    assert!(singular_values_match(&sv_r, &sv_b, 1e-10), "BIDIAG and R-BIDIAG must agree");
+    assert!(
+        singular_values_match(&sv_r, &sv_b, 1e-10),
+        "BIDIAG and R-BIDIAG must agree"
+    );
 
     let total_var: f64 = sv_r.iter().map(|s| s * s).sum();
     let mut cum = 0.0;
     println!("\ncomponent  sigma        cumulative explained variance");
     for (i, s) in sv_r.iter().take(12).enumerate() {
         cum += s * s;
-        println!("{:>9}  {:>10.3}  {:>6.2} %", i + 1, s, 100.0 * cum / total_var);
+        println!(
+            "{:>9}  {:>10.3}  {:>6.2} %",
+            i + 1,
+            s,
+            100.0 * cum / total_var
+        );
     }
     let explained: f64 = sv_r.iter().take(intrinsic_rank).map(|s| s * s).sum::<f64>() / total_var;
-    println!("\nfirst {intrinsic_rank} components explain {:.1}% of the variance", 100.0 * explained);
+    println!(
+        "\nfirst {intrinsic_rank} components explain {:.1}% of the variance",
+        100.0 * explained
+    );
     assert!(explained > 0.95, "the low-rank signal should dominate");
 }

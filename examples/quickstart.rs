@@ -15,15 +15,26 @@ fn main() {
     println!("matrix: {m} x {n}, prescribed condition number 1e6");
 
     // Tiled bidiagonalization with the GREEDY reduction tree on 4 threads.
-    let opts = Ge2Options::new(64).with_tree(NamedTree::Greedy).with_threads(4);
+    let opts = Ge2Options::new(64)
+        .with_tree(NamedTree::Greedy)
+        .with_threads(4);
     let result = ge2val(&a, &opts);
 
-    println!("algorithm selected by Chan's rule: {:?}", result.ge2bnd.algorithm);
+    println!(
+        "algorithm selected by Chan's rule: {:?}",
+        result.ge2bnd.algorithm
+    );
     println!("tile tasks executed: {}", result.ge2bnd.num_tasks);
-    println!("largest singular values: {:?}", &result.singular_values[..5.min(n)]);
+    println!(
+        "largest singular values: {:?}",
+        &result.singular_values[..5.min(n)]
+    );
 
     let err = singular_value_error(&result.singular_values, &sigma);
     println!("max relative error vs prescribed spectrum: {err:.2e}");
-    assert!(err < 1e-10, "singular values should be accurate to ~machine precision");
+    assert!(
+        err < 1e-10,
+        "singular values should be accurate to ~machine precision"
+    );
     println!("OK — singular values recovered to machine precision");
 }

@@ -1,0 +1,201 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! Implements [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Bencher::iter`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Timing is a simple mean over `sample_size` samples (no outlier
+//! analysis, no HTML reports); results are printed one line per benchmark.
+//! See `shims/README.md`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        // Warm-up: run once so lazy initialisation does not pollute sample 0.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            f(&mut bencher, input);
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        bencher.samples.clear();
+        let deadline = Instant::now() + self.measurement_time;
+        while bencher.samples.len() < bencher.sample_size && Instant::now() < deadline {
+            f(&mut bencher, input);
+        }
+        let mean = if bencher.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32
+        };
+        println!(
+            "{}/{}/{}: mean {:?} over {} samples",
+            self.name,
+            id.function,
+            id.parameter,
+            mean,
+            bencher.samples.len()
+        );
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time one sample of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Define a benchmark group function from a config and target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &1, |b, _| {
+            runs += 1;
+            b.iter(|| black_box(2 + 2))
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API used by this
+//! workspace: a deterministic [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`] and a uniform [`distributions::Uniform`]
+//! sampler over `f64`.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the few external crates it needs as minimal shims (see `shims/README.md`).
+//! The generator is SplitMix64 — not cryptographic, but statistically fine
+//! for test-matrix generation and fully reproducible across platforms.
+
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Return the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience extension trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// RNGs constructible from a small seed (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Value distributions (subset of `rand::distributions`).
+pub mod distributions {
+    /// Types that can sample values of `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over an `f64` interval.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform {
+        low: f64,
+        high: f64,
+        inclusive: bool,
+    }
+
+    impl Uniform {
+        /// Uniform over the half-open interval `[low, high)`.
+        pub fn new(low: f64, high: f64) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over the closed interval `[low, high]`.
+        pub fn new_inclusive(low: f64, high: f64) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+            Uniform {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl Distribution<f64> for Uniform {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            let bits = rng.next_u64() >> 11;
+            let unit = if self.inclusive {
+                bits as f64 / ((1u64 << 53) - 1) as f64
+            } else {
+                bits as f64 / (1u64 << 53) as f64
+            };
+            self.low + (self.high - self.low) * unit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::SeedableRng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        use crate::RngCore;
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let open = Uniform::new(f64::MIN_POSITIVE, 1.0);
+        let closed = Uniform::new_inclusive(-1.0, 1.0);
+        for _ in 0..10_000 {
+            let x = open.sample(&mut rng);
+            assert!(x > 0.0 && x < 1.0);
+            let y = closed.sample(&mut rng);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+}

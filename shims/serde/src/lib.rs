@@ -1,0 +1,14 @@
+//! Offline stand-in for the subset of `serde` used by this workspace:
+//! the `Serialize` / `Deserialize` derive macros (re-exported from the
+//! no-op [`serde_derive`] shim) and marker traits of the same names so
+//! that generic bounds would still typecheck. See `shims/README.md`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`: the `Serialize` / `Deserialize`
+//! derives expand to nothing. The workspace only uses the derives as
+//! annotations (no code actually serializes through serde traits), so an
+//! empty expansion keeps every `#[derive(Serialize, Deserialize)]` compiling
+//! without the real crates. See `shims/README.md`.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

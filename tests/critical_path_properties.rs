@@ -1,9 +1,9 @@
 //! Property-based tests (proptest) of the schedule generators, the task
 //! graphs and the critical-path results of Section IV.
 
-use bidiag_repro::prelude::*;
 use bidiag_core::cp;
 use bidiag_core::exec::build_graph;
+use bidiag_repro::prelude::*;
 use bidiag_trees::{greedy_qr_schedules, panel_schedule, validate_schedule, TreeConfig};
 use proptest::prelude::*;
 

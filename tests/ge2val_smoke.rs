@@ -1,0 +1,29 @@
+//! Smoke test enforcing the claim made by the `bidiag_repro` crate-level
+//! doctest as a real test: GE2VAL on a small LATMS matrix with a known
+//! geometric spectrum recovers the singular values to 1e-10.
+
+use bidiag_repro::prelude::*;
+
+#[test]
+fn ge2val_recovers_geometric_spectrum_to_1e10() {
+    let (a, sigma) = latms(48, 32, &SpectrumKind::Geometric { cond: 1.0e3 }, 1);
+    let result = ge2val(&a, &Ge2Options::new(8));
+    assert!(
+        singular_values_match(&result.singular_values, &sigma, 1.0e-10),
+        "max singular value error {:e} exceeds 1e-10",
+        singular_value_error(&result.singular_values, &sigma)
+    );
+}
+
+#[test]
+fn ge2val_recovers_geometric_spectrum_for_both_algorithms() {
+    for alg in [AlgorithmChoice::Bidiag, AlgorithmChoice::RBidiag] {
+        let (a, sigma) = latms(60, 24, &SpectrumKind::Geometric { cond: 1.0e4 }, 7);
+        let result = ge2val(&a, &Ge2Options::new(6).with_algorithm(alg));
+        assert!(
+            singular_values_match(&result.singular_values, &sigma, 1.0e-10),
+            "{alg:?}: max error {:e}",
+            singular_value_error(&result.singular_values, &sigma)
+        );
+    }
+}

@@ -1,10 +1,10 @@
 //! Property-based tests of the numerical kernels and of the full pipeline on
 //! randomly generated spectra and shapes.
 
-use bidiag_repro::prelude::*;
 use bidiag_kernels::jacobi::jacobi_singular_values;
 use bidiag_kernels::qr::{build_q, geqrt};
 use bidiag_matrix::checks::{orthogonality_error, relative_error};
+use bidiag_repro::prelude::*;
 use proptest::prelude::*;
 
 fn spectrum_strategy(k: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -3,9 +3,9 @@
 //! cross-validated against the one-sided Jacobi oracle and the one-stage
 //! baselines (which share no code with the tiled pipeline).
 
-use bidiag_repro::prelude::*;
 use bidiag_baselines::{chan_singular_values, one_stage_singular_values};
 use bidiag_kernels::jacobi::jacobi_singular_values;
+use bidiag_repro::prelude::*;
 
 #[test]
 fn tiled_pipeline_matches_jacobi_oracle_on_random_matrices() {
@@ -23,12 +23,28 @@ fn tiled_pipeline_matches_jacobi_oracle_on_random_matrices() {
 #[test]
 fn all_algorithms_and_baselines_agree() {
     let (a, sigma) = latms(60, 24, &SpectrumKind::Geometric { cond: 1.0e5 }, 7);
-    let tiled_b = ge2val(&a, &Ge2Options::new(8).with_algorithm(AlgorithmChoice::Bidiag)).singular_values;
-    let tiled_r = ge2val(&a, &Ge2Options::new(8).with_algorithm(AlgorithmChoice::RBidiag)).singular_values;
+    let tiled_b = ge2val(
+        &a,
+        &Ge2Options::new(8).with_algorithm(AlgorithmChoice::Bidiag),
+    )
+    .singular_values;
+    let tiled_r = ge2val(
+        &a,
+        &Ge2Options::new(8).with_algorithm(AlgorithmChoice::RBidiag),
+    )
+    .singular_values;
     let one_stage = one_stage_singular_values(&a);
     let chan = chan_singular_values(&a);
-    for (name, sv) in [("tiled BIDIAG", &tiled_b), ("tiled R-BIDIAG", &tiled_r), ("one-stage", &one_stage), ("Chan", &chan)] {
-        assert!(singular_values_match(sv, &sigma, 1e-10), "{name} lost the prescribed spectrum");
+    for (name, sv) in [
+        ("tiled BIDIAG", &tiled_b),
+        ("tiled R-BIDIAG", &tiled_r),
+        ("one-stage", &one_stage),
+        ("Chan", &chan),
+    ] {
+        assert!(
+            singular_values_match(sv, &sigma, 1e-10),
+            "{name} lost the prescribed spectrum"
+        );
     }
 }
 
@@ -36,9 +52,21 @@ fn all_algorithms_and_baselines_agree() {
 fn every_tree_and_thread_count_gives_identical_results() {
     let (a, _) = latms(45, 30, &SpectrumKind::OneLarge { cond: 1.0e6 }, 13);
     let reference = ge2val(&a, &Ge2Options::new(8)).singular_values;
-    for tree in [NamedTree::FlatTs, NamedTree::FlatTt, NamedTree::Greedy, NamedTree::Auto { gamma: 2.0, ncores: 3 }] {
+    for tree in [
+        NamedTree::FlatTs,
+        NamedTree::FlatTt,
+        NamedTree::Greedy,
+        NamedTree::Auto {
+            gamma: 2.0,
+            ncores: 3,
+        },
+    ] {
         for threads in [1usize, 3] {
-            let sv = ge2val(&a, &Ge2Options::new(8).with_tree(tree).with_threads(threads)).singular_values;
+            let sv = ge2val(
+                &a,
+                &Ge2Options::new(8).with_tree(tree).with_threads(threads),
+            )
+            .singular_values;
             assert!(
                 singular_values_match(&reference, &sv, 1e-12),
                 "tree {tree:?} with {threads} threads diverged"
@@ -50,7 +78,10 @@ fn every_tree_and_thread_count_gives_identical_results() {
 #[test]
 fn band_output_has_the_expected_structure() {
     let (a, _) = latms(48, 32, &SpectrumKind::Uniform, 5);
-    let r = ge2bnd(&a, &Ge2Options::new(8).with_algorithm(AlgorithmChoice::Bidiag));
+    let r = ge2bnd(
+        &a,
+        &Ge2Options::new(8).with_algorithm(AlgorithmChoice::Bidiag),
+    );
     let band = r.band.to_dense();
     assert_eq!(band.rows(), 32);
     assert!(band.upper_bandwidth(1e-10) <= 8, "band wider than nb");
@@ -71,7 +102,7 @@ fn difficult_spectra_are_preserved() {
 #[test]
 fn identity_and_rank_one_edge_cases() {
     let sv = ge2val(&Matrix::identity(20), &Ge2Options::new(4)).singular_values;
-    assert!(singular_values_match(&sv, &vec![1.0; 20], 1e-12));
+    assert!(singular_values_match(&sv, &[1.0; 20], 1e-12));
 
     // Rank-one matrix: u * v^T.
     let u = random_gaussian(30, 1, 1);
