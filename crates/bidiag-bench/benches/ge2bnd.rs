@@ -1,7 +1,10 @@
 //! Criterion benchmarks of the full GE2BND reduction: sequential vs the
 //! multi-threaded task runtime, BIDIAG vs R-BIDIAG, and the four reduction
-//! trees, on matrices small enough for repeated timing.
+//! trees, on matrices small enough for repeated timing.  `bench_parallel`
+//! additionally prints a measured speedup-vs-threads table for the
+//! ROADMAP's 768x512 nb=64 reference case.
 
+use bidiag_bench::{measure_ge2bnd_scaling, print_scaling_table};
 use bidiag_core::pipeline::{ge2bnd, AlgorithmChoice, Ge2Options};
 use bidiag_matrix::gen::{latms, SpectrumKind};
 use bidiag_trees::NamedTree;
@@ -55,6 +58,13 @@ fn bench_parallel(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Companion speedup-vs-threads table (best of 3, relative to 1 thread).
+    let points = measure_ge2bnd_scaling(768, 512, 64, &[1, 2, 4, 8], 3);
+    print_scaling_table(
+        "ge2bnd measured thread scaling, 768x512 nb=64 (Greedy, BiDiag)",
+        &points,
+    );
 }
 
 fn bench_rbidiag(c: &mut Criterion) {

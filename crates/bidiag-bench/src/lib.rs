@@ -178,6 +178,98 @@ pub fn print_tsv(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!();
 }
 
+/// One measured point of a real (wall-clock) thread-scaling run.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Best-of-`samples` wall time in seconds.
+    pub seconds: f64,
+    /// Speedup relative to the 1-thread run of the same sweep.
+    pub speedup: f64,
+    /// Parallel efficiency: `speedup / threads`.
+    pub efficiency: f64,
+}
+
+/// Measure the *real* (not simulated) wall-clock scaling of the threaded
+/// `ge2bnd` on an `m x n` latms matrix with a geometric spectrum
+/// (cond 1e4, seed 7 — the BENCHMARKING.md reference input): run each
+/// thread count in `threads` `samples` times and keep the best time.
+/// `threads` must start with 1 (asserted) so every speedup is relative
+/// to the single-thread run of the same sweep.
+pub fn measure_ge2bnd_scaling(
+    m: usize,
+    n: usize,
+    nb: usize,
+    threads: &[usize],
+    samples: usize,
+) -> Vec<ScalingPoint> {
+    use bidiag_core::pipeline::{ge2bnd, AlgorithmChoice, Ge2Options};
+    assert_eq!(
+        threads.first(),
+        Some(&1),
+        "threads must start with 1: speedups are relative to the 1-thread run of this sweep"
+    );
+    let (a, _) = bidiag_matrix::gen::latms(
+        m,
+        n,
+        &bidiag_matrix::gen::SpectrumKind::Geometric { cond: 1.0e4 },
+        7,
+    );
+    let opts = |t: usize| {
+        Ge2Options::new(nb)
+            .with_tree(NamedTree::Greedy)
+            .with_algorithm(AlgorithmChoice::Bidiag)
+            .with_threads(t)
+    };
+    // Warm up allocators and caches once before timing anything.
+    let _ = ge2bnd(&a, &opts(1));
+
+    let mut points = Vec::with_capacity(threads.len());
+    let mut t1 = f64::NAN;
+    for &t in threads {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples.max(1) {
+            let start = std::time::Instant::now();
+            let r = ge2bnd(&a, &opts(t));
+            let dt = start.elapsed().as_secs_f64();
+            assert!(r.num_tasks > 0);
+            best = best.min(dt);
+        }
+        if t == 1 {
+            t1 = best;
+        }
+        let speedup = t1 / best; // t1 is set by the first (1-thread) pass
+        points.push(ScalingPoint {
+            threads: t,
+            seconds: best,
+            speedup,
+            efficiency: speedup / t as f64,
+        });
+    }
+    points
+}
+
+/// Print a measured thread-scaling sweep as a TSV table.
+pub fn print_scaling_table(title: &str, points: &[ScalingPoint]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                format!("{:.1}", p.seconds * 1.0e3),
+                format!("{:.2}", p.speedup),
+                format!("{:.2}", p.efficiency),
+            ]
+        })
+        .collect();
+    print_tsv(
+        title,
+        &["threads", "time_ms", "speedup", "efficiency"],
+        &rows,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

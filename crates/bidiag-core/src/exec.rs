@@ -1,16 +1,34 @@
-//! Execution back-ends for tile-operation lists.
+//! Execution back-ends for tile-operation lists and pipeline stages.
 //!
 //! * [`execute_sequential`] — run the list in order (reference numerics),
-//! * [`execute_parallel`] — run it on the shared-memory task runtime of
-//!   `bidiag-runtime` (dependencies inferred from data accesses),
+//! * [`execute_parallel`] — run it on the work-stealing shared-memory task
+//!   runtime of `bidiag-runtime` (dependencies inferred from data accesses),
 //! * [`build_graph`] — lower the list to a [`TaskGraph`] for critical-path
-//!   measurements and machine simulation.
+//!   measurements and machine simulation,
+//! * [`bnd2bd_on_runtime`] / [`bd2val_on_runtime`] — run the second and
+//!   third pipeline stages through the same runtime, so every stage of
+//!   GE2VAL is scheduled by one executor.
+//!
+//! # Parallel data plane
+//!
+//! The parallel back-end layers its shared state on the DAG's ordering
+//! guarantees instead of global locks:
+//!
+//! * tiles live behind *per-tile* `RwLock`s, needed only because the
+//!   region-level dependency keys deliberately let kernels touching
+//!   disjoint regions of one tile overlap (see
+//!   [`TileOp::execute_shared`](crate::ops::TileOp::execute_shared));
+//! * reflector scalars live in a pre-sized [`TauTable`] of once-cells keyed
+//!   by op id — producers fill their own slot, consumers read the slot the
+//!   DAG ordered before them, and no global map or lock is ever contended.
 
-use crate::ops::{TauStore, TileOp};
+use crate::ops::{TauStore, TauTable, TileOp};
+use bidiag_kernels::band::BandMatrix;
+use bidiag_kernels::gebd2::Bidiagonal;
+use bidiag_kernels::svd::GkBisection;
 use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
-use bidiag_runtime::{execute_parallel as runtime_execute, TaskBody, TaskGraph};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use bidiag_runtime::{execute_parallel as runtime_execute, AccessMode, TaskBody, TaskGraph};
+use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
 /// Execute the operations in order on the tiled matrix.
@@ -41,17 +59,18 @@ pub fn execute_parallel(ops: &[TileOp], a: &mut TiledMatrix, threads: usize) {
         }
     }
     let shared = Arc::new(shared);
-    let taus: Arc<RwLock<HashMap<u64, Vec<f64>>>> = Arc::new(RwLock::new(HashMap::new()));
+    let taus = Arc::new(TauTable::for_ops(ops));
 
     let graph = build_graph(ops, q, &BlockCyclic::single_node());
     let bodies: Vec<TaskBody> = ops
         .iter()
-        .map(|&op| {
+        .enumerate()
+        .map(|(op_id, &op)| {
             let shared = Arc::clone(&shared);
             let taus = Arc::clone(&taus);
             Box::new(move || {
                 // The shared vector is indexed row-major: (i, j) -> i * q + j.
-                op.execute_shared(&shared, q, &taus);
+                op.execute_shared(op_id, &shared, q, &taus);
             }) as TaskBody
         })
         .collect();
@@ -81,10 +100,88 @@ pub fn build_graph(ops: &[TileOp], q: usize, dist: &BlockCyclic) -> TaskGraph {
     g
 }
 
+/// Run the BND2BD stage (band to bidiagonal) through the task runtime: one
+/// task per superdiagonal-removal sweep, chained by write-write dependencies
+/// on the band.
+///
+/// The bulge-chasing algorithm is inherently sequential at this granularity
+/// — each sweep rewrites the whole band — so the graph is a chain and the
+/// numerical result is identical to
+/// [`BandMatrix::reduce_to_bidiagonal`]; what this buys is that the stage
+/// is *scheduled* like every other stage (the paper likewise runs BND2BD
+/// as the serial section of its pipeline).
+pub fn bnd2bd_on_runtime(band: &mut BandMatrix, threads: usize) -> Bidiagonal {
+    let bw = band.bandwidth();
+    if bw < 2 {
+        return band.bidiagonal_factor();
+    }
+    let mut g = TaskGraph::new();
+    for _ in (2..=bw).rev() {
+        // Every sweep writes the whole band: WAW edges chain them in order.
+        g.add_task(1.0, 0, 0, &[(0, AccessMode::Write)]);
+    }
+    let shared = Arc::new(Mutex::new(std::mem::replace(band, BandMatrix::zeros(1, 1))));
+    let bodies: Vec<TaskBody> = (2..=bw)
+        .rev()
+        .map(|b| {
+            let shared = Arc::clone(&shared);
+            Box::new(move || {
+                shared.lock().remove_superdiagonal(b);
+            }) as TaskBody
+        })
+        .collect();
+    runtime_execute(&g, bodies, threads);
+    *band = Arc::try_unwrap(shared)
+        .expect("all workers joined")
+        .into_inner();
+    band.bidiagonal_factor()
+}
+
+/// Run the BD2VAL stage (singular values of the bidiagonal) through the
+/// task runtime: every singular value is one independent bisection task, so
+/// this stage is embarrassingly parallel.
+///
+/// Returns the singular values in non-increasing order, bitwise identical
+/// to [`bidiagonal_singular_values`] (each bisection performs exactly the
+/// same arithmetic in both back-ends).
+///
+/// [`bidiagonal_singular_values`]: bidiag_kernels::svd::bidiagonal_singular_values
+pub fn bd2val_on_runtime(diag: &[f64], superdiag: &[f64], threads: usize) -> Vec<f64> {
+    let bisect = Arc::new(GkBisection::new(diag, superdiag));
+    let k = bisect.num_values();
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut g = TaskGraph::new();
+    for j in 0..k {
+        // Independent tasks: each writes its own result slot.
+        g.add_task(1.0, 0, 0, &[(j as u64, AccessMode::Write)]);
+    }
+    let results: Arc<Vec<std::sync::OnceLock<f64>>> =
+        Arc::new((0..k).map(|_| std::sync::OnceLock::new()).collect());
+    let bodies: Vec<TaskBody> = (0..k)
+        .map(|j| {
+            let bisect = Arc::clone(&bisect);
+            let results = Arc::clone(&results);
+            Box::new(move || {
+                results[j]
+                    .set(bisect.nth_largest(j))
+                    .expect("singular value computed twice");
+            }) as TaskBody
+        })
+        .collect();
+    runtime_execute(&g, bodies, threads);
+    results
+        .iter()
+        .map(|c| *c.get().expect("singular value never computed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::drivers::{bidiag_ops, GenConfig};
+    use crate::drivers::{bidiag_ops, rbidiag_ops, GenConfig};
+    use bidiag_kernels::svd::bidiagonal_singular_values;
     use bidiag_matrix::gen::random_gaussian;
     use bidiag_trees::NamedTree;
 
@@ -103,6 +200,47 @@ mod tests {
 
         // Same kernels on the same operands: results are bitwise identical.
         assert_eq!(seq.to_dense(), par.to_dense());
+    }
+
+    #[test]
+    fn parallel_rbidiag_handles_reused_tau_keys() {
+        // R-BIDIAG produces the same TauKey twice (preQR phase + square
+        // bidiagonalization); the per-op-id TauTable must keep both.
+        let a0 = random_gaussian(20, 10, 3);
+        let nb = 2;
+        let cfg = GenConfig::shared(NamedTree::Greedy);
+        let ops = rbidiag_ops(10, 5, &cfg);
+
+        let mut seq = TiledMatrix::from_dense(&a0, nb);
+        execute_sequential(&ops, &mut seq);
+
+        let mut par = TiledMatrix::from_dense(&a0, nb);
+        execute_parallel(&ops, &mut par, 4);
+        assert_eq!(seq.to_dense(), par.to_dense());
+    }
+
+    #[test]
+    fn tau_table_sizes_one_slot_per_factorization() {
+        let cfg = GenConfig::shared(NamedTree::Greedy);
+        let ops = bidiag_ops(5, 3, &cfg);
+        let table = TauTable::for_ops(&ops);
+        let producers = ops
+            .iter()
+            .filter(|o| {
+                !matches!(
+                    o,
+                    TileOp::Unmqr { .. }
+                        | TileOp::Tsmqr { .. }
+                        | TileOp::Ttmqr { .. }
+                        | TileOp::Unmlq { .. }
+                        | TileOp::Tsmlq { .. }
+                        | TileOp::Ttmlq { .. }
+                        | TileOp::ZeroLower { .. }
+                )
+            })
+            .count();
+        assert_eq!(table.len(), producers);
+        assert!(!table.is_empty());
     }
 
     #[test]
@@ -125,5 +263,25 @@ mod tests {
             let (i, j) = op.output_tile();
             assert_eq!(g.task(t).owner, dist.owner(i, j));
         }
+    }
+
+    #[test]
+    fn bnd2bd_on_runtime_matches_direct_reduction() {
+        let g = random_gaussian(30, 30, 11);
+        let mut b1 = BandMatrix::from_dense(&g, 5);
+        let mut b2 = b1.clone();
+        let direct = b1.reduce_to_bidiagonal();
+        let threaded = bnd2bd_on_runtime(&mut b2, 4);
+        assert_eq!(direct.diag, threaded.diag);
+        assert_eq!(direct.superdiag, threaded.superdiag);
+    }
+
+    #[test]
+    fn bd2val_on_runtime_matches_sequential_bisection() {
+        let d = vec![4.0, -3.0, 2.5, 1.0, 0.5];
+        let e = vec![0.7, -0.3, 0.2, 0.1];
+        let seq = bidiagonal_singular_values(&d, &e);
+        let par = bd2val_on_runtime(&d, &e, 4);
+        assert_eq!(seq, par);
     }
 }

@@ -37,6 +37,8 @@ pub mod pipeline;
 pub use drivers::{
     bidiag_ops, ge2bnd_ops, qr_factorization_ops, rbidiag_ops, Algorithm, GenConfig,
 };
-pub use exec::{build_graph, execute_parallel, execute_sequential};
-pub use ops::{ops_flops, TauStore, TileOp};
+pub use exec::{
+    bd2val_on_runtime, bnd2bd_on_runtime, build_graph, execute_parallel, execute_sequential,
+};
+pub use ops::{ops_flops, TauStore, TauTable, TileOp};
 pub use pipeline::{ge2bnd, ge2val, AlgorithmChoice, Ge2BndResult, Ge2Options, Ge2ValResult};

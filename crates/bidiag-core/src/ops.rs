@@ -203,6 +203,96 @@ impl TauStore {
     }
 }
 
+/// Lock-free storage of the reflector scalars for the parallel back-end:
+/// one pre-sized [`OnceLock`] slot per *producing* operation, resolved at
+/// build time from the sequential op order.
+///
+/// A [`TauKey`] can be produced more than once in one op list (R-BIDIAG
+/// reuses panel indices between its QR-factorization phase and the square
+/// bidiagonalization), so slots are keyed by the *op index* of the
+/// producer rather than by the key: during the sequential scan in
+/// [`TauTable::for_ops`], each consumer is bound to the most recent
+/// producer of its key — exactly the producer its RAW dependency points to
+/// in the task graph.  The DAG's WAR edges guarantee a later producer of
+/// the same key never runs before earlier consumers, so every slot is
+/// written once and read only after being written.  No locking, no
+/// rehashing, no contention on a global map.
+///
+/// [`OnceLock`]: std::sync::OnceLock
+#[derive(Debug)]
+pub struct TauTable {
+    /// Per-op slot written by the op (producers only).
+    write_slot: Vec<Option<u32>>,
+    /// Per-op slot read by the op (consumers only).
+    read_slot: Vec<Option<u32>>,
+    slots: Vec<std::sync::OnceLock<Vec<f64>>>,
+}
+
+/// Whether an operation produces or consumes a tau vector.
+enum TauRole {
+    Produce,
+    Consume,
+}
+
+impl TauTable {
+    /// Pre-size the table for an operation list (one slot per factorization
+    /// kernel) and bind every consumer to its producer's slot.
+    pub fn for_ops(ops: &[TileOp]) -> Self {
+        let mut write_slot = vec![None; ops.len()];
+        let mut read_slot = vec![None; ops.len()];
+        let mut nslots = 0u32;
+        let mut last_producer: HashMap<u64, u32> = HashMap::new();
+        for (t, op) in ops.iter().enumerate() {
+            match op.tau_role() {
+                Some(TauRole::Produce) => {
+                    last_producer.insert(op.tau().0, nslots);
+                    write_slot[t] = Some(nslots);
+                    nslots += 1;
+                }
+                Some(TauRole::Consume) => {
+                    let slot = *last_producer
+                        .get(&op.tau().0)
+                        .expect("tau consumed before any producer in the op list");
+                    read_slot[t] = Some(slot);
+                }
+                None => {}
+            }
+        }
+        TauTable {
+            write_slot,
+            read_slot,
+            slots: (0..nslots).map(|_| std::sync::OnceLock::new()).collect(),
+        }
+    }
+
+    /// Number of tau slots (factorization kernels) in the table.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the op list contains no factorization kernel.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Store the tau vector produced by op `op_id`.
+    fn put(&self, op_id: usize, taus: Vec<f64>) {
+        let slot = self.write_slot[op_id].expect("op produces no tau vector");
+        self.slots[slot as usize]
+            .set(taus)
+            .expect("tau slot produced twice");
+    }
+
+    /// Fetch the tau vector consumed by op `op_id` (panics if the producer
+    /// has not run — the DAG guarantees it has).
+    fn get(&self, op_id: usize) -> &[f64] {
+        let slot = self.read_slot[op_id].expect("op consumes no tau vector");
+        self.slots[slot as usize]
+            .get()
+            .expect("tau vector read before being produced")
+    }
+}
+
 impl TileOp {
     /// The kernel kind (for costs and reporting).
     pub fn kernel(&self) -> KernelKind {
@@ -264,6 +354,26 @@ impl TileOp {
                 tau_key(TauClass::LqElim, k, j)
             }
             TileOp::ZeroLower { .. } => unreachable!("ZeroLower has no reflector scalars"),
+        }
+    }
+
+    /// Whether the op produces or consumes a tau vector (factorization
+    /// kernels produce, update kernels consume, `ZeroLower` does neither).
+    fn tau_role(&self) -> Option<TauRole> {
+        match self {
+            TileOp::Geqrt { .. }
+            | TileOp::Tsqrt { .. }
+            | TileOp::Ttqrt { .. }
+            | TileOp::Gelqt { .. }
+            | TileOp::Tslqt { .. }
+            | TileOp::Ttlqt { .. } => Some(TauRole::Produce),
+            TileOp::Unmqr { .. }
+            | TileOp::Tsmqr { .. }
+            | TileOp::Ttmqr { .. }
+            | TileOp::Unmlq { .. }
+            | TileOp::Tsmlq { .. }
+            | TileOp::Ttmlq { .. } => Some(TauRole::Consume),
+            TileOp::ZeroLower { .. } => None,
         }
     }
 
@@ -453,7 +563,15 @@ impl TileOp {
 
     /// Execute the operation against tiles shared behind per-tile locks
     /// (parallel back-end).  `tiles[r * q + c]` guards tile `(r, c)`;
-    /// `taus` maps tau keys to their vectors.
+    /// `taus` is the pre-sized per-op tau table and `op_id` this
+    /// operation's index in the op list the table was built for.
+    ///
+    /// The per-tile `RwLock`s are *not* redundant with the DAG: the
+    /// region-level dependency keys deliberately let two kernels touch
+    /// disjoint regions of the same tile concurrently (a panel kernel
+    /// rewriting the `R` part while an update kernel reads the Householder
+    /// vectors below the diagonal), so the lock arbitrates access to the
+    /// shared `Matrix` allocation in exactly those overlaps.
     ///
     /// Locking discipline (deadlock freedom): read-only operands are cloned
     /// under a read lock that is released immediately, and the (at most two)
@@ -462,18 +580,14 @@ impl TileOp {
     /// precedes the eliminated one.
     pub fn execute_shared(
         &self,
+        op_id: usize,
         tiles: &[parking_lot::RwLock<Matrix>],
         q: usize,
-        taus: &parking_lot::RwLock<HashMap<u64, Vec<f64>>>,
+        taus: &TauTable,
     ) {
         let idx = |r: usize, c: usize| r * q + c;
         let read_tile = |r: usize, c: usize| -> Matrix { tiles[idx(r, c)].read().clone() };
-        let read_tau = || -> Vec<f64> {
-            taus.read()
-                .get(&self.tau().0)
-                .expect("tau read before being produced")
-                .clone()
-        };
+        let read_tau = || -> &[f64] { taus.get(op_id) };
         match *self {
             TileOp::ZeroLower { i, j, whole } => {
                 let mut t = tiles[idx(i, j)].write();
@@ -489,19 +603,19 @@ impl TileOp {
             }
             TileOp::Geqrt { k, i } => {
                 let t = qr::geqrt(&mut tiles[idx(i, k)].write());
-                taus.write().insert(self.tau().0, t);
+                taus.put(op_id, t);
             }
             TileOp::Unmqr { k, i, j } => {
                 let v = read_tile(i, k);
                 let t = read_tau();
-                qr::unmqr(&v, &t, &mut tiles[idx(i, j)].write(), Trans::Transpose);
+                qr::unmqr(&v, t, &mut tiles[idx(i, j)].write(), Trans::Transpose);
             }
             TileOp::Tsqrt { k, piv, i } => {
                 debug_assert!(idx(piv, k) < idx(i, k));
                 let mut r1 = tiles[idx(piv, k)].write();
                 let mut a2 = tiles[idx(i, k)].write();
                 let t = qr::tsqrt(&mut r1, &mut a2);
-                taus.write().insert(self.tau().0, t);
+                taus.put(op_id, t);
             }
             TileOp::Tsmqr { k, piv, i, j } => {
                 let v2 = read_tile(i, k);
@@ -509,14 +623,14 @@ impl TileOp {
                 debug_assert!(idx(piv, j) < idx(i, j));
                 let mut a1 = tiles[idx(piv, j)].write();
                 let mut a2 = tiles[idx(i, j)].write();
-                qr::tsmqr(&mut a1, &mut a2, &v2, &t, Trans::Transpose);
+                qr::tsmqr(&mut a1, &mut a2, &v2, t, Trans::Transpose);
             }
             TileOp::Ttqrt { k, piv, i } => {
                 debug_assert!(idx(piv, k) < idx(i, k));
                 let mut r1 = tiles[idx(piv, k)].write();
                 let mut r2 = tiles[idx(i, k)].write();
                 let t = qr::ttqrt(&mut r1, &mut r2);
-                taus.write().insert(self.tau().0, t);
+                taus.put(op_id, t);
             }
             TileOp::Ttmqr { k, piv, i, j } => {
                 let v2 = read_tile(i, k);
@@ -524,23 +638,23 @@ impl TileOp {
                 debug_assert!(idx(piv, j) < idx(i, j));
                 let mut a1 = tiles[idx(piv, j)].write();
                 let mut a2 = tiles[idx(i, j)].write();
-                qr::ttmqr(&mut a1, &mut a2, &v2, &t, Trans::Transpose);
+                qr::ttmqr(&mut a1, &mut a2, &v2, t, Trans::Transpose);
             }
             TileOp::Gelqt { k, j } => {
                 let t = lq::gelqt(&mut tiles[idx(k, j)].write());
-                taus.write().insert(self.tau().0, t);
+                taus.put(op_id, t);
             }
             TileOp::Unmlq { k, j, i } => {
                 let v = read_tile(k, j);
                 let t = read_tau();
-                lq::unmlq(&v, &t, &mut tiles[idx(i, j)].write(), Trans::Transpose);
+                lq::unmlq(&v, t, &mut tiles[idx(i, j)].write(), Trans::Transpose);
             }
             TileOp::Tslqt { k, piv, j } => {
                 debug_assert!(idx(k, piv) < idx(k, j));
                 let mut l1 = tiles[idx(k, piv)].write();
                 let mut a2 = tiles[idx(k, j)].write();
                 let t = lq::tslqt(&mut l1, &mut a2);
-                taus.write().insert(self.tau().0, t);
+                taus.put(op_id, t);
             }
             TileOp::Tsmlq { k, piv, j, i } => {
                 let v2 = read_tile(k, j);
@@ -548,14 +662,14 @@ impl TileOp {
                 debug_assert!(idx(i, piv) < idx(i, j));
                 let mut c1 = tiles[idx(i, piv)].write();
                 let mut c2 = tiles[idx(i, j)].write();
-                lq::tsmlq(&mut c1, &mut c2, &v2, &t, Trans::Transpose);
+                lq::tsmlq(&mut c1, &mut c2, &v2, t, Trans::Transpose);
             }
             TileOp::Ttlqt { k, piv, j } => {
                 debug_assert!(idx(k, piv) < idx(k, j));
                 let mut l1 = tiles[idx(k, piv)].write();
                 let mut l2 = tiles[idx(k, j)].write();
                 let t = lq::ttlqt(&mut l1, &mut l2);
-                taus.write().insert(self.tau().0, t);
+                taus.put(op_id, t);
             }
             TileOp::Ttmlq { k, piv, j, i } => {
                 let v2 = read_tile(k, j);
@@ -563,7 +677,7 @@ impl TileOp {
                 debug_assert!(idx(i, piv) < idx(i, j));
                 let mut c1 = tiles[idx(i, piv)].write();
                 let mut c2 = tiles[idx(i, j)].write();
-                lq::ttmlq(&mut c1, &mut c2, &v2, &t, Trans::Transpose);
+                lq::ttmlq(&mut c1, &mut c2, &v2, t, Trans::Transpose);
             }
         }
     }

@@ -6,9 +6,17 @@
 //!   pipeline `GE2BND -> BND2BD -> BD2VAL` used in every GE2VAL experiment,
 //! * [`Ge2Options`] — tile size, reduction tree, algorithm selection and
 //!   threading knobs.
+//!
+//! With `threads > 1` every stage runs on the work-stealing task runtime of
+//! `bidiag-runtime`: GE2BND as the tile-kernel DAG, BND2BD as a chain of
+//! sweep tasks (the stage is inherently serial, exactly as in the paper),
+//! and BD2VAL as one independent bisection task per singular value.  The
+//! thread count never changes the numerical result — the task graphs encode
+//! every data conflict of the sequential order, so any schedule executes
+//! the same arithmetic (see the `bidiag-runtime` crate docs).
 
 use crate::drivers::{ge2bnd_ops, Algorithm, GenConfig};
-use crate::exec::{execute_parallel, execute_sequential};
+use crate::exec::{bd2val_on_runtime, bnd2bd_on_runtime, execute_parallel, execute_sequential};
 use crate::flops;
 use crate::ops::ops_flops;
 use bidiag_kernels::band::BandMatrix;
@@ -134,7 +142,30 @@ pub struct Ge2ValResult {
 /// pipeline `GE2BND -> BND2BD -> BD2VAL`.
 ///
 /// Wide matrices (`m < n`) are handled by transposing the input (the
-/// singular values are unchanged).
+/// singular values are unchanged).  With `threads > 1` all three stages
+/// are scheduled on the work-stealing task runtime; the result is
+/// identical to the sequential path for every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use bidiag_core::pipeline::{ge2val, Ge2Options};
+/// use bidiag_matrix::gen::{latms, SpectrumKind};
+///
+/// // A 24 x 16 matrix with prescribed singular values 16, 15, ..., 1.
+/// let sigma: Vec<f64> = (1..=16).map(f64::from).rev().collect();
+/// let (a, _) = latms(24, 16, &SpectrumKind::Explicit(sigma.clone()), 7);
+///
+/// // Multi-threaded run: GE2BND, BND2BD and BD2VAL all execute on the
+/// // work-stealing runtime, and the spectrum comes back bit-identical to
+/// // the sequential result.
+/// let par = ge2val(&a, &Ge2Options::new(4).with_threads(4));
+/// let seq = ge2val(&a, &Ge2Options::new(4).with_threads(1));
+/// assert_eq!(par.singular_values, seq.singular_values);
+/// for (s, expect) in par.singular_values.iter().zip(&sigma) {
+///     assert!((s - expect).abs() < 1e-10);
+/// }
+/// ```
 pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
     let work;
     let a_ref = if a.rows() >= a.cols() {
@@ -144,11 +175,21 @@ pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
         &work
     };
     let stage1 = ge2bnd(a_ref, opts);
-    // BND2BD: bulge chasing on the band.
+    // BND2BD: bulge chasing on the band (a serial chain of sweep tasks on
+    // the runtime when threaded).
     let mut band = stage1.band.clone();
-    let bidiag = band.reduce_to_bidiagonal();
-    // BD2VAL: bisection on the Golub-Kahan tridiagonal.
-    let mut sv = bidiagonal_singular_values(&bidiag.diag, &bidiag.superdiag);
+    let bidiag = if opts.threads > 1 {
+        bnd2bd_on_runtime(&mut band, opts.threads)
+    } else {
+        band.reduce_to_bidiagonal()
+    };
+    // BD2VAL: bisection on the Golub-Kahan tridiagonal (one task per
+    // singular value when threaded).
+    let mut sv = if opts.threads > 1 {
+        bd2val_on_runtime(&bidiag.diag, &bidiag.superdiag, opts.threads)
+    } else {
+        bidiagonal_singular_values(&bidiag.diag, &bidiag.superdiag)
+    };
     sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
     Ge2ValResult {
         singular_values: sv,

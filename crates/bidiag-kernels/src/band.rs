@@ -118,60 +118,84 @@ impl BandMatrix {
     /// bulge chasing and return the bidiagonal factor.  Only singular values
     /// are preserved (the rotations are not accumulated), exactly like the
     /// singular-value-only path of the paper.
+    ///
+    /// Equivalent to calling [`BandMatrix::remove_superdiagonal`] for
+    /// `b = bw, bw-1, ..., 2` followed by
+    /// [`BandMatrix::bidiagonal_factor`]; the split entry points let the
+    /// task runtime schedule the sweeps as a chain of tasks.
     pub fn reduce_to_bidiagonal(&mut self) -> Bidiagonal {
-        let n = self.n;
-        // Remove superdiagonal `b`, for b = bw, bw-1, ..., 2.
         let mut b = self.bw;
         while b >= 2 {
-            for i in 0..n.saturating_sub(b) {
-                let c = i + b;
-                if self.get(i, c) == 0.0 {
-                    continue;
-                }
-                // Column rotation on (c-1, c) zeroing (i, c).
-                let rot = givens(self.get(i, c - 1), self.get(i, c));
-                let rmax = c.min(n - 1);
-                for r in i..=rmax {
-                    let (x, y) = rot.apply(self.get(r, c - 1), self.get(r, c));
-                    self.set(r, c - 1, x);
-                    self.set(r, c, y);
-                }
-                self.set(i, c, 0.0);
-
-                // Chase the bulges down the band.
-                let mut j = c;
-                loop {
-                    // Sub-diagonal bulge at (j, j-1): row rotation on (j-1, j).
-                    if self.get(j, j - 1) == 0.0 {
-                        break;
-                    }
-                    let rot = givens(self.get(j - 1, j - 1), self.get(j, j - 1));
-                    let cmax = (j + b).min(n - 1);
-                    for col in (j - 1)..=cmax {
-                        let (x, y) = rot.apply(self.get(j - 1, col), self.get(j, col));
-                        self.set(j - 1, col, x);
-                        self.set(j, col, y);
-                    }
-                    self.set(j, j - 1, 0.0);
-
-                    // Above-band bulge at (j-1, j+b): column rotation on (j+b-1, j+b).
-                    if j + b > n - 1 || self.get(j - 1, j + b) == 0.0 {
-                        break;
-                    }
-                    let rot = givens(self.get(j - 1, j + b - 1), self.get(j - 1, j + b));
-                    let rmax = (j + b).min(n - 1);
-                    for r in (j - 1)..=rmax {
-                        let (x, y) = rot.apply(self.get(r, j + b - 1), self.get(r, j + b));
-                        self.set(r, j + b - 1, x);
-                        self.set(r, j + b, y);
-                    }
-                    self.set(j - 1, j + b, 0.0);
-                    j += b;
-                }
-            }
+            self.remove_superdiagonal(b);
             b -= 1;
         }
+        self.bidiagonal_factor()
+    }
 
+    /// One sweep of the Schwarz/Rutishauser reduction: annihilate every
+    /// entry of superdiagonal `b` (which must be the outermost non-zero
+    /// one, i.e. superdiagonals `b+1..` were already removed) and chase the
+    /// resulting bulges off the bottom-right corner.
+    pub fn remove_superdiagonal(&mut self, b: usize) {
+        let n = self.n;
+        assert!(
+            (2..=self.bw).contains(&b),
+            "sweep index {b} outside 2..=bw ({})",
+            self.bw
+        );
+        for i in 0..n.saturating_sub(b) {
+            let c = i + b;
+            if self.get(i, c) == 0.0 {
+                continue;
+            }
+            // Column rotation on (c-1, c) zeroing (i, c).
+            let rot = givens(self.get(i, c - 1), self.get(i, c));
+            let rmax = c.min(n - 1);
+            for r in i..=rmax {
+                let (x, y) = rot.apply(self.get(r, c - 1), self.get(r, c));
+                self.set(r, c - 1, x);
+                self.set(r, c, y);
+            }
+            self.set(i, c, 0.0);
+
+            // Chase the bulges down the band.
+            let mut j = c;
+            loop {
+                // Sub-diagonal bulge at (j, j-1): row rotation on (j-1, j).
+                if self.get(j, j - 1) == 0.0 {
+                    break;
+                }
+                let rot = givens(self.get(j - 1, j - 1), self.get(j, j - 1));
+                let cmax = (j + b).min(n - 1);
+                for col in (j - 1)..=cmax {
+                    let (x, y) = rot.apply(self.get(j - 1, col), self.get(j, col));
+                    self.set(j - 1, col, x);
+                    self.set(j, col, y);
+                }
+                self.set(j, j - 1, 0.0);
+
+                // Above-band bulge at (j-1, j+b): column rotation on (j+b-1, j+b).
+                if j + b > n - 1 || self.get(j - 1, j + b) == 0.0 {
+                    break;
+                }
+                let rot = givens(self.get(j - 1, j + b - 1), self.get(j - 1, j + b));
+                let rmax = (j + b).min(n - 1);
+                for r in (j - 1)..=rmax {
+                    let (x, y) = rot.apply(self.get(r, j + b - 1), self.get(r, j + b));
+                    self.set(r, j + b - 1, x);
+                    self.set(r, j + b, y);
+                }
+                self.set(j - 1, j + b, 0.0);
+                j += b;
+            }
+        }
+    }
+
+    /// Extract the main diagonal and first superdiagonal as a
+    /// [`Bidiagonal`] factor (meaningful once every superdiagonal beyond
+    /// the first has been removed).
+    pub fn bidiagonal_factor(&self) -> Bidiagonal {
+        let n = self.n;
         let diag: Vec<f64> = (0..n).map(|i| self.get(i, i)).collect();
         let superdiag: Vec<f64> = (0..n.saturating_sub(1))
             .map(|i| self.get(i, i + 1))

@@ -41,61 +41,108 @@ fn sturm_count(off: &[f64], x: f64, pivmin: f64) -> usize {
     count
 }
 
+/// Prepared bisection state for the singular values of one bidiagonal
+/// matrix: the Golub–Kahan off-diagonals plus the Gershgorin bound and the
+/// derived pivot/termination thresholds.
+///
+/// Each singular value is an independent bisection over this shared
+/// read-only state ([`GkBisection::nth_largest`]), which is what lets the
+/// BD2VAL stage fan out one task per singular value on the task runtime:
+/// the parallel and sequential back-ends perform bit-for-bit the same
+/// arithmetic per value.
+#[derive(Clone, Debug)]
+pub struct GkBisection {
+    /// Off-diagonals of the Golub-Kahan tridiagonal: d1, e1, d2, ..., dk.
+    off: Vec<f64>,
+    bound: f64,
+    pivmin: f64,
+    tol: f64,
+    k: usize,
+}
+
+impl GkBisection {
+    /// Prepare the bisection state for the bidiagonal matrix with main
+    /// diagonal `d` and superdiagonal `e` (`e.len() == d.len() - 1`).
+    pub fn new(d: &[f64], e: &[f64]) -> Self {
+        let k = d.len();
+        if k == 0 {
+            return GkBisection {
+                off: Vec::new(),
+                bound: 0.0,
+                pivmin: f64::MIN_POSITIVE,
+                tol: 0.0,
+                k: 0,
+            };
+        }
+        assert_eq!(e.len(), k - 1, "superdiagonal must have length n-1");
+
+        // Off-diagonals of the Golub-Kahan tridiagonal: d1, e1, d2, ..., dk.
+        let mut off = Vec::with_capacity(2 * k - 1);
+        for i in 0..k {
+            off.push(d[i]);
+            if i + 1 < k {
+                off.push(e[i]);
+            }
+        }
+
+        // Gershgorin bound: diagonal is zero, so |lambda| <= max row sum.
+        let mut bound: f64 = 0.0;
+        let m = 2 * k;
+        for i in 0..m {
+            let left = if i > 0 { off[i - 1].abs() } else { 0.0 };
+            let right = if i < m - 1 { off[i].abs() } else { 0.0 };
+            bound = bound.max(left + right);
+        }
+        let pivmin = f64::MIN_POSITIVE.max(f64::EPSILON * bound * bound * 1e-3);
+        let tol = 2.0 * f64::EPSILON * bound;
+        GkBisection {
+            off,
+            bound,
+            pivmin,
+            tol,
+            k,
+        }
+    }
+
+    /// Number of singular values (the order of the bidiagonal matrix).
+    pub fn num_values(&self) -> usize {
+        self.k
+    }
+
+    /// The `j`-th largest singular value, `j` in `0..num_values()`.
+    ///
+    /// The (0-based) `j`-th largest singular value is the `(2k - j)`-th
+    /// smallest eigenvalue of the Golub-Kahan tridiagonal (1-based):
+    /// bisection maintains `count(lo) <= target < count(hi)` for
+    /// `target = 2k - j - 1`.
+    pub fn nth_largest(&self, j: usize) -> f64 {
+        assert!(j < self.k, "value index out of range");
+        if self.bound == 0.0 {
+            return 0.0;
+        }
+        let target = 2 * self.k - j - 1;
+        let mut lo = 0.0_f64;
+        let mut hi = self.bound * (1.0 + 4.0 * f64::EPSILON);
+        while hi - lo > self.tol.max(f64::EPSILON * hi) {
+            let mid = 0.5 * (lo + hi);
+            if sturm_count(&self.off, mid, self.pivmin) > target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
 /// Singular values of the bidiagonal matrix with main diagonal `d` and
 /// superdiagonal `e`, returned in non-increasing order.
 ///
 /// Runs bisection to roughly machine precision relative to the largest
 /// singular value.
 pub fn bidiagonal_singular_values(d: &[f64], e: &[f64]) -> Vec<f64> {
-    let k = d.len();
-    if k == 0 {
-        return Vec::new();
-    }
-    assert_eq!(e.len(), k - 1, "superdiagonal must have length n-1");
-
-    // Off-diagonals of the Golub-Kahan tridiagonal: d1, e1, d2, e2, ..., dk.
-    let mut off = Vec::with_capacity(2 * k - 1);
-    for i in 0..k {
-        off.push(d[i]);
-        if i + 1 < k {
-            off.push(e[i]);
-        }
-    }
-
-    // Gershgorin bound: diagonal is zero, so |lambda| <= max row sum.
-    let mut bound: f64 = 0.0;
-    let m = 2 * k;
-    for i in 0..m {
-        let left = if i > 0 { off[i - 1].abs() } else { 0.0 };
-        let right = if i < m - 1 { off[i].abs() } else { 0.0 };
-        bound = bound.max(left + right);
-    }
-    if bound == 0.0 {
-        return vec![0.0; k];
-    }
-    let pivmin = f64::MIN_POSITIVE.max(f64::EPSILON * bound * bound * 1e-3);
-    let tol = 2.0 * f64::EPSILON * bound;
-
-    // The j-th largest singular value is the (2k - j + 1)-th smallest
-    // eigenvalue of T_GK (1-based).  Equivalently, sigma_j is the unique
-    // value x >= 0 with count(x) crossing 2k - j.
-    let mut sigmas = Vec::with_capacity(k);
-    for j in 1..=k {
-        let target = 2 * k - j; // count(x) >= target + 1  <=>  lambda_{target+1} < x
-        let mut lo = 0.0_f64;
-        let mut hi = bound * (1.0 + 4.0 * f64::EPSILON);
-        // Bisection: maintain count(lo) <= target < count(hi).
-        while hi - lo > tol.max(f64::EPSILON * hi) {
-            let mid = 0.5 * (lo + hi);
-            if sturm_count(&off, mid, pivmin) > target {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        sigmas.push(0.5 * (lo + hi));
-    }
-    sigmas
+    let b = GkBisection::new(d, e);
+    (0..b.num_values()).map(|j| b.nth_largest(j)).collect()
 }
 
 /// Convenience wrapper over [`bidiagonal_singular_values`] for a

@@ -1,91 +1,383 @@
-//! Multi-threaded execution of task graphs (the shared-memory runtime).
+//! Work-stealing multi-threaded execution of task graphs (the shared-memory
+//! runtime).
 //!
 //! This plays the role PaRSEC plays in the paper's implementation: tasks
 //! become ready when their data-flow predecessors complete and are executed
 //! by a pool of worker threads.  Correctness does not depend on scheduling
 //! order — any topological execution yields the same numerical result —
-//! which is asserted by the determinism tests in `bidiag-core`.
+//! which is asserted by the determinism tests in `bidiag-core` and by the
+//! randomized stress tests in `tests/scheduler_stress.rs`.
+//!
+//! # Scheduler design
+//!
+//! The scheduler is *work-stealing* and *event-driven*; there is no timed
+//! polling anywhere on the execution path.
+//!
+//! * **Per-worker LIFO deques.** Every worker owns a
+//!   [`crossbeam::deque::Worker`] deque.  Tasks a worker makes ready are
+//!   pushed on its own deque, so the successors of a just-finished tile
+//!   kernel — whose operands are hot in that worker's cache — are executed
+//!   by the same worker in depth-first order, exactly like the
+//!   locality-aware queues of PaRSEC.
+//! * **Random stealing.** A worker whose deque drains picks victims in a
+//!   per-worker pseudo-random order and steals the *oldest* entry of a
+//!   victim's deque (the FIFO end), which is the entry the victim would
+//!   touch last.
+//! * **Priorities.** When a finished task releases several successors at
+//!   once, they are pushed in increasing bottom-level order so that the
+//!   LIFO pop picks the successor with the *longest* remaining critical
+//!   path first — the same bottom-level priority the paper's runtime uses.
+//!   The highest-priority successor skips the deque entirely and is
+//!   returned to the worker loop as the next task to run (a work-first
+//!   handoff).  Initial source tasks are dealt round-robin across all
+//!   workers in the same order.
+//! * **Idle protocol.** Workers that find no runnable task block on a
+//!   condition variable guarded by a generation counter (the internal
+//!   `IdleGate`): publishing new tasks bumps the generation and wakes
+//!   sleepers, so a worker only rescans when something actually changed.
+//!   There is no `recv_timeout`/sleep loop; a sleeping worker consumes no
+//!   CPU until a task is published or the graph drains.
+//! * **Completion detection.** A single atomic countdown of unfinished
+//!   tasks; the worker that completes the last task closes the gate and
+//!   every worker exits.  No thread ever waits on a timeout to notice
+//!   termination.
+//!
+//! # Why the once-cell task slots are sound
+//!
+//! Task bodies are stored in [`UnsafeCell`] slots without any lock.  The
+//! dependency protocol guarantees exclusive access:
+//!
+//! 1. a task id becomes *ready* exactly once — only the worker whose
+//!    `fetch_sub` drops the predecessor counter to zero publishes it (and
+//!    source tasks are seeded exactly once before the workers start);
+//! 2. a published id is claimed exactly once — deque ends are
+//!    mutually exclusive, so exactly one worker pops or steals it;
+//! 3. the handoff happens through the deque (or through thread spawn for
+//!    the seeds), which orders the slot write before the slot take.
+//!
+//! Hence each slot is taken exactly once, by exactly one thread, after its
+//! body was written — the invariant the internal `BodySlots::take` relies
+//! on.
 
 use crate::graph::{TaskGraph, TaskId};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::deque::{Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
 
 /// A task body: the closure that actually runs the kernel.  Bodies are
 /// indexed by [`TaskId`] and own whatever shared state they need (typically
 /// `Arc`s of per-tile locks).
 pub type TaskBody = Box<dyn FnOnce() + Send>;
 
+/// Once-cell storage of the task bodies: each slot is written once before
+/// the workers start and taken exactly once by the worker that claimed the
+/// task (see the module docs for the exclusivity argument).
+struct BodySlots(Vec<UnsafeCell<Option<TaskBody>>>);
+
+// SAFETY: slots are only accessed through `take`, whose per-id exclusivity
+// is guaranteed by the ready/claim protocol described in the module docs.
+unsafe impl Sync for BodySlots {}
+
+impl BodySlots {
+    fn new(bodies: Vec<TaskBody>) -> Self {
+        BodySlots(
+            bodies
+                .into_iter()
+                .map(|b| UnsafeCell::new(Some(b)))
+                .collect(),
+        )
+    }
+
+    /// Take the body of task `id`.
+    ///
+    /// SAFETY contract (upheld by the scheduler): `take(id)` is called at
+    /// most once per id, and the call happens after the constructor's write
+    /// with a synchronization edge in between (deque mutex or thread spawn).
+    fn take(&self, id: TaskId) -> TaskBody {
+        unsafe { (*self.0[id].get()).take().expect("task executed twice") }
+    }
+}
+
+/// The event gate of the idle protocol: a generation counter bumped on every
+/// publication of new work, plus a `done` latch flipped by the completion
+/// countdown.  Workers park on the condition variable when a full scan of
+/// all deques found nothing and the generation has not moved since the scan
+/// started — so a publication between scan and park is never lost.
+struct IdleGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    generation: u64,
+    sleepers: usize,
+    done: bool,
+}
+
+impl IdleGate {
+    fn new() -> Self {
+        IdleGate {
+            state: Mutex::new(GateState {
+                generation: 0,
+                sleepers: 0,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Announce that new tasks were pushed on some deque.
+    fn publish(&self) {
+        let mut st = self.state.lock();
+        st.generation += 1;
+        if st.sleepers > 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Announce that every task has completed.
+    fn finish(&self) {
+        let mut st = self.state.lock();
+        st.done = true;
+        self.cv.notify_all();
+    }
+
+    /// Park until something changes.  `seen` is the generation the caller's
+    /// last (fruitless) scan started from; returns `true` when the caller
+    /// should rescan for work and `false` when the graph has drained.
+    fn park(&self, seen: &mut u64) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            if st.done {
+                return false;
+            }
+            if st.generation != *seen {
+                *seen = st.generation;
+                return true;
+            }
+            st.sleepers += 1;
+            self.cv.wait(&mut st);
+            st.sleepers -= 1;
+        }
+    }
+}
+
+/// Everything the workers share.
+struct Scheduler<'g> {
+    graph: &'g TaskGraph,
+    /// Bottom levels, the scheduling priority (longest path to an exit).
+    priority: Vec<f64>,
+    /// Remaining-predecessor counters; the worker that drops one to zero
+    /// owns the publication of that task.
+    remaining_preds: Vec<AtomicUsize>,
+    /// Countdown of unfinished tasks (completion detection).
+    remaining_tasks: AtomicUsize,
+    slots: BodySlots,
+    stealers: Vec<Stealer<TaskId>>,
+    gate: IdleGate,
+}
+
+impl Scheduler<'_> {
+    /// Run `id`, release its successors, and return the highest-priority
+    /// newly-ready successor for direct execution (work-first handoff).
+    fn run_task(&self, id: TaskId, local: &Worker<TaskId>) -> Option<TaskId> {
+        self.slots.take(id)();
+
+        let mut ready: Vec<TaskId> = Vec::new();
+        for &succ in self.graph.successors(id) {
+            if self.remaining_preds[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ready.push(succ);
+            }
+        }
+        // Ascending bottom level: the LIFO pop (and the direct handoff of
+        // the last element) then serves the most critical successor first.
+        ready.sort_by(|&a, &b| {
+            self.priority[a]
+                .partial_cmp(&self.priority[b])
+                .expect("bottom levels are finite")
+        });
+        let next = ready.pop();
+        if !ready.is_empty() {
+            for t in ready {
+                local.push(t);
+            }
+            self.gate.publish();
+        }
+
+        if self.remaining_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.gate.finish();
+        }
+        next
+    }
+
+    /// One full scan: the local deque first, then every victim in a
+    /// pseudo-random order starting from `rng`'s draw.
+    fn find_task(&self, me: usize, local: &Worker<TaskId>, rng: &mut u64) -> Option<TaskId> {
+        if let Some(id) = local.pop() {
+            return Some(id);
+        }
+        let n = self.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = (xorshift(rng) as usize) % n;
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == me {
+                continue;
+            }
+            loop {
+                match self.stealers[victim].steal() {
+                    Steal::Success(id) => return Some(id),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self, me: usize, local: Worker<TaskId>) {
+        // If a task body panics, this worker unwinds without ever reaching
+        // the completion countdown; the drain guard then flips the `done`
+        // latch so the other workers exit instead of parking forever, and
+        // `thread::scope` re-propagates the panic to the caller.
+        struct PanicDrain<'a>(&'a IdleGate);
+        impl Drop for PanicDrain<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.finish();
+                }
+            }
+        }
+        let _drain = PanicDrain(&self.gate);
+
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((me as u64 + 1) << 17);
+        let mut seen = 0u64;
+        loop {
+            while let Some(id) = self.find_task(me, &local, &mut rng) {
+                let mut current = id;
+                while let Some(next) = self.run_task(current, &local) {
+                    current = next;
+                }
+            }
+            if !self.gate.park(&mut seen) {
+                return;
+            }
+        }
+    }
+}
+
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
 /// Execute every task of `graph` on `threads` worker threads, respecting the
 /// data-flow dependencies.  `bodies[i]` is run exactly once for task `i`.
 ///
+/// Workers follow the work-stealing, event-driven protocol described in the
+/// [module docs](self): per-worker LIFO deques, random stealing,
+/// bottom-level priorities, and a condition-variable idle gate instead of
+/// any timed polling.  Any interleaving the scheduler produces is a
+/// topological order of `graph`, so the result equals
+/// [`execute_sequential`]'s whenever the bodies only communicate through
+/// data the graph knows about.
+///
 /// Panics if `bodies.len() != graph.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use bidiag_runtime::{execute_parallel, AccessMode, TaskBody, TaskGraph};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// // a -> b and a -> c: both updates read the value task `a` wrote.
+/// let mut g = TaskGraph::new();
+/// let data = 7u64; // opaque data key chosen by the caller
+/// g.add_task(1.0, 0, 0, &[(data, AccessMode::Write)]);
+/// g.add_task(1.0, 0, 0, &[(data, AccessMode::Read)]);
+/// g.add_task(1.0, 0, 0, &[(data, AccessMode::Read)]);
+///
+/// let cell = Arc::new(AtomicU64::new(0));
+/// let bodies: Vec<TaskBody> = (0..3)
+///     .map(|i| {
+///         let cell = Arc::clone(&cell);
+///         Box::new(move || {
+///             if i == 0 {
+///                 cell.store(40, Ordering::SeqCst); // the write
+///             } else {
+///                 cell.fetch_add(1, Ordering::SeqCst); // runs after it
+///             }
+///         }) as TaskBody
+///     })
+///     .collect();
+/// execute_parallel(&g, bodies, 4);
+/// assert_eq!(cell.load(Ordering::SeqCst), 42);
+/// ```
 pub fn execute_parallel(graph: &TaskGraph, bodies: Vec<TaskBody>, threads: usize) {
     let n = graph.len();
     assert_eq!(bodies.len(), n, "one body per task is required");
     if n == 0 {
         return;
     }
-    let threads = threads.max(1);
+    let threads = threads.max(1).min(n);
 
-    // Remaining predecessor counters.
-    let remaining: Vec<AtomicUsize> = (0..n)
-        .map(|i| AtomicUsize::new(graph.predecessors(i).len()))
-        .collect();
-    let completed = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<TaskBody>>> =
-        bodies.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let scheduler = Scheduler {
+        graph,
+        priority: graph.bottom_levels(),
+        remaining_preds: (0..n)
+            .map(|i| AtomicUsize::new(graph.predecessors(i).len()))
+            .collect(),
+        remaining_tasks: AtomicUsize::new(n),
+        slots: BodySlots::new(bodies),
+        stealers: Vec::new(),
+        gate: IdleGate::new(),
+    };
 
-    let (tx, rx): (Sender<TaskId>, Receiver<TaskId>) = unbounded();
-    // Seed with the source tasks, highest-priority (longest bottom level) first.
-    let bl = graph.bottom_levels();
+    let workers: Vec<Worker<TaskId>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let mut scheduler = scheduler;
+    scheduler.stealers = workers.iter().map(Worker::stealer).collect();
+    let scheduler = scheduler;
+
+    // Seed the source tasks round-robin, highest bottom level first; within
+    // one deque the seeds are pushed in ascending priority so the LIFO pop
+    // serves the most critical one first.
     let mut sources: Vec<TaskId> = (0..n)
         .filter(|&i| graph.predecessors(i).is_empty())
         .collect();
-    sources.sort_by(|&a, &b| bl[b].partial_cmp(&bl[a]).unwrap());
-    for id in sources {
-        tx.send(id).expect("queue alive");
+    sources.sort_by(|&a, &b| {
+        scheduler.priority[b]
+            .partial_cmp(&scheduler.priority[a])
+            .expect("bottom levels are finite")
+    });
+    let mut per_worker: Vec<Vec<TaskId>> = (0..threads).map(|_| Vec::new()).collect();
+    for (rank, id) in sources.into_iter().enumerate() {
+        per_worker[rank % threads].push(id);
+    }
+    for (w, seeds) in workers.iter().zip(&per_worker) {
+        for &id in seeds.iter().rev() {
+            w.push(id);
+        }
     }
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let rx = rx.clone();
-            let tx = tx.clone();
-            let remaining = &remaining;
-            let completed = &completed;
-            let slots = &slots;
-            scope.spawn(move || loop {
-                match rx.recv_timeout(Duration::from_millis(5)) {
-                    Ok(id) => {
-                        let body = slots[id]
-                            .lock()
-                            .unwrap()
-                            .take()
-                            .expect("task executed twice");
-                        body();
-                        for &succ in graph.successors(id) {
-                            if remaining[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                let _ = tx.send(succ);
-                            }
-                        }
-                        completed.fetch_add(1, Ordering::AcqRel);
-                    }
-                    Err(_) => {
-                        if completed.load(Ordering::Acquire) >= n {
-                            break;
-                        }
-                    }
-                }
-            });
+        for (me, local) in workers.into_iter().enumerate() {
+            let scheduler = &scheduler;
+            scope.spawn(move || scheduler.worker_loop(me, local));
         }
-        drop(tx);
-        drop(rx);
     });
 
     assert_eq!(
-        completed.load(Ordering::Acquire),
-        n,
+        scheduler.remaining_tasks.load(Ordering::Acquire),
+        0,
         "not every task was executed"
     );
 }
@@ -214,5 +506,71 @@ mod tests {
             .collect();
         execute_parallel(&g, bodies, 1);
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_terminates() {
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(1, Write)]);
+        g.add_task(1.0, 0, 0, &[(1, Write)]);
+        let counter = Arc::new(AtomicU64::new(0));
+        let bodies: Vec<TaskBody> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as TaskBody
+            })
+            .collect();
+        execute_parallel(&g, bodies, 64);
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panicking_body_propagates_instead_of_deadlocking() {
+        // One source panics while an independent chain keeps the other
+        // workers busy; the pool must drain (no worker parks forever) and
+        // the panic must reach the caller through thread::scope.
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(1, Write)]); // the panicking source
+        for _ in 0..50 {
+            g.add_task(1.0, 0, 0, &[(2, Write)]); // independent chain
+        }
+        let n = g.len();
+        let bodies: Vec<TaskBody> = (0..n)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 0 {
+                        panic!("kernel failure");
+                    }
+                }) as TaskBody
+            })
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_parallel(&g, bodies, 4);
+        }));
+        assert!(result.is_err(), "the body panic must propagate");
+    }
+
+    #[test]
+    fn wide_fanout_releases_all_successors() {
+        // One root releasing 100 independent successors at once exercises
+        // the batched publish path (sort + push + single publish).
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(0, Write)]);
+        for i in 0..100u64 {
+            g.add_task((i % 7) as f64 + 1.0, 0, 0, &[(0, Read), (i + 1, Write)]);
+        }
+        let counter = Arc::new(AtomicU64::new(0));
+        let bodies: Vec<TaskBody> = (0..g.len())
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as TaskBody
+            })
+            .collect();
+        execute_parallel(&g, bodies, 8);
+        assert_eq!(counter.load(Ordering::SeqCst), 101);
     }
 }

@@ -5,12 +5,27 @@
 //!
 //! * [`graph::TaskGraph`] — data-flow task graphs built by task insertion
 //!   with automatic RAW/WAR/WAW dependency inference,
-//! * [`executor`] — a multi-threaded work queue executing the graph on the
-//!   local machine (shared-memory experiments),
+//! * [`executor`] — a work-stealing, event-driven scheduler executing the
+//!   graph on the local machine (shared-memory experiments): per-worker
+//!   LIFO deques with random stealing, bottom-level priorities, and a
+//!   condition-variable idle protocol with no timed polling,
 //! * [`sim`] — a deterministic list-scheduling simulator with per-node core
 //!   pools and an `alpha/beta` communication model, used for critical-path
 //!   measurements and for the distributed-memory experiments that the paper
 //!   runs on a 25-node cluster.
+//!
+//! # Scheduling invariants
+//!
+//! The executor may run independent tasks in any interleaving, yet every
+//! algorithm built on it is deterministic: the [`graph::TaskGraph`] encodes
+//! *all* data conflicts of the sequential algorithm as edges (reads and
+//! writes are declared per task, and RAW/WAR/WAW pairs become
+//! dependencies), so any topological execution applies exactly the same
+//! kernels to exactly the same operand values as the sequential order.
+//! Floating-point results are therefore bitwise identical across thread
+//! counts and schedules — the property the randomized stress tests in
+//! `tests/scheduler_stress.rs` exercise.  See the [`executor`] module docs
+//! for the steal protocol and its exclusivity guarantees.
 
 #![warn(missing_docs)]
 

@@ -1,217 +1,174 @@
 //! Offline stand-in for the subset of `crossbeam` used by this workspace:
-//! an unbounded MPMC [`channel`] built on `Mutex<VecDeque>` + `Condvar`.
-//! Unlike `std::sync::mpsc`, the [`channel::Receiver`] is cloneable, which
-//! is what the work-sharing executor relies on. See `shims/README.md`.
+//! the [`deque`] module of work-stealing double-ended queues (the
+//! `crossbeam-deque` re-export of the real crate), which is what the
+//! work-stealing executor of `bidiag-runtime` is built on. See
+//! `shims/README.md`.
+//!
+//! The real crate implements the Chase–Lev lock-free deque; this shim keeps
+//! the exact same API and end semantics (LIFO owner end, FIFO steal end) over
+//! a `Mutex<VecDeque>`.  Critical sections are a single push/pop, so on the
+//! task granularities of this workspace (tile kernels of `nb^3` flops) the
+//! mutex is never the bottleneck, and the shim stays obviously correct.
 
 #![warn(missing_docs)]
 
-/// Multi-producer multi-consumer channels.
-pub mod channel {
+/// Work-stealing double-ended queues (API of `crossbeam::deque`).
+pub mod deque {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
-    use std::time::{Duration, Instant};
+    use std::sync::{Arc, Mutex};
 
-    struct Inner<T> {
-        queue: VecDeque<T>,
-        senders: usize,
-        receivers: usize,
-    }
+    /// A double-ended queue owned by a single worker thread.
+    ///
+    /// The owner pushes and pops at one end; [`Stealer`]s obtained from
+    /// [`Worker::stealer`] take elements from the opposite end.  Created with
+    /// [`Worker::new_lifo`], the owner end behaves like a stack (depth-first
+    /// execution order) while thieves see the queue as FIFO (they steal the
+    /// oldest element).
+    pub struct Worker<T>(Arc<Mutex<VecDeque<T>>>);
 
-    struct Shared<T> {
-        inner: Mutex<Inner<T>>,
-        ready: Condvar,
-    }
+    /// A handle for stealing elements from the cold end of a [`Worker`]'s
+    /// deque.  Cloneable and shareable across threads.
+    pub struct Stealer<T>(Arc<Mutex<VecDeque<T>>>);
 
-    /// Sending half of an unbounded channel. Cloneable.
-    pub struct Sender<T>(Arc<Shared<T>>);
-
-    /// Receiving half of an unbounded channel. Cloneable (MPMC).
-    pub struct Receiver<T>(Arc<Shared<T>>);
-
-    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// Outcome of a steal attempt.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-    pub struct SendError<T>(pub T);
-
-    /// Error returned by [`Receiver::recv`] when the channel is empty and
-    /// all senders are gone.
-    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-    pub struct RecvError;
-
-    /// Error returned by [`Receiver::recv_timeout`].
-    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-    pub enum RecvTimeoutError {
-        /// The timeout elapsed with the channel still empty.
-        Timeout,
-        /// The channel is empty and every sender has been dropped.
-        Disconnected,
-    }
-
-    /// Error returned by [`Receiver::try_recv`].
-    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-    pub enum TryRecvError {
-        /// The channel is currently empty.
+    pub enum Steal<T> {
+        /// The deque was empty at the time of the attempt.
         Empty,
-        /// The channel is empty and every sender has been dropped.
-        Disconnected,
+        /// An element was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.  The mutex-based
+        /// shim never returns this; callers written against the real
+        /// lock-free crate must still handle it.
+        Retry,
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner {
-                queue: VecDeque::new(),
-                senders: 1,
-                receivers: 1,
-            }),
-            ready: Condvar::new(),
+    impl<T> Steal<T> {
+        /// The stolen element, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Create a new deque whose owner end is LIFO (a work-stealing
+        /// stack: the owner pops the most recently pushed element).
+        pub fn new_lifo() -> Self {
+            Worker(Arc::new(Mutex::new(VecDeque::new())))
+        }
+
+        /// Push an element on the owner (hot) end.
+        pub fn push(&self, value: T) {
+            self.0.lock().unwrap().push_back(value);
+        }
+
+        /// Pop an element from the owner (hot) end — the most recently
+        /// pushed one.
+        pub fn pop(&self) -> Option<T> {
+            self.0.lock().unwrap().pop_back()
+        }
+
+        /// True when the deque currently holds no element.
+        pub fn is_empty(&self) -> bool {
+            self.0.lock().unwrap().is_empty()
+        }
+
+        /// Number of elements currently in the deque.
+        pub fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+
+        /// Create a [`Stealer`] taking elements from the cold end.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal the oldest element (FIFO end) of the associated deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.0.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the deque currently holds no element.
+        pub fn is_empty(&self) -> bool {
+            self.0.lock().unwrap().is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer(Arc::clone(&self.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Steal, Worker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn owner_end_is_lifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn steal_end_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn concurrent_steals_take_every_element_exactly_once() {
+        let w = Worker::new_lifo();
+        for i in 0..1000usize {
+            w.push(i);
+        }
+        let sum = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let sum = &sum;
+                let count = &count;
+                scope.spawn(move || {
+                    while let Steal::Success(v) = s.steal() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
         });
-        (Sender(Arc::clone(&shared)), Receiver(shared))
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
     }
 
-    impl<T> Clone for Sender<T> {
-        fn clone(&self) -> Self {
-            self.0.inner.lock().unwrap().senders += 1;
-            Sender(Arc::clone(&self.0))
-        }
-    }
-
-    impl<T> Drop for Sender<T> {
-        fn drop(&mut self) {
-            let mut inner = self.0.inner.lock().unwrap();
-            inner.senders -= 1;
-            if inner.senders == 0 {
-                drop(inner);
-                self.0.ready.notify_all();
-            }
-        }
-    }
-
-    impl<T> Clone for Receiver<T> {
-        fn clone(&self) -> Self {
-            self.0.inner.lock().unwrap().receivers += 1;
-            Receiver(Arc::clone(&self.0))
-        }
-    }
-
-    impl<T> Drop for Receiver<T> {
-        fn drop(&mut self) {
-            self.0.inner.lock().unwrap().receivers -= 1;
-        }
-    }
-
-    impl<T> Sender<T> {
-        /// Enqueue `value`, failing only if every receiver has been dropped.
-        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut inner = self.0.inner.lock().unwrap();
-            if inner.receivers == 0 {
-                return Err(SendError(value));
-            }
-            inner.queue.push_back(value);
-            drop(inner);
-            self.0.ready.notify_one();
-            Ok(())
-        }
-    }
-
-    impl<T> Receiver<T> {
-        /// Block until a value is available or every sender is dropped.
-        pub fn recv(&self) -> Result<T, RecvError> {
-            let mut inner = self.0.inner.lock().unwrap();
-            loop {
-                if let Some(v) = inner.queue.pop_front() {
-                    return Ok(v);
-                }
-                if inner.senders == 0 {
-                    return Err(RecvError);
-                }
-                inner = self.0.ready.wait(inner).unwrap();
-            }
-        }
-
-        /// Block for at most `timeout` waiting for a value.
-        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            let deadline = Instant::now() + timeout;
-            let mut inner = self.0.inner.lock().unwrap();
-            loop {
-                if let Some(v) = inner.queue.pop_front() {
-                    return Ok(v);
-                }
-                if inner.senders == 0 {
-                    return Err(RecvTimeoutError::Disconnected);
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    return Err(RecvTimeoutError::Timeout);
-                }
-                let (guard, result) = self.0.ready.wait_timeout(inner, deadline - now).unwrap();
-                inner = guard;
-                if result.timed_out() && inner.queue.is_empty() {
-                    return if inner.senders == 0 {
-                        Err(RecvTimeoutError::Disconnected)
-                    } else {
-                        Err(RecvTimeoutError::Timeout)
-                    };
-                }
-            }
-        }
-
-        /// Pop a value without blocking.
-        pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut inner = self.0.inner.lock().unwrap();
-            if let Some(v) = inner.queue.pop_front() {
-                Ok(v)
-            } else if inner.senders == 0 {
-                Err(TryRecvError::Disconnected)
-            } else {
-                Err(TryRecvError::Empty)
-            }
-        }
-    }
-
-    #[cfg(test)]
-    mod tests {
-        use super::*;
-
-        #[test]
-        fn mpmc_roundtrip() {
-            let (tx, rx) = unbounded();
-            let rx2 = rx.clone();
-            tx.send(1).unwrap();
-            tx.send(2).unwrap();
-            assert_eq!(rx.recv(), Ok(1));
-            assert_eq!(rx2.recv(), Ok(2));
-            drop(tx);
-            assert_eq!(rx.recv(), Err(RecvError));
-        }
-
-        #[test]
-        fn recv_timeout_times_out_then_disconnects() {
-            let (tx, rx) = unbounded::<u32>();
-            assert_eq!(
-                rx.recv_timeout(Duration::from_millis(5)),
-                Err(RecvTimeoutError::Timeout)
-            );
-            drop(tx);
-            assert_eq!(
-                rx.recv_timeout(Duration::from_millis(5)),
-                Err(RecvTimeoutError::Disconnected)
-            );
-        }
-
-        #[test]
-        fn cross_thread_handoff() {
-            let (tx, rx) = unbounded();
-            let handle = std::thread::spawn(move || {
-                for i in 0..100 {
-                    tx.send(i).unwrap();
-                }
-            });
-            let mut sum = 0;
-            for _ in 0..100 {
-                sum += rx.recv().unwrap();
-            }
-            handle.join().unwrap();
-            assert_eq!(sum, 4950);
-        }
+    #[test]
+    fn len_and_is_empty_track_content() {
+        let w: Worker<u32> = Worker::new_lifo();
+        assert!(w.is_empty());
+        assert!(w.stealer().is_empty());
+        w.push(7);
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! Offline stand-in for the subset of `parking_lot` used by this workspace:
-//! [`RwLock`] and [`Mutex`] wrappers over the `std::sync` primitives with
-//! parking_lot's panic-free (non-poisoning) guard-returning API. See
-//! `shims/README.md`.
+//! [`RwLock`], [`Mutex`] and [`Condvar`] wrappers over the `std::sync`
+//! primitives with parking_lot's panic-free (non-poisoning)
+//! guard-returning API. See `shims/README.md`.
 
 #![warn(missing_docs)]
 
@@ -93,6 +93,66 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Condition variable with `parking_lot`'s `&mut guard` API.
+///
+/// Like the real crate, [`Condvar::wait`] takes the guard by mutable
+/// reference and re-acquires the lock before returning.  Shim caveat
+/// (inherited from the `std::sync::Condvar` backend): one `Condvar` must
+/// only ever be used with one `Mutex`.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically release the lock behind `guard` and block until notified,
+    /// then re-acquire the lock.  Spurious wakeups are possible, exactly as
+    /// with the real crate: callers must re-check their predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Unwinding out of `std`'s `wait` (it panics when one condvar is
+        // used with two different mutexes) would leave `*guard` logically
+        // moved-out and double-drop it during the caller's unwind — so any
+        // panic while the guard is taken escalates to an abort instead.
+        struct AbortOnUnwind;
+        impl Drop for AbortOnUnwind {
+            fn drop(&mut self) {
+                eprintln!("parking_lot shim: Condvar::wait panicked (one condvar, two mutexes?); aborting");
+                std::process::abort();
+            }
+        }
+        // SAFETY: the guard is moved out for the duration of the wait and a
+        // valid guard for the same mutex is moved back in before anyone can
+        // observe `*guard` again.  Lock poisoning is returned as `Err` and
+        // converted below (non-poisoning shim semantics); the only panic
+        // path is cut off by the abort bomb above, so the moved-out state
+        // is never observable.
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let bomb = AbortOnUnwind;
+            let result = self.0.wait(taken);
+            std::mem::forget(bomb);
+            std::ptr::write(guard, result.unwrap_or_else(|e| e.into_inner()));
+        }
+    }
+
+    /// Wake one thread blocked in [`Condvar::wait`].  Always reports `true`
+    /// (the `std` backend does not count waiters like the real crate does).
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wake every thread blocked in [`Condvar::wait`].  Always reports `0`
+    /// (the `std` backend does not count waiters like the real crate does).
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +170,53 @@ mod tests {
         let m = Mutex::new(vec![1, 2]);
         m.lock().push(3);
         assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_and_reacquires_lock() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready // lock is held again here
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_notify_one_wakes_exactly_at_least_one() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let p = Arc::clone(&pair);
+            handles.push(std::thread::spawn(move || {
+                let (m, cv) = &*p;
+                let mut n = m.lock();
+                while *n == 0 {
+                    cv.wait(&mut n);
+                }
+                *n -= 1;
+            }));
+        }
+        let (m, cv) = &*pair;
+        for _ in 0..3 {
+            *m.lock() += 1;
+            cv.notify_one();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 0);
     }
 }

@@ -118,7 +118,7 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: usize,
