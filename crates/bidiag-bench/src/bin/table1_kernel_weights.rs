@@ -9,7 +9,7 @@
 
 use bidiag_bench::print_tsv;
 use bidiag_kernels::cost::KernelKind;
-use bidiag_kernels::{lq, qr};
+use bidiag_kernels::{lq, qr, Workspace};
 use bidiag_matrix::gen::random_gaussian;
 use bidiag_matrix::Matrix;
 use std::time::Instant;
@@ -43,6 +43,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(128);
     let reps = 3;
+    let mut ws = Workspace::new();
     let a = random_gaussian(nb, nb, 1);
     let b = random_gaussian(nb, nb, 2);
     let c = random_gaussian(nb, nb, 3);
@@ -53,16 +54,16 @@ fn main() {
         KernelKind::Geqrt,
         time(reps, || {
             let mut w = a.clone();
-            let _ = qr::geqrt(&mut w);
+            let _ = qr::geqrt(&mut w, &mut ws);
         }),
     ));
     let mut v = a.clone();
-    let taus = qr::geqrt(&mut v);
+    let tf = qr::geqrt(&mut v, &mut Workspace::new());
     results.push((
         KernelKind::Unmqr,
         time(reps, || {
             let mut w = b.clone();
-            qr::unmqr(&v, &taus, &mut w, qr::Trans::Transpose);
+            qr::unmqr(&v, &tf, &mut w, qr::Trans::Transpose, &mut ws);
         }),
     ));
     let r1 = upper(&v);
@@ -71,18 +72,25 @@ fn main() {
         time(reps, || {
             let mut r = r1.clone();
             let mut w = b.clone();
-            let _ = qr::tsqrt(&mut r, &mut w);
+            let _ = qr::tsqrt(&mut r, &mut w, &mut ws);
         }),
     ));
     let mut rts = r1.clone();
     let mut vts = b.clone();
-    let taus_ts = qr::tsqrt(&mut rts, &mut vts);
+    let tf_ts = qr::tsqrt(&mut rts, &mut vts, &mut Workspace::new());
     results.push((
         KernelKind::Tsmqr,
         time(reps, || {
             let mut w1 = b.clone();
             let mut w2 = c.clone();
-            qr::tsmqr(&mut w1, &mut w2, &vts, &taus_ts, qr::Trans::Transpose);
+            qr::tsmqr(
+                &mut w1,
+                &mut w2,
+                &vts,
+                &tf_ts,
+                qr::Trans::Transpose,
+                &mut ws,
+            );
         }),
     ));
     let r2 = upper(&random_gaussian(nb, nb, 4));
@@ -91,18 +99,25 @@ fn main() {
         time(reps, || {
             let mut x = r1.clone();
             let mut y = r2.clone();
-            let _ = qr::ttqrt(&mut x, &mut y);
+            let _ = qr::ttqrt(&mut x, &mut y, &mut ws);
         }),
     ));
     let mut rtt = r1.clone();
     let mut vtt = r2.clone();
-    let taus_tt = qr::ttqrt(&mut rtt, &mut vtt);
+    let tf_tt = qr::ttqrt(&mut rtt, &mut vtt, &mut Workspace::new());
     results.push((
         KernelKind::Ttmqr,
         time(reps, || {
             let mut w1 = b.clone();
             let mut w2 = c.clone();
-            qr::ttmqr(&mut w1, &mut w2, &vtt, &taus_tt, qr::Trans::Transpose);
+            qr::ttmqr(
+                &mut w1,
+                &mut w2,
+                &vtt,
+                &tf_tt,
+                qr::Trans::Transpose,
+                &mut ws,
+            );
         }),
     ));
     // LQ duals.
@@ -110,7 +125,7 @@ fn main() {
         KernelKind::Gelqt,
         time(reps, || {
             let mut w = a.clone();
-            let _ = lq::gelqt(&mut w);
+            let _ = lq::gelqt(&mut w, &mut ws);
         }),
     ));
     let l1 = lower(&random_gaussian(nb, nb, 5));
@@ -119,7 +134,7 @@ fn main() {
         time(reps, || {
             let mut l = l1.clone();
             let mut w = b.clone();
-            let _ = lq::tslqt(&mut l, &mut w);
+            let _ = lq::tslqt(&mut l, &mut w, &mut ws);
         }),
     ));
 

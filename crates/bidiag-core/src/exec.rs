@@ -18,24 +18,36 @@
 //!   region-level dependency keys deliberately let kernels touching
 //!   disjoint regions of one tile overlap (see
 //!   [`TileOp::execute_shared`](crate::ops::TileOp::execute_shared));
-//! * reflector scalars live in a pre-sized [`TauTable`] of once-cells keyed
-//!   by op id — producers fill their own slot, consumers read the slot the
-//!   DAG ordered before them, and no global map or lock is ever contended.
+//! * compact-WY tau factors live in a pre-sized [`TauTable`] of once-cells
+//!   keyed by op id — producers fill their own slot, consumers read the
+//!   slot the DAG ordered before them, and no global map or lock is ever
+//!   contended; the same table backs the sequential driver;
+//! * every worker thread owns a [`KernelScratch`] (kernel workspace +
+//!   operand snapshot buffer) created once at spawn and lent to each task
+//!   body it runs, so the apply kernels' scratch is never reallocated; the
+//!   only per-task heap traffic left is the `TFactor` each factorization
+//!   kernel produces into its table slot.
 
-use crate::ops::{TauStore, TauTable, TileOp};
+use crate::ops::{KernelScratch, TauTable, TileOp};
 use bidiag_kernels::band::BandMatrix;
 use bidiag_kernels::gebd2::Bidiagonal;
 use bidiag_kernels::svd::GkBisection;
 use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
-use bidiag_runtime::{execute_parallel as runtime_execute, AccessMode, TaskBody, TaskGraph};
+use bidiag_runtime::{
+    execute_parallel as runtime_execute, execute_parallel_with as runtime_execute_with, AccessMode,
+    TaskBody, TaskBodyWith, TaskGraph,
+};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
-/// Execute the operations in order on the tiled matrix.
+/// Execute the operations in order on the tiled matrix, sharing the
+/// [`TauTable`] store and the blocked-kernel scratch with the parallel
+/// back-end.
 pub fn execute_sequential(ops: &[TileOp], a: &mut TiledMatrix) {
-    let mut taus = TauStore::new();
-    for op in ops {
-        op.execute(a, &mut taus);
+    let taus = TauTable::for_ops(ops);
+    let mut scratch = KernelScratch::new();
+    for (op_id, op) in ops.iter().enumerate() {
+        op.execute(op_id, a, &taus, &mut scratch);
     }
 }
 
@@ -62,19 +74,19 @@ pub fn execute_parallel(ops: &[TileOp], a: &mut TiledMatrix, threads: usize) {
     let taus = Arc::new(TauTable::for_ops(ops));
 
     let graph = build_graph(ops, q, &BlockCyclic::single_node());
-    let bodies: Vec<TaskBody> = ops
+    let bodies: Vec<TaskBodyWith<KernelScratch>> = ops
         .iter()
         .enumerate()
         .map(|(op_id, &op)| {
             let shared = Arc::clone(&shared);
             let taus = Arc::clone(&taus);
-            Box::new(move || {
+            Box::new(move |scratch: &mut KernelScratch| {
                 // The shared vector is indexed row-major: (i, j) -> i * q + j.
-                op.execute_shared(op_id, &shared, q, &taus);
-            }) as TaskBody
+                op.execute_shared(op_id, &shared, q, &taus, scratch);
+            }) as TaskBodyWith<KernelScratch>
         })
         .collect();
-    runtime_execute(&graph, bodies, threads);
+    runtime_execute_with(&graph, bodies, threads, KernelScratch::new);
 
     // Copy the tiles back.
     let shared = Arc::try_unwrap(shared).expect("all workers joined");

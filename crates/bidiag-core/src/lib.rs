@@ -40,5 +40,5 @@ pub use drivers::{
 pub use exec::{
     bd2val_on_runtime, bnd2bd_on_runtime, build_graph, execute_parallel, execute_sequential,
 };
-pub use ops::{ops_flops, TauStore, TauTable, TileOp};
+pub use ops::{ops_flops, KernelScratch, TauTable, TileOp};
 pub use pipeline::{ge2bnd, ge2val, AlgorithmChoice, Ge2BndResult, Ge2Options, Ge2ValResult};

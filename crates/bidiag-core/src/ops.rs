@@ -12,7 +12,7 @@
 //! writes, so the data-flow DAG is derived mechanically.
 
 use bidiag_kernels::cost::KernelKind;
-use bidiag_kernels::{lq, qr, Trans};
+use bidiag_kernels::{lq, qr, TFactor, Trans, Workspace};
 use bidiag_matrix::{Matrix, TiledMatrix};
 use bidiag_runtime::{AccessMode, DataKey};
 use std::collections::HashMap;
@@ -156,7 +156,8 @@ enum TauClass {
     LqElim,
 }
 
-/// Key of a tau vector in the [`TauStore`] and in the data-flow graph.
+/// Key of a tau factor in the data-flow graph (and the binding key of
+/// [`TauTable`] slots).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TauKey(u64);
 
@@ -170,42 +171,42 @@ fn tau_key(class: TauClass, k: usize, idx: usize) -> TauKey {
     TauKey((1u64 << 62) | (c << 40) | ((k as u64) << 20) | idx as u64)
 }
 
-/// Storage of the reflector scalars produced by factorization kernels,
-/// indexed by [`TauKey`].
-#[derive(Default, Debug)]
-pub struct TauStore {
-    map: HashMap<u64, Vec<f64>>,
+/// Per-worker scratch of the execution back-ends: the compact-WY kernel
+/// [`Workspace`] plus a reusable buffer for snapshotting the read-only `V`
+/// operand of an apply kernel out of its tile lock.
+///
+/// The sequential driver owns one; the parallel runtime creates one per
+/// worker thread (see `exec::execute_parallel`), so in steady state no
+/// kernel execution allocates.
+#[derive(Debug)]
+pub struct KernelScratch {
+    /// Compact-WY workspace handed to every blocked kernel.
+    pub ws: Workspace,
+    /// Snapshot buffer for read-only reflector tiles (parallel back-end).
+    vbuf: Matrix,
 }
 
-impl TauStore {
-    /// Empty store.
+impl KernelScratch {
+    /// Empty scratch; buffers grow on first use.
     pub fn new() -> Self {
-        Self::default()
-    }
-    /// Store the tau vector for `key`.
-    pub fn put(&mut self, key: TauKey, taus: Vec<f64>) {
-        self.map.insert(key.0, taus);
-    }
-    /// Fetch the tau vector for `key` (panics if missing — the DAG guarantees
-    /// producers run before consumers).
-    pub fn get(&self, key: TauKey) -> &[f64] {
-        self.map
-            .get(&key.0)
-            .expect("tau vector read before being produced")
-    }
-    /// Number of stored vectors.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-    /// True when empty.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        KernelScratch {
+            ws: Workspace::new(),
+            vbuf: Matrix::zeros(0, 0),
+        }
     }
 }
 
-/// Lock-free storage of the reflector scalars for the parallel back-end:
-/// one pre-sized [`OnceLock`] slot per *producing* operation, resolved at
-/// build time from the sequential op order.
+impl Default for KernelScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lock-free storage of the [`TFactor`]s (reflector scalars + compact-WY
+/// `T` matrices) produced by factorization kernels — the *single* tau store
+/// shared by the sequential driver and the parallel runtime: one pre-sized
+/// [`OnceLock`] slot per *producing* operation, resolved at build time from
+/// the sequential op order.
 ///
 /// A [`TauKey`] can be produced more than once in one op list (R-BIDIAG
 /// reuses panel indices between its QR-factorization phase and the square
@@ -225,7 +226,7 @@ pub struct TauTable {
     write_slot: Vec<Option<u32>>,
     /// Per-op slot read by the op (consumers only).
     read_slot: Vec<Option<u32>>,
-    slots: Vec<std::sync::OnceLock<Vec<f64>>>,
+    slots: Vec<std::sync::OnceLock<TFactor>>,
 }
 
 /// Whether an operation produces or consumes a tau vector.
@@ -275,21 +276,21 @@ impl TauTable {
         self.slots.is_empty()
     }
 
-    /// Store the tau vector produced by op `op_id`.
-    fn put(&self, op_id: usize, taus: Vec<f64>) {
-        let slot = self.write_slot[op_id].expect("op produces no tau vector");
+    /// Store the factor produced by op `op_id`.
+    fn put(&self, op_id: usize, tf: TFactor) {
+        let slot = self.write_slot[op_id].expect("op produces no tau factor");
         self.slots[slot as usize]
-            .set(taus)
+            .set(tf)
             .expect("tau slot produced twice");
     }
 
-    /// Fetch the tau vector consumed by op `op_id` (panics if the producer
-    /// has not run — the DAG guarantees it has).
-    fn get(&self, op_id: usize) -> &[f64] {
-        let slot = self.read_slot[op_id].expect("op consumes no tau vector");
+    /// Fetch the factor consumed by op `op_id` (panics if the producer has
+    /// not run — the DAG guarantees it has).
+    fn get(&self, op_id: usize) -> &TFactor {
+        let slot = self.read_slot[op_id].expect("op consumes no tau factor");
         self.slots[slot as usize]
             .get()
-            .expect("tau vector read before being produced")
+            .expect("tau factor read before being produced")
     }
 }
 
@@ -480,91 +481,81 @@ impl TileOp {
         }
     }
 
-    /// Execute the operation on the tiled matrix, reading/writing reflector
-    /// scalars in `taus`.
-    pub fn execute(&self, a: &mut TiledMatrix, taus: &mut TauStore) {
+    /// Execute the operation on the tiled matrix with the blocked
+    /// compact-WY kernels.  `op_id` is this operation's index in the op
+    /// list `taus` was built for; `scratch` provides the kernel workspace.
+    /// Apply kernels borrow the reflector tile in place (no clone) — the
+    /// sequential driver has exclusive access to all tiles.
+    pub fn execute(
+        &self,
+        op_id: usize,
+        a: &mut TiledMatrix,
+        taus: &TauTable,
+        scratch: &mut KernelScratch,
+    ) {
+        let ws = &mut scratch.ws;
         match *self {
-            TileOp::ZeroLower { i, j, whole } => {
-                let t = a.tile_mut(i, j);
-                if whole {
-                    *t = Matrix::zeros(t.rows(), t.cols());
-                } else {
-                    for c in 0..t.cols() {
-                        for r in (c + 1)..t.rows() {
-                            t.set(r, c, 0.0);
-                        }
-                    }
-                }
-            }
+            TileOp::ZeroLower { i, j, whole } => zero_lower(a.tile_mut(i, j), whole),
             TileOp::Geqrt { k, i } => {
-                let t = qr::geqrt(a.tile_mut(i, k));
-                taus.put(self.tau(), t);
+                let tf = qr::geqrt(a.tile_mut(i, k), ws);
+                taus.put(op_id, tf);
             }
             TileOp::Unmqr { k, i, j } => {
-                let v = a.tile(i, k).clone();
-                let t = taus.get(self.tau()).to_vec();
-                qr::unmqr(&v, &t, a.tile_mut(i, j), Trans::Transpose);
+                let (v, c) = a.tile_and_tile_mut((i, k), (i, j));
+                qr::unmqr(v, taus.get(op_id), c, Trans::Transpose, ws);
             }
             TileOp::Tsqrt { k, piv, i } => {
                 let (r1, a2) = a.two_tiles_mut((piv, k), (i, k));
-                let t = qr::tsqrt(r1, a2);
-                taus.put(self.tau(), t);
+                let tf = qr::tsqrt(r1, a2, ws);
+                taus.put(op_id, tf);
             }
             TileOp::Tsmqr { k, piv, i, j } => {
-                let v2 = a.tile(i, k).clone();
-                let t = taus.get(self.tau()).to_vec();
-                let (a1, a2) = a.two_tiles_mut((piv, j), (i, j));
-                qr::tsmqr(a1, a2, &v2, &t, Trans::Transpose);
+                let (v2, a1, a2) = a.tile_and_two_tiles_mut((i, k), (piv, j), (i, j));
+                qr::tsmqr(a1, a2, v2, taus.get(op_id), Trans::Transpose, ws);
             }
             TileOp::Ttqrt { k, piv, i } => {
                 let (r1, r2) = a.two_tiles_mut((piv, k), (i, k));
-                let t = qr::ttqrt(r1, r2);
-                taus.put(self.tau(), t);
+                let tf = qr::ttqrt(r1, r2, ws);
+                taus.put(op_id, tf);
             }
             TileOp::Ttmqr { k, piv, i, j } => {
-                let v2 = a.tile(i, k).clone();
-                let t = taus.get(self.tau()).to_vec();
-                let (a1, a2) = a.two_tiles_mut((piv, j), (i, j));
-                qr::ttmqr(a1, a2, &v2, &t, Trans::Transpose);
+                let (v2, a1, a2) = a.tile_and_two_tiles_mut((i, k), (piv, j), (i, j));
+                qr::ttmqr(a1, a2, v2, taus.get(op_id), Trans::Transpose, ws);
             }
             TileOp::Gelqt { k, j } => {
-                let t = lq::gelqt(a.tile_mut(k, j));
-                taus.put(self.tau(), t);
+                let tf = lq::gelqt(a.tile_mut(k, j), ws);
+                taus.put(op_id, tf);
             }
             TileOp::Unmlq { k, j, i } => {
-                let v = a.tile(k, j).clone();
-                let t = taus.get(self.tau()).to_vec();
-                lq::unmlq(&v, &t, a.tile_mut(i, j), Trans::Transpose);
+                let (v, c) = a.tile_and_tile_mut((k, j), (i, j));
+                lq::unmlq(v, taus.get(op_id), c, Trans::Transpose, ws);
             }
             TileOp::Tslqt { k, piv, j } => {
                 let (l1, a2) = a.two_tiles_mut((k, piv), (k, j));
-                let t = lq::tslqt(l1, a2);
-                taus.put(self.tau(), t);
+                let tf = lq::tslqt(l1, a2, ws);
+                taus.put(op_id, tf);
             }
             TileOp::Tsmlq { k, piv, j, i } => {
-                let v2 = a.tile(k, j).clone();
-                let t = taus.get(self.tau()).to_vec();
-                let (c1, c2) = a.two_tiles_mut((i, piv), (i, j));
-                lq::tsmlq(c1, c2, &v2, &t, Trans::Transpose);
+                let (v2, c1, c2) = a.tile_and_two_tiles_mut((k, j), (i, piv), (i, j));
+                lq::tsmlq(c1, c2, v2, taus.get(op_id), Trans::Transpose, ws);
             }
             TileOp::Ttlqt { k, piv, j } => {
                 let (l1, l2) = a.two_tiles_mut((k, piv), (k, j));
-                let t = lq::ttlqt(l1, l2);
-                taus.put(self.tau(), t);
+                let tf = lq::ttlqt(l1, l2, ws);
+                taus.put(op_id, tf);
             }
             TileOp::Ttmlq { k, piv, j, i } => {
-                let v2 = a.tile(k, j).clone();
-                let t = taus.get(self.tau()).to_vec();
-                let (c1, c2) = a.two_tiles_mut((i, piv), (i, j));
-                lq::ttmlq(c1, c2, &v2, &t, Trans::Transpose);
+                let (v2, c1, c2) = a.tile_and_two_tiles_mut((k, j), (i, piv), (i, j));
+                lq::ttmlq(c1, c2, v2, taus.get(op_id), Trans::Transpose, ws);
             }
         }
     }
 
     /// Execute the operation against tiles shared behind per-tile locks
     /// (parallel back-end).  `tiles[r * q + c]` guards tile `(r, c)`;
-    /// `taus` is the pre-sized per-op tau table and `op_id` this
-    /// operation's index in the op list the table was built for.
+    /// `taus` is the pre-sized per-op tau table, `op_id` this operation's
+    /// index in the op list the table was built for, and `scratch` the
+    /// executing worker's private scratch.
     ///
     /// The per-tile `RwLock`s are *not* redundant with the DAG: the
     /// region-level dependency keys deliberately let two kernels touch
@@ -573,111 +564,130 @@ impl TileOp {
     /// vectors below the diagonal), so the lock arbitrates access to the
     /// shared `Matrix` allocation in exactly those overlaps.
     ///
-    /// Locking discipline (deadlock freedom): read-only operands are cloned
-    /// under a read lock that is released immediately, and the (at most two)
-    /// write locks are then acquired in increasing tile-index order — which
-    /// is guaranteed because the pivot row/column of an elimination always
-    /// precedes the eliminated one.
+    /// Locking discipline (deadlock freedom): read-only operands are
+    /// snapshot into the worker's scratch buffer under a read lock that is
+    /// released immediately (no allocation in steady state — the buffer is
+    /// reused), and the (at most two) write locks are then acquired in
+    /// increasing tile-index order — which is guaranteed because the pivot
+    /// row/column of an elimination always precedes the eliminated one.
     pub fn execute_shared(
         &self,
         op_id: usize,
         tiles: &[parking_lot::RwLock<Matrix>],
         q: usize,
         taus: &TauTable,
+        scratch: &mut KernelScratch,
     ) {
         let idx = |r: usize, c: usize| r * q + c;
-        let read_tile = |r: usize, c: usize| -> Matrix { tiles[idx(r, c)].read().clone() };
-        let read_tau = || -> &[f64] { taus.get(op_id) };
+        let KernelScratch { ws, vbuf } = scratch;
         match *self {
             TileOp::ZeroLower { i, j, whole } => {
-                let mut t = tiles[idx(i, j)].write();
-                if whole {
-                    *t = Matrix::zeros(t.rows(), t.cols());
-                } else {
-                    for c in 0..t.cols() {
-                        for r in (c + 1)..t.rows() {
-                            t.set(r, c, 0.0);
-                        }
-                    }
-                }
+                zero_lower(&mut tiles[idx(i, j)].write(), whole);
             }
             TileOp::Geqrt { k, i } => {
-                let t = qr::geqrt(&mut tiles[idx(i, k)].write());
-                taus.put(op_id, t);
+                let tf = qr::geqrt(&mut tiles[idx(i, k)].write(), ws);
+                taus.put(op_id, tf);
             }
             TileOp::Unmqr { k, i, j } => {
-                let v = read_tile(i, k);
-                let t = read_tau();
-                qr::unmqr(&v, t, &mut tiles[idx(i, j)].write(), Trans::Transpose);
+                vbuf.copy_from(&tiles[idx(i, k)].read());
+                let tf = taus.get(op_id);
+                qr::unmqr(
+                    vbuf,
+                    tf,
+                    &mut tiles[idx(i, j)].write(),
+                    Trans::Transpose,
+                    ws,
+                );
             }
             TileOp::Tsqrt { k, piv, i } => {
                 debug_assert!(idx(piv, k) < idx(i, k));
                 let mut r1 = tiles[idx(piv, k)].write();
                 let mut a2 = tiles[idx(i, k)].write();
-                let t = qr::tsqrt(&mut r1, &mut a2);
-                taus.put(op_id, t);
+                let tf = qr::tsqrt(&mut r1, &mut a2, ws);
+                taus.put(op_id, tf);
             }
             TileOp::Tsmqr { k, piv, i, j } => {
-                let v2 = read_tile(i, k);
-                let t = read_tau();
+                vbuf.copy_from(&tiles[idx(i, k)].read());
+                let tf = taus.get(op_id);
                 debug_assert!(idx(piv, j) < idx(i, j));
                 let mut a1 = tiles[idx(piv, j)].write();
                 let mut a2 = tiles[idx(i, j)].write();
-                qr::tsmqr(&mut a1, &mut a2, &v2, t, Trans::Transpose);
+                qr::tsmqr(&mut a1, &mut a2, vbuf, tf, Trans::Transpose, ws);
             }
             TileOp::Ttqrt { k, piv, i } => {
                 debug_assert!(idx(piv, k) < idx(i, k));
                 let mut r1 = tiles[idx(piv, k)].write();
                 let mut r2 = tiles[idx(i, k)].write();
-                let t = qr::ttqrt(&mut r1, &mut r2);
-                taus.put(op_id, t);
+                let tf = qr::ttqrt(&mut r1, &mut r2, ws);
+                taus.put(op_id, tf);
             }
             TileOp::Ttmqr { k, piv, i, j } => {
-                let v2 = read_tile(i, k);
-                let t = read_tau();
+                vbuf.copy_from(&tiles[idx(i, k)].read());
+                let tf = taus.get(op_id);
                 debug_assert!(idx(piv, j) < idx(i, j));
                 let mut a1 = tiles[idx(piv, j)].write();
                 let mut a2 = tiles[idx(i, j)].write();
-                qr::ttmqr(&mut a1, &mut a2, &v2, t, Trans::Transpose);
+                qr::ttmqr(&mut a1, &mut a2, vbuf, tf, Trans::Transpose, ws);
             }
             TileOp::Gelqt { k, j } => {
-                let t = lq::gelqt(&mut tiles[idx(k, j)].write());
-                taus.put(op_id, t);
+                let tf = lq::gelqt(&mut tiles[idx(k, j)].write(), ws);
+                taus.put(op_id, tf);
             }
             TileOp::Unmlq { k, j, i } => {
-                let v = read_tile(k, j);
-                let t = read_tau();
-                lq::unmlq(&v, t, &mut tiles[idx(i, j)].write(), Trans::Transpose);
+                vbuf.copy_from(&tiles[idx(k, j)].read());
+                let tf = taus.get(op_id);
+                lq::unmlq(
+                    vbuf,
+                    tf,
+                    &mut tiles[idx(i, j)].write(),
+                    Trans::Transpose,
+                    ws,
+                );
             }
             TileOp::Tslqt { k, piv, j } => {
                 debug_assert!(idx(k, piv) < idx(k, j));
                 let mut l1 = tiles[idx(k, piv)].write();
                 let mut a2 = tiles[idx(k, j)].write();
-                let t = lq::tslqt(&mut l1, &mut a2);
-                taus.put(op_id, t);
+                let tf = lq::tslqt(&mut l1, &mut a2, ws);
+                taus.put(op_id, tf);
             }
             TileOp::Tsmlq { k, piv, j, i } => {
-                let v2 = read_tile(k, j);
-                let t = read_tau();
+                vbuf.copy_from(&tiles[idx(k, j)].read());
+                let tf = taus.get(op_id);
                 debug_assert!(idx(i, piv) < idx(i, j));
                 let mut c1 = tiles[idx(i, piv)].write();
                 let mut c2 = tiles[idx(i, j)].write();
-                lq::tsmlq(&mut c1, &mut c2, &v2, t, Trans::Transpose);
+                lq::tsmlq(&mut c1, &mut c2, vbuf, tf, Trans::Transpose, ws);
             }
             TileOp::Ttlqt { k, piv, j } => {
                 debug_assert!(idx(k, piv) < idx(k, j));
                 let mut l1 = tiles[idx(k, piv)].write();
                 let mut l2 = tiles[idx(k, j)].write();
-                let t = lq::ttlqt(&mut l1, &mut l2);
-                taus.put(op_id, t);
+                let tf = lq::ttlqt(&mut l1, &mut l2, ws);
+                taus.put(op_id, tf);
             }
             TileOp::Ttmlq { k, piv, j, i } => {
-                let v2 = read_tile(k, j);
-                let t = read_tau();
+                vbuf.copy_from(&tiles[idx(k, j)].read());
+                let tf = taus.get(op_id);
                 debug_assert!(idx(i, piv) < idx(i, j));
                 let mut c1 = tiles[idx(i, piv)].write();
                 let mut c2 = tiles[idx(i, j)].write();
-                lq::ttmlq(&mut c1, &mut c2, &v2, t, Trans::Transpose);
+                lq::ttmlq(&mut c1, &mut c2, vbuf, tf, Trans::Transpose, ws);
+            }
+        }
+    }
+}
+
+/// Zero a whole tile or its strictly-lower part in place (LAPACK `xLASET`),
+/// one contiguous column slice at a time — no reallocation.
+fn zero_lower(t: &mut Matrix, whole: bool) {
+    if whole {
+        t.data_mut().fill(0.0);
+    } else {
+        let rows = t.rows();
+        for c in 0..t.cols() {
+            if c + 1 < rows {
+                t.col_mut(c)[c + 1..].fill(0.0);
             }
         }
     }

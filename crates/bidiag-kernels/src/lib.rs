@@ -4,8 +4,13 @@
 //!
 //! * [`householder`] / [`givens`] — elementary orthogonal transformations,
 //! * [`qr`] — the six tile kernels of the tiled QR factorization
-//!   (GEQRT/UNMQR/TSQRT/TSMQR/TTQRT/TTMQR, Table I of the paper),
+//!   (GEQRT/UNMQR/TSQRT/TSMQR/TTQRT/TTMQR, Table I of the paper), each in a
+//!   blocked compact-WY production variant and an unblocked reference
+//!   variant,
 //! * [`lq`] — their LQ duals (GELQT/UNMLQ/TSLQT/TSMLQ/TTLQT/TTMLQ),
+//! * [`wy`] — the compact-WY machinery the blocked kernels share:
+//!   [`wy::TFactor`] (`tau` scalars + triangular `T`) and [`wy::Workspace`]
+//!   (reusable scratch making the kernels allocation-free in steady state),
 //! * [`gebd2`] — the scalar (Level-2) Golub–Kahan bidiagonalization used by
 //!   the one-stage baselines,
 //! * [`band`] — band storage and the Givens bulge-chasing band-to-bidiagonal
@@ -27,8 +32,10 @@ pub mod jacobi;
 pub mod lq;
 pub mod qr;
 pub mod svd;
+pub mod wy;
 
 pub use band::BandMatrix;
 pub use cost::KernelKind;
 pub use gebd2::Bidiagonal;
 pub use qr::Trans;
+pub use wy::{TFactor, Workspace};

@@ -2,56 +2,118 @@
 //!
 //! The LQ kernels are the exact duals of the QR kernels: they annihilate
 //! tiles to the *right* of a pivot tile column by applying orthogonal
-//! transformations from the right.  They are implemented as thin transpose
-//! wrappers over the QR kernels of [`crate::qr`]: the LQ factorization of a
-//! tile `A` is obtained from the QR factorization of `A^T`
-//! (`A = L Q  <=>  A^T = Q^T_qr' ...`), and applying the resulting
-//! orthogonal factor from the right is the transpose of applying it from the
-//! left.  This keeps one single, heavily-tested code path for the numerics
-//! while preserving the LAPACK storage convention for LQ (Householder
-//! vectors stored row-wise in the strictly upper part of the tile).
+//! transformations from the right.  Costs are symmetric to the QR kernels
+//! (Table I of the paper): GELQT 4, UNMLQ 6, TSLQT 6, TSMLQ 12, TTLQT 2,
+//! TTMLQ 6 (in units of `nb^3/3`).
 //!
-//! Costs are symmetric to the QR kernels (Table I of the paper): GELQT 4,
-//! UNMLQ 6, TSLQT 6, TSMLQ 12, TTLQT 2, TTMLQ 6 (in units of `nb^3/3`).
+//! The *factorization* kernels (`gelqt`/`tslqt`/`ttlqt`) are thin transpose
+//! wrappers over the blocked QR factorizations of [`crate::qr`]: the LQ
+//! factorization of `A` is the QR factorization of `A^T`, and the compact-WY
+//! [`TFactor`] carries over unchanged.  The transposes cost `O(nb^2)` per
+//! `O(nb^3)` kernel and keep one heavily-tested numerical code path.
+//!
+//! The *apply* kernels (`unmlq`/`tsmlq`/`ttmlq`) — which run once per
+//! trailing tile and dominate the LQ steps — do **not** transpose.  They
+//! apply the compact-WY product directly from the right,
+//! `C -= (C V) op(T) V^T`, reading the row-wise stored Householder vectors
+//! through column-contiguous sweeps; `TSMLQ` (Table I weight 12) is two
+//! dense GEMMs around the small triangular `T` product, exactly like its
+//! QR twin.
+//!
+//! The unblocked `*_unblocked` references mirror LAPACK via transposition of
+//! the unblocked QR kernels and remain the oracle for the property tests.
 
-use crate::qr::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Trans};
-use bidiag_matrix::Matrix;
+use crate::qr::{
+    geqrt, geqrt_unblocked, tsmqr_unblocked, tsqrt, tsqrt_unblocked, ttmqr_unblocked, ttqrt,
+    ttqrt_unblocked, unmqr_unblocked, Trans,
+};
+use crate::wy::{
+    apply_t_right, chunk_order, grow, lq_cv, lq_cwv, lq_tri_cv, lq_tri_cwv, TFactor, Workspace,
+};
+use bidiag_matrix::{gemm_nn, gemm_nt, Matrix, MatrixViewMut};
 
 /// GELQT: in-place LQ factorization of a tile.
 ///
 /// On exit the lower triangle of `a` (including the diagonal) holds `L` and
 /// the strictly upper part holds the Householder vectors stored row-wise.
-/// Returns the `tau` scalars.
-pub fn gelqt(a: &mut Matrix) -> Vec<f64> {
+/// Returns the compact-WY [`TFactor`] consumed by [`unmlq`].
+pub fn gelqt(a: &mut Matrix, ws: &mut Workspace) -> TFactor {
     let mut at = a.transpose();
-    let taus = geqrt(&mut at);
+    let tf = geqrt(&mut at, ws);
+    *a = at.transpose();
+    tf
+}
+
+/// GELQT, unblocked reference returning the raw `tau` scalars.
+pub fn gelqt_unblocked(a: &mut Matrix) -> Vec<f64> {
+    let mut at = a.transpose();
+    let taus = geqrt_unblocked(&mut at);
     *a = at.transpose();
     taus
 }
 
 /// UNMLQ: apply the orthogonal factor of a GELQT'd tile to `c` from the
-/// right.  With [`Trans::Transpose`] this computes `C <- C * Q_lq^T`, which is
-/// the update used by the LQ steps of the bidiagonalization; with
+/// right.  With [`Trans::Transpose`] this computes `C <- C * Q_lq^T`, which
+/// is the update used by the LQ steps of the bidiagonalization; with
 /// [`Trans::NoTranspose`] it computes `C <- C * Q_lq`.
-pub fn unmlq(v: &Matrix, taus: &[f64], c: &mut Matrix, trans: Trans) {
-    // A = L Q_lq  with  A^T = Q_qr R  and  Q_lq = Q_qr^T.
-    // C * Q_lq^T = C * Q_qr       = (Q_qr^T C^T)^T  -> forward order (Transpose)
-    // C * Q_lq   = C * Q_qr^T     = (Q_qr   C^T)^T  -> reverse order (NoTranspose)
+///
+/// Runs the right-sided compact-WY sweep `C -= (C V) op(T) V^T` without
+/// forming any transpose.
+pub fn unmlq(v: &Matrix, tf: &TFactor, c: &mut Matrix, trans: Trans, ws: &mut Workspace) {
+    let n = c.cols();
+    assert_eq!(v.cols(), n, "UNMLQ: V and C column mismatch");
+    let r = c.rows();
+    let k = tf.len();
+    if k == 0 || r == 0 {
+        return;
+    }
+    let (panel, _, _) = ws.bufs();
+    // With A = L Q_lq, A^T = Q_qr R and Q_lq = Q_qr^T:
+    //   C Q_lq^T = C Q_qr   = C - (C V) T   V^T   (Transpose),
+    //   C Q_lq   = C Q_qr^T = C - (C V) T^T V^T   (NoTranspose).
+    for (p, ibp) in chunk_order(k, trans) {
+        let mut w = MatrixViewMut::new(grow(panel, r * ibp), r, ibp, r);
+        let vp = v.view(p, p, ibp, n - p);
+        lq_cv(vp, c.view(0, p, r, n - p), &mut w);
+        apply_t_right(
+            &mut w,
+            tf.t().view(p, p, ibp, ibp),
+            matches!(trans, Trans::NoTranspose),
+        );
+        let mut cv = c.as_view_mut();
+        let mut cp = cv.submatrix_mut(0, p, r, n - p);
+        lq_cwv(vp, w.as_view(), &mut cp);
+    }
+}
+
+/// UNMLQ, unblocked reference (transpose wrapper over the unblocked UNMQR).
+pub fn unmlq_unblocked(v: &Matrix, taus: &[f64], c: &mut Matrix, trans: Trans) {
     let vq = v.transpose();
     let mut ct = c.transpose();
-    unmqr(&vq, taus, &mut ct, trans);
+    unmqr_unblocked(&vq, taus, &mut ct, trans);
     *c = ct.transpose();
 }
 
 /// TSLQT: LQ reduction of a lower triangle with a full tile to its right.
 ///
 /// `l1` is the lower-triangular pivot tile (tile `(k, piv)`), `a2` the tile
-/// being annihilated (tile `(k, j)`).  On exit `l1` holds the updated `L` and
-/// `a2` holds the Householder vectors (row-wise).  Returns `tau` scalars.
-pub fn tslqt(l1: &mut Matrix, a2: &mut Matrix) -> Vec<f64> {
+/// being annihilated (tile `(k, j)`).  On exit `l1` holds the updated `L`
+/// and `a2` holds the Householder vectors (row-wise).  Returns the
+/// [`TFactor`].
+pub fn tslqt(l1: &mut Matrix, a2: &mut Matrix, ws: &mut Workspace) -> TFactor {
     let mut l1t = l1.transpose();
     let mut a2t = a2.transpose();
-    let taus = tsqrt(&mut l1t, &mut a2t);
+    let tf = tsqrt(&mut l1t, &mut a2t, ws);
+    *l1 = l1t.transpose();
+    *a2 = a2t.transpose();
+    tf
+}
+
+/// TSLQT, unblocked reference.
+pub fn tslqt_unblocked(l1: &mut Matrix, a2: &mut Matrix) -> Vec<f64> {
+    let mut l1t = l1.transpose();
+    let mut a2t = a2.transpose();
+    let taus = tsqrt_unblocked(&mut l1t, &mut a2t);
     *l1 = l1t.transpose();
     *a2 = a2t.transpose();
     taus
@@ -61,11 +123,62 @@ pub fn tslqt(l1: &mut Matrix, a2: &mut Matrix) -> Vec<f64> {
 /// `(c1, c2)` from the right.  `c1` lives in the pivot tile column and `c2`
 /// in the annihilated tile column; `v2` is the tile holding the Householder
 /// vectors (the `a2` output of [`tslqt`]).
-pub fn tsmlq(c1: &mut Matrix, c2: &mut Matrix, v2: &Matrix, taus: &[f64], trans: Trans) {
+///
+/// Like its QR twin this is a Table I weight-12 kernel and runs as two dense
+/// GEMMs around the small triangular `T` product.
+pub fn tsmlq(
+    c1: &mut Matrix,
+    c2: &mut Matrix,
+    v2: &Matrix,
+    tf: &TFactor,
+    trans: Trans,
+    ws: &mut Workspace,
+) {
+    let r = c1.rows();
+    assert_eq!(c2.rows(), r, "TSMLQ: row mismatch");
+    let n2 = c2.cols();
+    assert_eq!(v2.cols(), n2, "TSMLQ: V2 column mismatch");
+    let k = tf.len();
+    if k == 0 || r == 0 {
+        return;
+    }
+    assert!(
+        c1.cols() >= k,
+        "TSMLQ: C1 has fewer columns than reflectors"
+    );
+    let (panel, _, _) = ws.bufs();
+    for (p, ibp) in chunk_order(k, trans) {
+        let mut w = MatrixViewMut::new(grow(panel, r * ibp), r, ibp, r);
+        let v2p = v2.view(p, 0, ibp, n2);
+        // W = C1[:, p..p+ib] + C2 V2_p  (V2[j, kk] = v2[kk, j], dense).
+        for (kk, wcol) in w.cols_mut().enumerate() {
+            wcol.copy_from_slice(c1.col(p + kk));
+        }
+        gemm_nt(&mut w, 1.0, c2.as_view(), v2p);
+        // W = W op(T_pp).
+        apply_t_right(
+            &mut w,
+            tf.t().view(p, p, ibp, ibp),
+            matches!(trans, Trans::NoTranspose),
+        );
+        // C1[:, p..p+ib] -= W;  C2 -= W V2_p^T.
+        for kk in 0..ibp {
+            let wcol = w.col(kk);
+            let ccol = c1.col_mut(p + kk);
+            for i in 0..r {
+                ccol[i] -= wcol[i];
+            }
+        }
+        gemm_nn(&mut c2.as_view_mut(), -1.0, w.as_view(), v2p);
+    }
+}
+
+/// TSMLQ, unblocked reference.
+pub fn tsmlq_unblocked(c1: &mut Matrix, c2: &mut Matrix, v2: &Matrix, taus: &[f64], trans: Trans) {
     let v2t = v2.transpose();
     let mut c1t = c1.transpose();
     let mut c2t = c2.transpose();
-    tsmqr(&mut c1t, &mut c2t, &v2t, taus, trans);
+    tsmqr_unblocked(&mut c1t, &mut c2t, &v2t, taus, trans);
     *c1 = c1t.transpose();
     *c2 = c2t.transpose();
 }
@@ -73,24 +186,84 @@ pub fn tsmlq(c1: &mut Matrix, c2: &mut Matrix, v2: &Matrix, taus: &[f64], trans:
 /// TTLQT: LQ reduction of two lower triangles side by side.
 ///
 /// `l1` is the pivot lower triangle and `l2` the lower triangle being
-/// annihilated.  On exit `l1` holds the combined `L` and `l2` the Householder
-/// vectors (row `k` has non-zeros only in columns `0..=k`).
-pub fn ttlqt(l1: &mut Matrix, l2: &mut Matrix) -> Vec<f64> {
+/// annihilated.  On exit `l1` holds the combined `L` and `l2` the
+/// Householder vectors (row `k` has non-zeros only in columns `0..=k`; the
+/// strictly upper part of `l2` is never touched).  Returns the [`TFactor`].
+pub fn ttlqt(l1: &mut Matrix, l2: &mut Matrix, ws: &mut Workspace) -> TFactor {
     let mut l1t = l1.transpose();
     let mut l2t = l2.transpose();
-    let taus = ttqrt(&mut l1t, &mut l2t);
+    let tf = ttqrt(&mut l1t, &mut l2t, ws);
+    *l1 = l1t.transpose();
+    *l2 = l2t.transpose();
+    tf
+}
+
+/// TTLQT, unblocked reference.
+pub fn ttlqt_unblocked(l1: &mut Matrix, l2: &mut Matrix) -> Vec<f64> {
+    let mut l1t = l1.transpose();
+    let mut l2t = l2.transpose();
+    let taus = ttqrt_unblocked(&mut l1t, &mut l2t);
     *l1 = l1t.transpose();
     *l2 = l2t.transpose();
     taus
 }
 
 /// TTMLQ: apply the reflectors produced by [`ttlqt`] to the tile pair
-/// `(c1, c2)` from the right.
-pub fn ttmlq(c1: &mut Matrix, c2: &mut Matrix, v2: &Matrix, taus: &[f64], trans: Trans) {
+/// `(c1, c2)` from the right.  The k-th reflector touches column `k` of
+/// `c1` and columns `0..=k` of `c2`; the triangular structure of `v2` is
+/// respected, so whatever its strictly upper part holds (typically the
+/// row-wise vectors of an earlier GELQT) is never read.
+pub fn ttmlq(
+    c1: &mut Matrix,
+    c2: &mut Matrix,
+    v2: &Matrix,
+    tf: &TFactor,
+    trans: Trans,
+    ws: &mut Workspace,
+) {
+    let r = c1.rows();
+    assert_eq!(c2.rows(), r, "TTMLQ: row mismatch");
+    let n2 = c2.cols();
+    assert_eq!(v2.cols(), n2, "TTMLQ: V2 column mismatch");
+    let k = tf.len();
+    if k == 0 || r == 0 {
+        return;
+    }
+    assert!(
+        c1.cols() >= k,
+        "TTMLQ: C1 has fewer columns than reflectors"
+    );
+    let (panel, _, _) = ws.bufs();
+    for (p, ibp) in chunk_order(k, trans) {
+        let mut w = MatrixViewMut::new(grow(panel, r * ibp), r, ibp, r);
+        let v2p = v2.view(p, 0, ibp, n2);
+        // W = C1[:, p..p+ib] + C2 V2_p  (triangular V2).
+        for (kk, wcol) in w.cols_mut().enumerate() {
+            wcol.copy_from_slice(c1.col(p + kk));
+        }
+        lq_tri_cv(v2p, c2.as_view(), &mut w, p);
+        apply_t_right(
+            &mut w,
+            tf.t().view(p, p, ibp, ibp),
+            matches!(trans, Trans::NoTranspose),
+        );
+        for kk in 0..ibp {
+            let wcol = w.col(kk);
+            let ccol = c1.col_mut(p + kk);
+            for i in 0..r {
+                ccol[i] -= wcol[i];
+            }
+        }
+        lq_tri_cwv(v2p, w.as_view(), &mut c2.as_view_mut(), p);
+    }
+}
+
+/// TTMLQ, unblocked reference.
+pub fn ttmlq_unblocked(c1: &mut Matrix, c2: &mut Matrix, v2: &Matrix, taus: &[f64], trans: Trans) {
     let v2t = v2.transpose();
     let mut c1t = c1.transpose();
     let mut c2t = c2.transpose();
-    ttmqr(&mut c1t, &mut c2t, &v2t, taus, trans);
+    ttmqr_unblocked(&mut c1t, &mut c2t, &v2t, taus, trans);
     *c1 = c1t.transpose();
     *c2 = c2t.transpose();
 }
@@ -101,45 +274,60 @@ pub fn build_q_lq(v: &Matrix, taus: &[f64]) -> Matrix {
     let n = v.cols();
     let mut q = Matrix::identity(n);
     // Q_lq = Q_qr^T, and C <- C * Q_lq with C = I gives Q_lq.
-    unmlq(v, taus, &mut q, Trans::NoTranspose);
+    unmlq_unblocked(v, taus, &mut q, Trans::NoTranspose);
     q
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bidiag_matrix::checks::lower_triangle_of;
     use bidiag_matrix::checks::{orthogonality_error, relative_error};
     use bidiag_matrix::gen::random_gaussian;
 
-    fn lower_triangle_of(a: &Matrix) -> Matrix {
-        Matrix::from_fn(
-            a.rows(),
-            a.cols(),
-            |i, j| if j <= i { a.get(i, j) } else { 0.0 },
-        )
-    }
-
     #[test]
     fn gelqt_factors_tile() {
+        let mut ws = Workspace::new();
         for (m, n) in [(6, 6), (4, 9), (9, 4)] {
             let a0 = random_gaussian(m, n, (m * 10 + n) as u64);
             let mut a = a0.clone();
-            let taus = gelqt(&mut a);
+            let tf = gelqt(&mut a, &mut ws);
             let l = lower_triangle_of(&a);
-            let q = build_q_lq(&a, &taus);
+            let q = build_q_lq(&a, tf.taus());
             assert!(orthogonality_error(&q) < 1e-13, "{m}x{n}");
             assert!(relative_error(&a0, &l.matmul(&q)) < 1e-13, "{m}x{n}");
         }
     }
 
     #[test]
+    fn unmlq_matches_unblocked_reference() {
+        let mut ws = Workspace::new();
+        for (r, n) in [(3, 5), (5, 5), (1, 6), (7, 4)] {
+            let mut v = random_gaussian(n.min(4), n, 60);
+            let tf = gelqt(&mut v, &mut ws);
+            let c0 = random_gaussian(r, n, 61);
+            for trans in [Trans::Transpose, Trans::NoTranspose] {
+                let mut cb = c0.clone();
+                unmlq(&v, &tf, &mut cb, trans, &mut ws);
+                let mut cu = c0.clone();
+                unmlq_unblocked(&v, tf.taus(), &mut cu, trans);
+                assert!(
+                    relative_error(&cu, &cb) < 1e-13,
+                    "blocked UNMLQ differs, {r}x{n} {trans:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unmlq_round_trip() {
+        let mut ws = Workspace::new();
         let mut v = random_gaussian(5, 5, 60);
-        let taus = gelqt(&mut v);
+        let tf = gelqt(&mut v, &mut ws);
         let c0 = random_gaussian(3, 5, 61);
         let mut c = c0.clone();
-        unmlq(&v, &taus, &mut c, Trans::Transpose);
-        unmlq(&v, &taus, &mut c, Trans::NoTranspose);
+        unmlq(&v, &tf, &mut c, Trans::Transpose, &mut ws);
+        unmlq(&v, &tf, &mut c, Trans::NoTranspose, &mut ws);
         assert!(relative_error(&c0, &c) < 1e-12);
     }
 
@@ -148,10 +336,11 @@ mod tests {
         // [A1 A2] * Q^T where Q comes from LQ of A1 alone leaves A1 lower
         // triangular; this is what UNMLQ does to the trailing tile rows.
         let nb = 5;
+        let mut ws = Workspace::new();
         let a1_0 = random_gaussian(nb, nb, 62);
         let mut a1 = a1_0.clone();
-        let taus = gelqt(&mut a1);
-        let q = build_q_lq(&a1, &taus);
+        let tf = gelqt(&mut a1, &mut ws);
+        let q = build_q_lq(&a1, tf.taus());
         // A1 = L * Q  =>  A1 * Q^T = L.
         let l = a1_0.matmul(&q.transpose());
         for i in 0..nb {
@@ -164,21 +353,29 @@ mod tests {
     #[test]
     fn tslqt_factorization_is_consistent() {
         let nb = 5;
+        let mut ws = Workspace::new();
         let mut pivot = random_gaussian(nb, nb, 70);
-        let _ = gelqt(&mut pivot);
+        let _ = gelqt(&mut pivot, &mut ws);
         let l1_0 = lower_triangle_of(&pivot);
         let a2_0 = random_gaussian(nb, nb, 71);
 
         let mut l1 = l1_0.clone();
         let mut a2 = a2_0.clone();
-        let taus = tslqt(&mut l1, &mut a2);
+        let tf = tslqt(&mut l1, &mut a2, &mut ws);
 
         // [L1_0 A2_0] = [L1_new 0] * Q for some orthogonal Q (2nb x 2nb).
         // Rebuild Q by applying the reflectors to the identity from the right.
         let mut q = Matrix::identity(2 * nb);
         let mut q_left = q.block(0, 0, 2 * nb, nb);
         let mut q_right = q.block(0, nb, 2 * nb, nb);
-        tsmlq(&mut q_left, &mut q_right, &a2, &taus, Trans::NoTranspose);
+        tsmlq(
+            &mut q_left,
+            &mut q_right,
+            &a2,
+            &tf,
+            Trans::NoTranspose,
+            &mut ws,
+        );
         q.copy_block(0, 0, &q_left);
         q.copy_block(0, nb, &q_right);
         assert!(orthogonality_error(&q) < 1e-12);
@@ -192,17 +389,39 @@ mod tests {
     }
 
     #[test]
-    fn tsmlq_round_trip() {
+    fn tsmlq_matches_unblocked_reference() {
         let nb = 4;
+        let mut ws = Workspace::new();
         let mut l1 = lower_triangle_of(&random_gaussian(nb, nb, 80));
         let mut v2 = random_gaussian(nb, nb, 81);
-        let taus = tslqt(&mut l1, &mut v2);
+        let tf = tslqt(&mut l1, &mut v2, &mut ws);
+        let c1_0 = random_gaussian(3, nb, 82);
+        let c2_0 = random_gaussian(3, nb, 83);
+        for trans in [Trans::Transpose, Trans::NoTranspose] {
+            let mut b1 = c1_0.clone();
+            let mut b2 = c2_0.clone();
+            tsmlq(&mut b1, &mut b2, &v2, &tf, trans, &mut ws);
+            let mut u1 = c1_0.clone();
+            let mut u2 = c2_0.clone();
+            tsmlq_unblocked(&mut u1, &mut u2, &v2, tf.taus(), trans);
+            assert!(relative_error(&u1, &b1) < 1e-13, "{trans:?}");
+            assert!(relative_error(&u2, &b2) < 1e-13, "{trans:?}");
+        }
+    }
+
+    #[test]
+    fn tsmlq_round_trip() {
+        let nb = 4;
+        let mut ws = Workspace::new();
+        let mut l1 = lower_triangle_of(&random_gaussian(nb, nb, 80));
+        let mut v2 = random_gaussian(nb, nb, 81);
+        let tf = tslqt(&mut l1, &mut v2, &mut ws);
         let c1_0 = random_gaussian(3, nb, 82);
         let c2_0 = random_gaussian(3, nb, 83);
         let mut c1 = c1_0.clone();
         let mut c2 = c2_0.clone();
-        tsmlq(&mut c1, &mut c2, &v2, &taus, Trans::Transpose);
-        tsmlq(&mut c1, &mut c2, &v2, &taus, Trans::NoTranspose);
+        tsmlq(&mut c1, &mut c2, &v2, &tf, Trans::Transpose, &mut ws);
+        tsmlq(&mut c1, &mut c2, &v2, &tf, Trans::NoTranspose, &mut ws);
         assert!(relative_error(&c1_0, &c1) < 1e-12);
         assert!(relative_error(&c2_0, &c2) < 1e-12);
     }
@@ -210,16 +429,24 @@ mod tests {
     #[test]
     fn ttlqt_and_ttmlq_round_trip() {
         let nb = 4;
+        let mut ws = Workspace::new();
         let mut l1 = lower_triangle_of(&random_gaussian(nb, nb, 90));
         let mut l2 = lower_triangle_of(&random_gaussian(nb, nb, 91));
         let l1_0 = l1.clone();
         let l2_0 = l2.clone();
-        let taus = ttlqt(&mut l1, &mut l2);
+        let tf = ttlqt(&mut l1, &mut l2, &mut ws);
 
         let mut q = Matrix::identity(2 * nb);
         let mut q_left = q.block(0, 0, 2 * nb, nb);
         let mut q_right = q.block(0, nb, 2 * nb, nb);
-        ttmlq(&mut q_left, &mut q_right, &l2, &taus, Trans::NoTranspose);
+        ttmlq(
+            &mut q_left,
+            &mut q_right,
+            &l2,
+            &tf,
+            Trans::NoTranspose,
+            &mut ws,
+        );
         q.copy_block(0, 0, &q_left);
         q.copy_block(0, nb, &q_right);
         assert!(orthogonality_error(&q) < 1e-12);
@@ -239,9 +466,34 @@ mod tests {
         let c2_0 = random_gaussian(3, nb, 93);
         let mut c1 = c1_0.clone();
         let mut c2 = c2_0.clone();
-        ttmlq(&mut c1, &mut c2, &l2, &taus, Trans::Transpose);
-        ttmlq(&mut c1, &mut c2, &l2, &taus, Trans::NoTranspose);
+        ttmlq(&mut c1, &mut c2, &l2, &tf, Trans::Transpose, &mut ws);
+        ttmlq(&mut c1, &mut c2, &l2, &tf, Trans::NoTranspose, &mut ws);
         assert!(relative_error(&c1_0, &c1) < 1e-12);
         assert!(relative_error(&c2_0, &c2) < 1e-12);
+    }
+
+    #[test]
+    fn ttmlq_ignores_the_strictly_upper_part_of_v2() {
+        let nb = 4;
+        let mut ws = Workspace::new();
+        let mut l1 = lower_triangle_of(&random_gaussian(nb, nb, 90));
+        let mut l2 = lower_triangle_of(&random_gaussian(nb, nb, 91));
+        let tf = ttlqt(&mut l1, &mut l2, &mut ws);
+        let mut poisoned = l2.clone();
+        for j in 0..nb {
+            for i in 0..j {
+                poisoned.set(i, j, 1e30);
+            }
+        }
+        let c1_0 = random_gaussian(3, nb, 92);
+        let c2_0 = random_gaussian(3, nb, 93);
+        let mut b1 = c1_0.clone();
+        let mut b2 = c2_0.clone();
+        ttmlq(&mut b1, &mut b2, &poisoned, &tf, Trans::Transpose, &mut ws);
+        let mut u1 = c1_0.clone();
+        let mut u2 = c2_0.clone();
+        ttmlq_unblocked(&mut u1, &mut u2, &l2, tf.taus(), Trans::Transpose);
+        assert!(relative_error(&u1, &b1) < 1e-13);
+        assert!(relative_error(&u2, &b2) < 1e-13);
     }
 }

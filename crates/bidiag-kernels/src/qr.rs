@@ -12,15 +12,31 @@
 //! | TTQRT   | zero a triangle below a triangle       | 2    |
 //! | TTMQR   | apply the TTQRT reflectors to a pair   | 6    |
 //!
-//! The kernels here are unblocked (they apply the Householder reflectors one
-//! by one).  This matches the mathematics and data flow of the LAPACK
-//! `xGEQRT`/`xTPQRT` family exactly, while keeping the code easy to audit.
-//! Reflector scalars (`tau`) are returned to the caller, which stores them
-//! next to the tile holding the Householder vectors (as PLASMA stores its
-//! `T` factors).
+//! Two implementations live side by side:
+//!
+//! * The **blocked** kernels (`geqrt`, `unmqr`, ...) are the production data
+//!   plane.  Factorization kernels generate their reflectors in place on
+//!   contiguous column slices (no per-reflector heap `Vec`s) and build the
+//!   upper-triangular compact-WY `T` factor incrementally (LAPACK `xLARFT`),
+//!   returned as a [`TFactor`].  Apply kernels consume the `T` factor and run
+//!   as the three-GEMM sweep `W = V^T C; W = op(T) W; C -= V W` over
+//!   [`bidiag_matrix::MatrixView`]s — `TSMQR`, the hottest kernel, is three
+//!   literal calls into [`bidiag_matrix::gemm`].  All scratch comes from a
+//!   caller-provided [`Workspace`].
+//! * The **unblocked** references (`geqrt_unblocked`, `unmqr_unblocked`, ...)
+//!   apply the Householder reflectors one by one, exactly mirroring LAPACK
+//!   `xGEQRT2`/`xTPQRT2`.  They are the numerical oracle the property tests
+//!   compare the blocked kernels against, and they define the storage
+//!   convention both share: `R` in the upper triangle, Householder vectors
+//!   below (GEQRT), dense vectors in the second tile (TSQRT), triangular
+//!   vectors in the second tile (TTQRT).
 
 use crate::householder::{axpy, dot, larfg};
-use bidiag_matrix::Matrix;
+use crate::wy::{
+    apply_t_left, chunk_order, densify_trapezoid, densify_triangle, grow, TFactor, Workspace,
+};
+use bidiag_matrix::gemm::dot as fdot;
+use bidiag_matrix::{gemm_nn, gemm_tn, Matrix, MatrixViewMut};
 
 /// Whether an apply kernel applies `Q^T` (used by factorizations) or `Q`
 /// (used when reconstructing / applying backward transformations).
@@ -32,12 +48,363 @@ pub enum Trans {
     NoTranspose,
 }
 
-/// GEQRT: in-place Householder QR of a tile.
+/// Apply one reflector `H = I - tau v v^T`, `v = (1, vtail)`, to every
+/// column of `c` (`c.rows() == vtail.len() + 1`), four columns per pass.
+fn larf_left(tau: f64, vtail: &[f64], c: &mut MatrixViewMut<'_>) {
+    let mlen = vtail.len();
+    debug_assert_eq!(c.rows(), mlen + 1);
+    let n = c.cols();
+    let mut cols = c.cols_mut();
+    let mut j = 0;
+    while j < n {
+        if j + 4 <= n {
+            let c0 = cols.next().unwrap();
+            let c1 = cols.next().unwrap();
+            let c2 = cols.next().unwrap();
+            let c3 = cols.next().unwrap();
+            let (mut w0, mut w1, mut w2, mut w3) = (c0[0], c1[0], c2[0], c3[0]);
+            for i in 0..mlen {
+                let v = vtail[i];
+                w0 += v * c0[i + 1];
+                w1 += v * c1[i + 1];
+                w2 += v * c2[i + 1];
+                w3 += v * c3[i + 1];
+            }
+            w0 *= tau;
+            w1 *= tau;
+            w2 *= tau;
+            w3 *= tau;
+            c0[0] -= w0;
+            c1[0] -= w1;
+            c2[0] -= w2;
+            c3[0] -= w3;
+            for i in 0..mlen {
+                let v = vtail[i];
+                c0[i + 1] -= v * w0;
+                c1[i + 1] -= v * w1;
+                c2[i + 1] -= v * w2;
+                c3[i + 1] -= v * w3;
+            }
+            j += 4;
+        } else {
+            let c0 = cols.next().unwrap();
+            let mut w = c0[0];
+            for i in 0..mlen {
+                w += vtail[i] * c0[i + 1];
+            }
+            w *= tau;
+            c0[0] -= w;
+            for i in 0..mlen {
+                c0[i + 1] -= vtail[i] * w;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Apply one TS/TT reflector — head `e_k` in the `r1` row, tail `v` in the
+/// prefix of the second tile's columns — to `r1` row `k` (columns `k+1..`)
+/// and the matching prefix of every `trail` column, four columns per pass.
+fn ts_update(tau: f64, v: &[f64], r1: &mut Matrix, k: usize, trail: &mut MatrixViewMut<'_>) {
+    let rl = v.len();
+    let n = trail.cols();
+    let mut cols = trail.cols_mut();
+    let mut jj = 0;
+    while jj < n {
+        let j = k + 1 + jj;
+        if jj + 4 <= n {
+            let c0 = cols.next().unwrap();
+            let c1 = cols.next().unwrap();
+            let c2 = cols.next().unwrap();
+            let c3 = cols.next().unwrap();
+            let mut w0 = r1.get(k, j);
+            let mut w1 = r1.get(k, j + 1);
+            let mut w2 = r1.get(k, j + 2);
+            let mut w3 = r1.get(k, j + 3);
+            for i in 0..rl {
+                let vi = v[i];
+                w0 += vi * c0[i];
+                w1 += vi * c1[i];
+                w2 += vi * c2[i];
+                w3 += vi * c3[i];
+            }
+            w0 *= tau;
+            w1 *= tau;
+            w2 *= tau;
+            w3 *= tau;
+            r1.set(k, j, r1.get(k, j) - w0);
+            r1.set(k, j + 1, r1.get(k, j + 1) - w1);
+            r1.set(k, j + 2, r1.get(k, j + 2) - w2);
+            r1.set(k, j + 3, r1.get(k, j + 3) - w3);
+            for i in 0..rl {
+                let vi = v[i];
+                c0[i] -= vi * w0;
+                c1[i] -= vi * w1;
+                c2[i] -= vi * w2;
+                c3[i] -= vi * w3;
+            }
+            jj += 4;
+        } else {
+            let c0 = cols.next().unwrap();
+            let mut w = r1.get(k, j);
+            for i in 0..rl {
+                w += v[i] * c0[i];
+            }
+            w *= tau;
+            r1.set(k, j, r1.get(k, j) - w);
+            for i in 0..rl {
+                c0[i] -= v[i] * w;
+            }
+            jj += 1;
+        }
+    }
+}
+
+/// GEQRT: in-place Householder QR of a tile, with the compact-WY `T` factor
+/// built alongside.
 ///
 /// On exit the upper triangle of `a` holds `R` and the strictly lower part
 /// holds the Householder vectors (unit diagonal implicit).  Returns the
-/// `tau` scalars, one per reflector.
-pub fn geqrt(a: &mut Matrix) -> Vec<f64> {
+/// [`TFactor`] (`tau` scalars + upper-triangular `T`) consumed by [`unmqr`].
+pub fn geqrt(a: &mut Matrix, ws: &mut Workspace) -> TFactor {
+    let m = a.rows();
+    let n = a.cols();
+    let kmax = m.min(n);
+    let mut tf = TFactor::with_kmax(kmax);
+    let (_, aux, _) = ws.bufs();
+    for k in 0..kmax {
+        let tau;
+        {
+            let mut av = a.as_view_mut();
+            let (mut head, mut trail_cols) = av.split_cols_at_mut(k + 1);
+            let colk = head.col_mut(k);
+            let r = larfg(colk[k], &mut colk[k + 1..]);
+            colk[k] = r.beta;
+            tau = r.tau;
+            if tau != 0.0 && k + 1 < n {
+                let vtail = &head.col(k)[k + 1..];
+                let mut trail = trail_cols.submatrix_mut(k, 0, m - k, n - k - 1);
+                larf_left(tau, vtail, &mut trail);
+            }
+        }
+        // T column k: vdots[l] = v_l^T v_k = a[k, l] + a[k+1.., l] . a[k+1.., k].
+        let vd = grow(aux, k);
+        let ck = a.col(k);
+        for (l, slot) in vd.iter_mut().enumerate() {
+            let cl = a.col(l);
+            *slot = cl[k] + fdot(&cl[k + 1..m], &ck[k + 1..m]);
+        }
+        tf.append(tau, vd);
+    }
+    tf
+}
+
+/// UNMQR: apply the orthogonal factor of a GEQRT'd tile to `c` from the left
+/// as the three-sweep compact-WY product `C -= V op(T) (V^T C)`.
+///
+/// `v` is the factored tile (Householder vectors in its strictly lower
+/// part), `tf` the factor returned by [`geqrt`].
+pub fn unmqr(v: &Matrix, tf: &TFactor, c: &mut Matrix, trans: Trans, ws: &mut Workspace) {
+    let m = c.rows();
+    assert_eq!(v.rows(), m, "UNMQR: V and C row mismatch");
+    let n = c.cols();
+    let k = tf.len();
+    if k == 0 || n == 0 {
+        return;
+    }
+    let (panel, aux, vpanel) = ws.bufs();
+    for (p, ibp) in chunk_order(k, trans) {
+        let mut w = MatrixViewMut::new(grow(panel, ibp * n), ibp, n, ibp);
+        // Zero-padded dense copy of the chunk's trapezoid of V: the whole
+        // chunk then runs as two fixed-shape GEMMs.
+        let vp = densify_trapezoid(v.as_view(), p, ibp, vpanel);
+        for wcol in w.cols_mut() {
+            wcol.fill(0.0);
+        }
+        gemm_tn(&mut w, 1.0, vp, c.view(p, 0, m - p, n));
+        apply_t_left(&mut w, tf.t().view(p, p, ibp, ibp), trans, aux);
+        let mut cv = c.as_view_mut();
+        let mut cp = cv.submatrix_mut(p, 0, m - p, n);
+        gemm_nn(&mut cp, -1.0, vp, w.as_view());
+    }
+}
+
+/// TSQRT: QR of a triangle stacked on top of a square tile, with the
+/// compact-WY `T` factor built alongside.
+///
+/// `r1` is an upper-triangular tile (the current `R` of the pivot row) and
+/// `a2` a full tile below it.  On exit `r1` holds the updated `R` and `a2`
+/// holds the (dense) Householder vectors.  Returns the [`TFactor`].
+pub fn tsqrt(r1: &mut Matrix, a2: &mut Matrix, ws: &mut Workspace) -> TFactor {
+    let n = r1.cols();
+    assert_eq!(a2.cols(), n, "TSQRT: column mismatch");
+    let m2 = a2.rows();
+    let kmax = n.min(r1.rows());
+    let mut tf = TFactor::with_kmax(kmax);
+    let (_, aux, _) = ws.bufs();
+    for k in 0..kmax {
+        let tau;
+        {
+            let mut a2v = a2.as_view_mut();
+            let (mut head, mut trail) = a2v.split_cols_at_mut(k + 1);
+            let colk = head.col_mut(k);
+            let r = larfg(r1.get(k, k), colk);
+            r1.set(k, k, r.beta);
+            tau = r.tau;
+            if tau != 0.0 && k + 1 < n {
+                ts_update(tau, head.col(k), r1, k, &mut trail);
+            }
+        }
+        // T column k: the e_k heads are orthogonal, so only the dense tails
+        // contribute: vdots[l] = a2[:, l] . a2[:, k].
+        let vd = grow(aux, k);
+        let ck = a2.col(k);
+        for (l, slot) in vd.iter_mut().enumerate() {
+            *slot = fdot(a2.col(l), &ck[..m2]);
+        }
+        tf.append(tau, vd);
+    }
+    tf
+}
+
+/// TSMQR: apply the reflectors produced by [`tsqrt`] to the tile pair
+/// `(a1, a2)` from the left.  `a1` lives in the pivot tile row and `a2` in
+/// the eliminated tile row; `v2` is the tile holding the dense Householder
+/// vectors (the `a2` output of [`tsqrt`]).
+///
+/// This is the hottest kernel of the factorization (Table I weight 12) and
+/// runs as two dense GEMMs around the small triangular `T` product.
+pub fn tsmqr(
+    a1: &mut Matrix,
+    a2: &mut Matrix,
+    v2: &Matrix,
+    tf: &TFactor,
+    trans: Trans,
+    ws: &mut Workspace,
+) {
+    let n = a1.cols();
+    assert_eq!(a2.cols(), n, "TSMQR: column mismatch");
+    let m2 = a2.rows();
+    assert_eq!(v2.rows(), m2, "TSMQR: V2 row mismatch");
+    let k = tf.len();
+    if k == 0 || n == 0 {
+        return;
+    }
+    assert!(a1.rows() >= k, "TSMQR: A1 has fewer rows than reflectors");
+    let (panel, aux, _) = ws.bufs();
+    for (p, ibp) in chunk_order(k, trans) {
+        let mut w = MatrixViewMut::new(grow(panel, ibp * n), ibp, n, ibp);
+        let v2p = v2.view(0, p, m2, ibp);
+        // W = A1[p..p+ib, :] + V2_p^T A2.
+        for (j, wcol) in w.cols_mut().enumerate() {
+            wcol.copy_from_slice(&a1.col(j)[p..p + ibp]);
+        }
+        gemm_tn(&mut w, 1.0, v2p, a2.as_view());
+        // W = op(T_pp) W.
+        apply_t_left(&mut w, tf.t().view(p, p, ibp, ibp), trans, aux);
+        // A1[p..p+ib, :] -= W;  A2 -= V2_p W.
+        for j in 0..n {
+            let wcol = w.col(j);
+            let acol = &mut a1.col_mut(j)[p..p + ibp];
+            for i in 0..ibp {
+                acol[i] -= wcol[i];
+            }
+        }
+        gemm_nn(&mut a2.as_view_mut(), -1.0, v2p, w.as_view());
+    }
+}
+
+/// TTQRT: QR of a triangle stacked on top of another triangle, with the
+/// compact-WY `T` factor built alongside.
+///
+/// Both `r1` and `r2` are upper-triangular tiles.  On exit `r1` holds the
+/// combined `R` and `r2` holds the Householder vectors (column `k` has
+/// non-zeros only in rows `0..=k`, preserving the triangular storage — the
+/// strictly lower part of `r2` is never touched).
+pub fn ttqrt(r1: &mut Matrix, r2: &mut Matrix, ws: &mut Workspace) -> TFactor {
+    let n = r1.cols();
+    assert_eq!(r2.cols(), n, "TTQRT: column mismatch");
+    let m2 = r2.rows();
+    let kmax = n.min(r1.rows());
+    let mut tf = TFactor::with_kmax(kmax);
+    let (_, aux, _) = ws.bufs();
+    for k in 0..kmax {
+        let rl = (k + 1).min(m2);
+        let tau;
+        {
+            let mut r2v = r2.as_view_mut();
+            let (mut head, mut trail) = r2v.split_cols_at_mut(k + 1);
+            let colk = head.col_mut(k);
+            let r = larfg(r1.get(k, k), &mut colk[..rl]);
+            r1.set(k, k, r.beta);
+            tau = r.tau;
+            if tau != 0.0 && k + 1 < n {
+                ts_update(tau, &head.col(k)[..rl], r1, k, &mut trail);
+            }
+        }
+        // T column k: vdots[l] over the overlap of the two triangular tails.
+        let vd = grow(aux, k);
+        let ck = r2.col(k);
+        for (l, slot) in vd.iter_mut().enumerate() {
+            let rll = (l + 1).min(m2);
+            *slot = fdot(&r2.col(l)[..rll], &ck[..rll]);
+        }
+        tf.append(tau, vd);
+    }
+    tf
+}
+
+/// TTMQR: apply the reflectors produced by [`ttqrt`] to the tile pair
+/// `(a1, a2)` from the left.  The k-th reflector touches row `k` of `a1`
+/// and rows `0..=k` of `a2`; the triangular structure of `v2` is respected,
+/// so whatever the strictly lower part of the `v2` tile holds (typically the
+/// Householder vectors of an earlier GEQRT) is never read.
+pub fn ttmqr(
+    a1: &mut Matrix,
+    a2: &mut Matrix,
+    v2: &Matrix,
+    tf: &TFactor,
+    trans: Trans,
+    ws: &mut Workspace,
+) {
+    let n = a1.cols();
+    assert_eq!(a2.cols(), n, "TTMQR: column mismatch");
+    let m2 = a2.rows();
+    assert_eq!(v2.rows(), m2, "TTMQR: V2 row mismatch");
+    let k = tf.len();
+    if k == 0 || n == 0 {
+        return;
+    }
+    assert!(a1.rows() >= k, "TTMQR: A1 has fewer rows than reflectors");
+    let (panel, aux, vpanel) = ws.bufs();
+    for (p, ibp) in chunk_order(k, trans) {
+        let mut w = MatrixViewMut::new(grow(panel, ibp * n), ibp, n, ibp);
+        // Zero-padded dense copy of the chunk's triangle of V2; rows past
+        // the chunk's reach (min(p + ib, m2)) are untouched by the chunk.
+        let v2p = densify_triangle(v2.as_view(), p, ibp, vpanel);
+        let rlmax = v2p.rows();
+        // W = A1[p..p+ib, :] + V2_p^T A2.
+        for (j, wcol) in w.cols_mut().enumerate() {
+            wcol.copy_from_slice(&a1.col(j)[p..p + ibp]);
+        }
+        gemm_tn(&mut w, 1.0, v2p, a2.view(0, 0, rlmax, n));
+        apply_t_left(&mut w, tf.t().view(p, p, ibp, ibp), trans, aux);
+        for j in 0..n {
+            let wcol = w.col(j);
+            let acol = &mut a1.col_mut(j)[p..p + ibp];
+            for i in 0..ibp {
+                acol[i] -= wcol[i];
+            }
+        }
+        let mut av = a2.as_view_mut();
+        let mut ap = av.submatrix_mut(0, 0, rlmax, n);
+        gemm_nn(&mut ap, -1.0, v2p, w.as_view());
+    }
+}
+
+/// GEQRT, unblocked reference: apply the Householder reflectors one by one.
+/// Returns the `tau` scalars, one per reflector.
+pub fn geqrt_unblocked(a: &mut Matrix) -> Vec<f64> {
     let m = a.rows();
     let n = a.cols();
     let kmax = m.min(n);
@@ -70,11 +437,9 @@ pub fn geqrt(a: &mut Matrix) -> Vec<f64> {
     taus
 }
 
-/// UNMQR: apply the orthogonal factor of a GEQRT'd tile to `c` from the left.
-///
-/// `v` is the factored tile (Householder vectors in its strictly lower part),
-/// `taus` the scalars returned by [`geqrt`].
-pub fn unmqr(v: &Matrix, taus: &[f64], c: &mut Matrix, trans: Trans) {
+/// UNMQR, unblocked reference: apply the reflectors of a GEQRT'd tile one by
+/// one from the left.
+pub fn unmqr_unblocked(v: &Matrix, taus: &[f64], c: &mut Matrix, trans: Trans) {
     let m = c.rows();
     assert_eq!(v.rows(), m, "UNMQR: V and C row mismatch");
     let kmax = taus.len();
@@ -103,12 +468,8 @@ pub fn unmqr(v: &Matrix, taus: &[f64], c: &mut Matrix, trans: Trans) {
     }
 }
 
-/// TSQRT: QR of a triangle stacked on top of a square tile.
-///
-/// `r1` is an upper-triangular tile (the current `R` of the pivot row) and
-/// `a2` a full tile below it.  On exit `r1` holds the updated `R` and `a2`
-/// holds the (dense) Householder vectors.  Returns `tau` scalars.
-pub fn tsqrt(r1: &mut Matrix, a2: &mut Matrix) -> Vec<f64> {
+/// TSQRT, unblocked reference.
+pub fn tsqrt_unblocked(r1: &mut Matrix, a2: &mut Matrix) -> Vec<f64> {
     let n = r1.cols();
     assert_eq!(a2.cols(), n, "TSQRT: column mismatch");
     let m2 = a2.rows();
@@ -140,11 +501,8 @@ pub fn tsqrt(r1: &mut Matrix, a2: &mut Matrix) -> Vec<f64> {
     taus
 }
 
-/// TSMQR: apply the reflectors produced by [`tsqrt`] to the tile pair
-/// `(a1, a2)` from the left.  `a1` lives in the pivot tile row and `a2` in the
-/// eliminated tile row; `v2` is the tile holding the dense Householder
-/// vectors (the `a2` output of [`tsqrt`]).
-pub fn tsmqr(a1: &mut Matrix, a2: &mut Matrix, v2: &Matrix, taus: &[f64], trans: Trans) {
+/// TSMQR, unblocked reference.
+pub fn tsmqr_unblocked(a1: &mut Matrix, a2: &mut Matrix, v2: &Matrix, taus: &[f64], trans: Trans) {
     let n = a1.cols();
     assert_eq!(a2.cols(), n, "TSMQR: column mismatch");
     let m2 = a2.rows();
@@ -173,12 +531,8 @@ pub fn tsmqr(a1: &mut Matrix, a2: &mut Matrix, v2: &Matrix, taus: &[f64], trans:
     }
 }
 
-/// TTQRT: QR of a triangle stacked on top of another triangle.
-///
-/// Both `r1` and `r2` are upper-triangular tiles.  On exit `r1` holds the
-/// combined `R` and `r2` holds the Householder vectors (column `k` has
-/// non-zeros only in rows `0..=k`, preserving the triangular storage).
-pub fn ttqrt(r1: &mut Matrix, r2: &mut Matrix) -> Vec<f64> {
+/// TTQRT, unblocked reference.
+pub fn ttqrt_unblocked(r1: &mut Matrix, r2: &mut Matrix) -> Vec<f64> {
     let n = r1.cols();
     assert_eq!(r2.cols(), n, "TTQRT: column mismatch");
     let kmax = n.min(r1.rows());
@@ -211,10 +565,8 @@ pub fn ttqrt(r1: &mut Matrix, r2: &mut Matrix) -> Vec<f64> {
     taus
 }
 
-/// TTMQR: apply the reflectors produced by [`ttqrt`] to the tile pair
-/// `(a1, a2)` from the left.  The k-th reflector touches row `k` of `a1` and
-/// rows `0..=k` of `a2`.
-pub fn ttmqr(a1: &mut Matrix, a2: &mut Matrix, v2: &Matrix, taus: &[f64], trans: Trans) {
+/// TTMQR, unblocked reference.
+pub fn ttmqr_unblocked(a1: &mut Matrix, a2: &mut Matrix, v2: &Matrix, taus: &[f64], trans: Trans) {
     let n = a1.cols();
     assert_eq!(a2.cols(), n, "TTMQR: column mismatch");
     let kmax = taus.len();
@@ -248,7 +600,7 @@ pub fn build_q(v: &Matrix, taus: &[f64]) -> Matrix {
     let m = v.rows();
     let mut q = Matrix::identity(m);
     // Q = H_1 ... H_k  =>  apply Q (NoTranspose) to the identity.
-    unmqr(v, taus, &mut q, Trans::NoTranspose);
+    unmqr_unblocked(v, taus, &mut q, Trans::NoTranspose);
     q
 }
 
@@ -262,69 +614,82 @@ fn apply_full_reflector(tau: f64, v: &[f64], x: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bidiag_matrix::checks::upper_triangle_of;
     use bidiag_matrix::checks::{orthogonality_error, relative_error};
     use bidiag_matrix::gen::random_gaussian;
-
-    fn upper_triangle_of(a: &Matrix) -> Matrix {
-        Matrix::from_fn(
-            a.rows(),
-            a.cols(),
-            |i, j| if j >= i { a.get(i, j) } else { 0.0 },
-        )
-    }
 
     #[test]
     fn geqrt_factors_square_tile() {
         let a0 = random_gaussian(8, 8, 1);
+        let mut ws = Workspace::new();
         let mut a = a0.clone();
-        let taus = geqrt(&mut a);
+        let tf = geqrt(&mut a, &mut ws);
         let r = upper_triangle_of(&a);
-        let q = build_q(&a, &taus);
+        let q = build_q(&a, tf.taus());
         assert!(orthogonality_error(&q) < 1e-13);
         assert!(relative_error(&a0, &q.matmul(&r)) < 1e-13);
     }
 
     #[test]
-    fn geqrt_factors_tall_and_wide_tiles() {
+    fn blocked_geqrt_matches_unblocked_bitwise() {
+        // Same reflector generation in the same order: the factored tile and
+        // the tau scalars are identical, the T factor is extra information.
         for (m, n) in [(10, 4), (4, 10), (7, 7), (1, 5), (5, 1)] {
             let a0 = random_gaussian(m, n, (m * 100 + n) as u64);
-            let mut a = a0.clone();
-            let taus = geqrt(&mut a);
-            let q = build_q(&a, &taus);
-            let r = upper_triangle_of(&a);
-            assert!(
-                orthogonality_error(&q) < 1e-13,
-                "Q not orthogonal for {m}x{n}"
-            );
-            assert!(
-                relative_error(&a0, &q.matmul(&r)) < 1e-13,
-                "A != QR for {m}x{n}"
-            );
+            let mut ws = Workspace::new();
+            let mut ab = a0.clone();
+            let tf = geqrt(&mut ab, &mut ws);
+            let mut au = a0.clone();
+            let taus = geqrt_unblocked(&mut au);
+            assert_eq!(ab, au, "factored tile differs for {m}x{n}");
+            assert_eq!(tf.taus(), &taus[..], "taus differ for {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn unmqr_matches_unblocked_reference() {
+        let mut ws = Workspace::new();
+        for (m, n) in [(6, 4), (9, 3), (5, 5), (7, 1)] {
+            let mut v = random_gaussian(m, m.min(5), 3);
+            let tf = geqrt(&mut v, &mut ws);
+            let c0 = random_gaussian(m, n, 4);
+            for trans in [Trans::Transpose, Trans::NoTranspose] {
+                let mut cb = c0.clone();
+                unmqr(&v, &tf, &mut cb, trans, &mut ws);
+                let mut cu = c0.clone();
+                unmqr_unblocked(&v, tf.taus(), &mut cu, trans);
+                assert!(
+                    relative_error(&cu, &cb) < 1e-13,
+                    "blocked UNMQR differs, {m}x{n} {trans:?}"
+                );
+            }
         }
     }
 
     #[test]
     fn unmqr_transpose_then_notranspose_is_identity() {
+        let mut ws = Workspace::new();
         let mut v = random_gaussian(6, 6, 3);
-        let taus = geqrt(&mut v);
+        let tf = geqrt(&mut v, &mut ws);
         let c0 = random_gaussian(6, 4, 4);
         let mut c = c0.clone();
-        unmqr(&v, &taus, &mut c, Trans::Transpose);
-        unmqr(&v, &taus, &mut c, Trans::NoTranspose);
+        unmqr(&v, &tf, &mut c, Trans::Transpose, &mut ws);
+        unmqr(&v, &tf, &mut c, Trans::NoTranspose, &mut ws);
         assert!(relative_error(&c0, &c) < 1e-13);
     }
 
     #[test]
     fn tsqrt_zeroes_bottom_tile_and_preserves_factorization() {
         let nb = 6;
+        let mut ws = Workspace::new();
         let a_top0 = random_gaussian(nb, nb, 10);
         let a_bot0 = random_gaussian(nb, nb, 11);
         // Start from a GEQRT'd top tile so that r1 is upper triangular.
         let mut top = a_top0.clone();
-        let t_top = geqrt(&mut top);
+        let _ = geqrt(&mut top, &mut ws);
         let mut r1 = upper_triangle_of(&top);
         let mut a2 = a_bot0.clone();
-        let taus = tsqrt(&mut r1, &mut a2);
+        let tf = tsqrt(&mut r1, &mut a2, &mut ws);
 
         // The stacked matrix [R1_old; A2_old] must equal Q * [R1_new; 0].
         let mut stacked = Matrix::zeros(2 * nb, nb);
@@ -333,10 +698,16 @@ mod tests {
 
         // Rebuild Q by applying the TS reflectors to the identity.
         let mut q = Matrix::identity(2 * nb);
-        // Use tsmqr on the blocks of the identity (columns of I).
         let mut q_top = q.block(0, 0, nb, 2 * nb);
         let mut q_bot = q.block(nb, 0, nb, 2 * nb);
-        tsmqr(&mut q_top, &mut q_bot, &a2, &taus, Trans::NoTranspose);
+        tsmqr(
+            &mut q_top,
+            &mut q_bot,
+            &a2,
+            &tf,
+            Trans::NoTranspose,
+            &mut ws,
+        );
         q.copy_block(0, 0, &q_top);
         q.copy_block(nb, 0, &q_bot);
 
@@ -344,21 +715,42 @@ mod tests {
         rnew.copy_block(0, 0, &upper_triangle_of(&r1));
         assert!(orthogonality_error(&q) < 1e-12);
         assert!(relative_error(&stacked, &q.matmul(&rnew)) < 1e-12);
-        let _ = t_top;
+    }
+
+    #[test]
+    fn tsmqr_matches_unblocked_reference() {
+        let nb = 5;
+        let mut ws = Workspace::new();
+        let mut r1 = upper_triangle_of(&random_gaussian(nb, nb, 20));
+        let mut v2 = random_gaussian(nb, nb, 21);
+        let tf = tsqrt(&mut r1, &mut v2, &mut ws);
+        let c1_0 = random_gaussian(nb, 3, 22);
+        let c2_0 = random_gaussian(nb, 3, 23);
+        for trans in [Trans::Transpose, Trans::NoTranspose] {
+            let mut b1 = c1_0.clone();
+            let mut b2 = c2_0.clone();
+            tsmqr(&mut b1, &mut b2, &v2, &tf, trans, &mut ws);
+            let mut u1 = c1_0.clone();
+            let mut u2 = c2_0.clone();
+            tsmqr_unblocked(&mut u1, &mut u2, &v2, tf.taus(), trans);
+            assert!(relative_error(&u1, &b1) < 1e-13, "{trans:?}");
+            assert!(relative_error(&u2, &b2) < 1e-13, "{trans:?}");
+        }
     }
 
     #[test]
     fn tsmqr_round_trip() {
         let nb = 5;
+        let mut ws = Workspace::new();
         let mut r1 = upper_triangle_of(&random_gaussian(nb, nb, 20));
         let mut v2 = random_gaussian(nb, nb, 21);
-        let taus = tsqrt(&mut r1, &mut v2);
+        let tf = tsqrt(&mut r1, &mut v2, &mut ws);
         let c1_0 = random_gaussian(nb, 3, 22);
         let c2_0 = random_gaussian(nb, 3, 23);
         let mut c1 = c1_0.clone();
         let mut c2 = c2_0.clone();
-        tsmqr(&mut c1, &mut c2, &v2, &taus, Trans::Transpose);
-        tsmqr(&mut c1, &mut c2, &v2, &taus, Trans::NoTranspose);
+        tsmqr(&mut c1, &mut c2, &v2, &tf, Trans::Transpose, &mut ws);
+        tsmqr(&mut c1, &mut c2, &v2, &tf, Trans::NoTranspose, &mut ws);
         assert!(relative_error(&c1_0, &c1) < 1e-12);
         assert!(relative_error(&c2_0, &c2) < 1e-12);
     }
@@ -366,23 +758,28 @@ mod tests {
     #[test]
     fn ttqrt_zeroes_second_triangle() {
         let nb = 6;
+        let mut ws = Workspace::new();
         let mut top = random_gaussian(nb, nb, 30);
         let mut bot = random_gaussian(nb, nb, 31);
-        let _ = geqrt(&mut top);
-        let _ = geqrt(&mut bot);
+        let _ = geqrt(&mut top, &mut ws);
+        let _ = geqrt(&mut bot, &mut ws);
         let r1_0 = upper_triangle_of(&top);
         let r2_0 = upper_triangle_of(&bot);
         let mut r1 = r1_0.clone();
         let mut r2 = r2_0.clone();
-        let taus = ttqrt(&mut r1, &mut r2);
+        let tf = ttqrt(&mut r1, &mut r2, &mut ws);
 
-        // Norm of each column of the stacked [R1;R2] must be preserved by the
-        // orthogonal reduction, and R2 above holds V (not zeros), so check
-        // the factorization instead: [R1_0; R2_0] = Q [R1_new; 0].
         let mut q = Matrix::identity(2 * nb);
         let mut q_top = q.block(0, 0, nb, 2 * nb);
         let mut q_bot = q.block(nb, 0, nb, 2 * nb);
-        ttmqr(&mut q_top, &mut q_bot, &r2, &taus, Trans::NoTranspose);
+        ttmqr(
+            &mut q_top,
+            &mut q_bot,
+            &r2,
+            &tf,
+            Trans::NoTranspose,
+            &mut ws,
+        );
         q.copy_block(0, 0, &q_top);
         q.copy_block(nb, 0, &q_bot);
 
@@ -396,17 +793,47 @@ mod tests {
     }
 
     #[test]
-    fn ttmqr_round_trip() {
-        let nb = 4;
+    fn ttmqr_ignores_the_strictly_lower_part_of_v2() {
+        // In the real algorithm the strictly lower part of the V2 tile holds
+        // the Householder vectors of an earlier GEQRT; the triangular TTMQR
+        // must never read them.
+        let nb = 5;
+        let mut ws = Workspace::new();
         let mut r1 = upper_triangle_of(&random_gaussian(nb, nb, 40));
         let mut r2 = upper_triangle_of(&random_gaussian(nb, nb, 41));
-        let taus = ttqrt(&mut r1, &mut r2);
+        let tf = ttqrt(&mut r1, &mut r2, &mut ws);
+        // Poison the strictly lower part of the V tile.
+        let mut poisoned = r2.clone();
+        for j in 0..nb {
+            for i in (j + 1)..nb {
+                poisoned.set(i, j, 1e30);
+            }
+        }
+        let c1_0 = random_gaussian(nb, nb, 42);
+        let c2_0 = random_gaussian(nb, nb, 43);
+        let mut a1 = c1_0.clone();
+        let mut a2 = c2_0.clone();
+        ttmqr(&mut a1, &mut a2, &poisoned, &tf, Trans::Transpose, &mut ws);
+        let mut u1 = c1_0.clone();
+        let mut u2 = c2_0.clone();
+        ttmqr_unblocked(&mut u1, &mut u2, &r2, tf.taus(), Trans::Transpose);
+        assert!(relative_error(&u1, &a1) < 1e-13);
+        assert!(relative_error(&u2, &a2) < 1e-13);
+    }
+
+    #[test]
+    fn ttmqr_round_trip() {
+        let nb = 4;
+        let mut ws = Workspace::new();
+        let mut r1 = upper_triangle_of(&random_gaussian(nb, nb, 40));
+        let mut r2 = upper_triangle_of(&random_gaussian(nb, nb, 41));
+        let tf = ttqrt(&mut r1, &mut r2, &mut ws);
         let c1_0 = random_gaussian(nb, nb, 42);
         let c2_0 = random_gaussian(nb, nb, 43);
         let mut c1 = c1_0.clone();
         let mut c2 = c2_0.clone();
-        ttmqr(&mut c1, &mut c2, &r2, &taus, Trans::Transpose);
-        ttmqr(&mut c1, &mut c2, &r2, &taus, Trans::NoTranspose);
+        ttmqr(&mut c1, &mut c2, &r2, &tf, Trans::Transpose, &mut ws);
+        ttmqr(&mut c1, &mut c2, &r2, &tf, Trans::NoTranspose, &mut ws);
         assert!(relative_error(&c1_0, &c1) < 1e-12);
         assert!(relative_error(&c2_0, &c2) < 1e-12);
     }
@@ -415,17 +842,18 @@ mod tests {
     fn ragged_tiles_are_supported() {
         // Bottom tile with fewer rows than the tile size (last tile row).
         let nb = 5;
+        let mut ws = Workspace::new();
         let mut r1 = upper_triangle_of(&random_gaussian(nb, nb, 50));
         let mut a2 = random_gaussian(3, nb, 51);
-        let taus = tsqrt(&mut r1, &mut a2);
-        assert_eq!(taus.len(), nb);
+        let tf = tsqrt(&mut r1, &mut a2, &mut ws);
+        assert_eq!(tf.len(), nb);
         assert!(r1.is_upper_triangular(1e-12));
 
         let mut rr1 = upper_triangle_of(&random_gaussian(nb, nb, 52));
         let mut bot = random_gaussian(3, nb, 53);
-        let _ = geqrt(&mut bot);
+        let _ = geqrt(&mut bot, &mut ws);
         let mut rr2 = upper_triangle_of(&bot);
-        let taus2 = ttqrt(&mut rr1, &mut rr2);
-        assert_eq!(taus2.len(), nb);
+        let tf2 = ttqrt(&mut rr1, &mut rr2, &mut ws);
+        assert_eq!(tf2.len(), nb);
     }
 }

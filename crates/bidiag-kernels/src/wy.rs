@@ -1,0 +1,566 @@
+//! Compact-WY machinery shared by every blocked tile kernel.
+//!
+//! A sequence of `k` Householder reflectors `H_0 H_1 ... H_{k-1}` equals
+//! `I - V T V^T`, where `V` holds the reflector vectors column-wise and `T`
+//! is the `k x k` upper-triangular *compact-WY factor* (LAPACK `xLARFT`).
+//! The factorization kernels of [`crate::qr`] build `T` incrementally — one
+//! column per reflector, via the `larft_append` column recurrence — so the
+//! apply kernels can run as three GEMM-shaped sweeps
+//!
+//! ```text
+//! W = V^T C;   W = op(T) W;   C -= V W
+//! ```
+//!
+//! instead of `k` rank-one updates.  This module provides:
+//!
+//! * [`TFactor`] — the `tau` scalars plus the `T` matrix of one
+//!   factorization kernel (what tau stores now carry per tile),
+//! * [`Workspace`] — reusable scratch (the `W` panel and an auxiliary
+//!   buffer) so the apply kernels allocate nothing in steady state (the
+//!   factorization kernels still allocate the [`TFactor`] they return),
+//! * the `T` application routines and the structured-`V` panel products
+//!   (trapezoid for GEQRT-style `V`, triangular for TTQRT-style `V`, and
+//!   their row-wise LQ duals) used internally by [`crate::qr`] and
+//!   [`crate::lq`].
+//!
+//! Every inner loop runs down a contiguous column slice, and the middle
+//! loops are unrolled four-wide so one pass over the shared operand feeds
+//! four independent accumulators (the same discipline as
+//! [`bidiag_matrix::gemm`]).
+
+use crate::qr::Trans;
+use bidiag_matrix::gemm::dot as fdot;
+use bidiag_matrix::{Matrix, MatrixView, MatrixViewMut};
+
+/// Inner blocking factor of the apply kernels (PLASMA's `ib`): reflectors
+/// are applied in chunks of `IB`, each through the corresponding diagonal
+/// block of the full `T` factor.  The diagonal blocks of a forward larft
+/// `T` are exactly the larft factors of the chunk's reflectors alone, so
+/// chunking is an exact regrouping — it cuts the `T`-application overhead
+/// from `k^2 n` to `k * IB * n` flops and turns the bulk of the structured
+/// panel products into dense GEMM calls.  Both the `T`-application flops and
+/// the zero-padding waste of the densified panels scale linearly with `IB`,
+/// so smaller is cheaper until per-chunk overheads dominate; 8 measured
+/// fastest on the `kernels` bench sweep (vs 6/10/12) and divides the
+/// reference `nb = 64` evenly.
+pub(crate) const IB: usize = 8;
+
+/// Iterate the reflector chunks of a `k`-reflector apply in the order the
+/// given direction requires (forward for `Q^T`, backward for `Q`),
+/// yielding `(chunk start, chunk width)` without allocating.
+pub(crate) fn chunk_order(k: usize, trans: Trans) -> impl Iterator<Item = (usize, usize)> {
+    let nchunks = k.div_ceil(IB);
+    (0..nchunks).map(move |ci| {
+        let c = match trans {
+            Trans::Transpose => ci,
+            Trans::NoTranspose => nchunks - 1 - ci,
+        };
+        let p = c * IB;
+        (p, IB.min(k - p))
+    })
+}
+
+/// Densify one chunk of a GEQRT-style unit-lower-trapezoid `V` into a
+/// zero-padded `(m - p) x ib` column-major panel: column `kk` gets zeros
+/// above the diagonal, an explicit `1` on it, and the stored vector tail
+/// below.  The `O(ib^2)` padding lets the apply kernels run the whole
+/// chunk as fixed-length dense GEMMs instead of ragged triangular sweeps.
+pub(crate) fn densify_trapezoid<'a>(
+    v: MatrixView<'_>,
+    p: usize,
+    ibp: usize,
+    buf: &'a mut Vec<f64>,
+) -> MatrixView<'a> {
+    let m = v.rows();
+    let rows = m - p;
+    let out = grow(buf, rows * ibp);
+    for kk in 0..ibp {
+        let src = v.col(p + kk);
+        let dst = &mut out[kk * rows..(kk + 1) * rows];
+        dst[..kk].fill(0.0);
+        dst[kk] = 1.0;
+        dst[kk + 1..].copy_from_slice(&src[p + kk + 1..]);
+    }
+    MatrixView::new(out, rows, ibp, rows)
+}
+
+/// Densify one chunk of a TTQRT-style upper-triangular `V` into a
+/// zero-padded `min(p + ib, m2) x ib` panel: column `kk` keeps its stored
+/// prefix of length `min(p + kk + 1, m2)` and zeros below — whatever the
+/// tile holds outside the triangle (typically an earlier GEQRT's vectors)
+/// is never read.
+pub(crate) fn densify_triangle<'a>(
+    v: MatrixView<'_>,
+    p: usize,
+    ibp: usize,
+    buf: &'a mut Vec<f64>,
+) -> MatrixView<'a> {
+    let m2 = v.rows();
+    let rows = (p + ibp).min(m2);
+    let out = grow(buf, rows * ibp);
+    for kk in 0..ibp {
+        let rl = (p + kk + 1).min(m2);
+        let src = v.col(p + kk);
+        let dst = &mut out[kk * rows..(kk + 1) * rows];
+        dst[..rl].copy_from_slice(&src[..rl]);
+        dst[rl..].fill(0.0);
+    }
+    MatrixView::new(out, rows, ibp, rows)
+}
+
+/// The compact-WY representation of one factorization kernel's reflectors:
+/// the `tau` scalars and the upper-triangular `T` such that
+/// `H_0 ... H_{k-1} = I - V T V^T`.
+///
+/// `tau[i] == T[(i, i)]`; the scalars are kept alongside `T` so the
+/// unblocked reference kernels (and diagnostics like
+/// [`build_q`](crate::qr::build_q)) can consume the same object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TFactor {
+    taus: Vec<f64>,
+    t: Matrix,
+}
+
+impl TFactor {
+    /// An empty factor for up to `kmax` reflectors.
+    pub(crate) fn with_kmax(kmax: usize) -> Self {
+        TFactor {
+            taus: Vec::with_capacity(kmax),
+            t: Matrix::zeros(kmax, kmax),
+        }
+    }
+
+    /// Build a factor from parts (used by tests and by the LQ transpose
+    /// wrappers).  `t` must be `taus.len()` square.
+    pub fn from_parts(taus: Vec<f64>, t: Matrix) -> Self {
+        assert_eq!(t.rows(), taus.len());
+        assert_eq!(t.cols(), taus.len());
+        TFactor { taus, t }
+    }
+
+    /// Number of reflectors.
+    pub fn len(&self) -> usize {
+        self.taus.len()
+    }
+
+    /// True when there are no reflectors.
+    pub fn is_empty(&self) -> bool {
+        self.taus.is_empty()
+    }
+
+    /// The `tau` scalars (diagonal of `T`).
+    pub fn taus(&self) -> &[f64] {
+        &self.taus
+    }
+
+    /// The upper-triangular `T` matrix.
+    pub fn t(&self) -> &Matrix {
+        &self.t
+    }
+
+    /// Append reflector `k` (its `tau` and the dot products
+    /// `vdots[l] = v_l^T v_k`, `l < k`) to the factor; see [`larft_append`].
+    pub(crate) fn append(&mut self, tau: f64, vdots: &[f64]) {
+        let k = self.taus.len();
+        larft_append(&mut self.t, k, tau, vdots);
+        self.taus.push(tau);
+    }
+}
+
+/// Reusable scratch of the blocked kernels: the `W` panel of the three-GEMM
+/// apply and an auxiliary buffer (reflector dot products during
+/// factorization, `T` transposes during `NoTranspose` applies).  Buffers
+/// grow on first use and are reused afterwards, so a long-lived workspace —
+/// one per runtime worker — makes the kernels allocation-free in steady
+/// state.
+#[derive(Default, Debug)]
+pub struct Workspace {
+    panel: Vec<f64>,
+    aux: Vec<f64>,
+    vpanel: Vec<f64>,
+}
+
+impl Workspace {
+    /// Empty workspace (buffers grow on first kernel call).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The three scratch buffers (`W` panel, auxiliary, densified-`V`
+    /// panel), split so they can be borrowed independently.
+    pub(crate) fn bufs(&mut self) -> (&mut Vec<f64>, &mut Vec<f64>, &mut Vec<f64>) {
+        (&mut self.panel, &mut self.aux, &mut self.vpanel)
+    }
+}
+
+/// Grow `v` to at least `len` and return the first `len` elements.
+pub(crate) fn grow(v: &mut Vec<f64>, len: usize) -> &mut [f64] {
+    if v.len() < len {
+        v.resize(len, 0.0);
+    }
+    &mut v[..len]
+}
+
+/// Append column `k` to the forward compact-WY factor `t` (LAPACK `xLARFT`
+/// column recurrence): `T[0..k, k] = -tau * T[0..k, 0..k] * vdots` and
+/// `T[k, k] = tau`, where `vdots[l] = v_l^T v_k`.
+pub(crate) fn larft_append(t: &mut Matrix, k: usize, tau: f64, vdots: &[f64]) {
+    debug_assert!(vdots.len() >= k);
+    let mut tv = t.as_view_mut();
+    let (head, mut tail) = tv.split_cols_at_mut(k);
+    let tcol = tail.col_mut(0);
+    for x in tcol[..k].iter_mut() {
+        *x = 0.0;
+    }
+    for (c, &vd) in vdots[..k].iter().enumerate() {
+        let s = -tau * vd;
+        if s != 0.0 {
+            let hcol = head.col(c);
+            for l in 0..=c {
+                tcol[l] += s * hcol[l];
+            }
+        }
+    }
+    tcol[k] = tau;
+}
+
+/// In-place `W <- T^T W` (`Trans::Transpose`, the factorization direction)
+/// or `W <- T W` (`Trans::NoTranspose`), with `T` the upper-triangular
+/// compact-WY factor and `W` a `k x n` panel.
+///
+/// Both directions process one contiguous `W` column at a time.  The
+/// transposed direction reads contiguous columns of `T` directly; the
+/// non-transposed one first transposes `T` into `aux` so its inner loops
+/// are contiguous too.
+pub(crate) fn apply_t_left(
+    w: &mut MatrixViewMut<'_>,
+    t: MatrixView<'_>,
+    trans: Trans,
+    aux: &mut Vec<f64>,
+) {
+    let k = t.rows();
+    debug_assert_eq!(w.rows(), k);
+    match trans {
+        Trans::Transpose => {
+            // (T^T W)[i] = sum_{l <= i} T[l, i] * w[l]: descending i keeps
+            // the not-yet-overwritten entries it reads.
+            for wcol in w.cols_mut() {
+                for i in (0..k).rev() {
+                    wcol[i] = fdot(&t.col(i)[..=i], &wcol[..=i]);
+                }
+            }
+        }
+        Trans::NoTranspose => {
+            // (T W)[i] = sum_{l >= i} T[i, l] * w[l]: ascending i is
+            // in-place safe; read rows of T as columns of T^T.
+            let tt = grow(aux, k * k);
+            for l in 0..k {
+                let tcol = t.col(l);
+                for i in 0..k {
+                    tt[i * k + l] = tcol[i];
+                }
+            }
+            for wcol in w.cols_mut() {
+                for i in 0..k {
+                    let trow = &tt[i * k..(i + 1) * k];
+                    wcol[i] = fdot(&trow[i..], &wcol[i..]);
+                }
+            }
+        }
+    }
+}
+
+/// In-place right multiply of the `r x k` panel `W` by `T`
+/// (`transpose_t == false`) or `T^T` (`transpose_t == true`), columns of
+/// `W` combined by axpys over contiguous slices.
+pub(crate) fn apply_t_right(w: &mut MatrixViewMut<'_>, t: MatrixView<'_>, transpose_t: bool) {
+    let k = t.rows();
+    debug_assert_eq!(w.cols(), k);
+    if !transpose_t {
+        // (W T)[:, j] = sum_{l <= j} T[l, j] * W[:, l]: descending j.
+        for j in (0..k).rev() {
+            let tcol = t.col(j);
+            let (left, mut right) = w.split_cols_at_mut(j);
+            let wj = right.col_mut(0);
+            let d = tcol[j];
+            for x in wj.iter_mut() {
+                *x *= d;
+            }
+            for (l, &s) in tcol[..j].iter().enumerate() {
+                if s != 0.0 {
+                    let wl = left.col(l);
+                    for (x, &y) in wj.iter_mut().zip(wl) {
+                        *x += s * y;
+                    }
+                }
+            }
+        }
+    } else {
+        // (W T^T)[:, j] = sum_{l >= j} T[j, l] * W[:, l]: ascending j.
+        for j in 0..k {
+            let (mut left, right) = w.split_cols_at_mut(j + 1);
+            let wj = left.col_mut(j);
+            let d = t.get(j, j);
+            for x in wj.iter_mut() {
+                *x *= d;
+            }
+            for l in (j + 1)..k {
+                let s = t.get(j, l);
+                if s != 0.0 {
+                    let wl = right.col(l - j - 1);
+                    for i in 0..wj.len() {
+                        wj[i] += s * wl[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `W = C V` for the row-wise unit trapezoid `V` of a GELQT'd tile:
+/// `V[j, kk]` is `1` at `j == kk`, `v[kk, j]` for `j > kk`, `0` above.
+/// `c` is `r x n`, `w` is `r x k`.
+pub(crate) fn lq_cv(v: MatrixView<'_>, c: MatrixView<'_>, w: &mut MatrixViewMut<'_>) {
+    let n = c.cols();
+    let r = c.rows();
+    let k = w.cols();
+    debug_assert_eq!(v.cols(), n);
+    debug_assert!(v.rows() >= k && w.rows() == r);
+    for (kk, wcol) in w.cols_mut().enumerate() {
+        wcol.copy_from_slice(c.col(kk));
+        let mut j = kk + 1;
+        while j + 4 <= n {
+            let s0 = v.get(kk, j);
+            let s1 = v.get(kk, j + 1);
+            let s2 = v.get(kk, j + 2);
+            let s3 = v.get(kk, j + 3);
+            let c0 = c.col(j);
+            let c1 = c.col(j + 1);
+            let c2 = c.col(j + 2);
+            let c3 = c.col(j + 3);
+            for i in 0..r {
+                wcol[i] += c0[i] * s0 + c1[i] * s1 + c2[i] * s2 + c3[i] * s3;
+            }
+            j += 4;
+        }
+        while j < n {
+            let s = v.get(kk, j);
+            if s != 0.0 {
+                let ccol = c.col(j);
+                for i in 0..r {
+                    wcol[i] += ccol[i] * s;
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// `C -= W V^T` for the same row-wise unit trapezoid `V` as [`lq_cv`]:
+/// `c` is `r x n`, `w` is `r x k`.
+pub(crate) fn lq_cwv(v: MatrixView<'_>, w: MatrixView<'_>, c: &mut MatrixViewMut<'_>) {
+    let n = c.cols();
+    let r = c.rows();
+    let k = w.cols();
+    debug_assert_eq!(v.cols(), n);
+    debug_assert!(v.rows() >= k && w.rows() == r);
+    for (j, ccol) in c.cols_mut().enumerate() {
+        if j < k {
+            let wcol = w.col(j);
+            for i in 0..r {
+                ccol[i] -= wcol[i];
+            }
+        }
+        let vcol = v.col(j);
+        let kend = j.min(k);
+        let mut kk = 0;
+        while kk + 4 <= kend {
+            let (s0, s1, s2, s3) = (vcol[kk], vcol[kk + 1], vcol[kk + 2], vcol[kk + 3]);
+            let w0 = w.col(kk);
+            let w1 = w.col(kk + 1);
+            let w2 = w.col(kk + 2);
+            let w3 = w.col(kk + 3);
+            for i in 0..r {
+                ccol[i] -= w0[i] * s0 + w1[i] * s1 + w2[i] * s2 + w3[i] * s3;
+            }
+            kk += 4;
+        }
+        while kk < kend {
+            let s = vcol[kk];
+            if s != 0.0 {
+                let wcol = w.col(kk);
+                for i in 0..r {
+                    ccol[i] -= wcol[i] * s;
+                }
+            }
+            kk += 1;
+        }
+    }
+}
+
+/// `W += C2 V2` for the row-wise lower-triangular `V2` of a TTLQT'd tile:
+/// row `kk` of the stored tile (a chunk starting at global reflector index
+/// `off`) is non-zero only in columns `0..min(off + kk + 1, n2)`.  `W`
+/// must already hold the `C1` contribution.
+pub(crate) fn lq_tri_cv(
+    v2: MatrixView<'_>,
+    c2: MatrixView<'_>,
+    w: &mut MatrixViewMut<'_>,
+    off: usize,
+) {
+    let n2 = c2.cols();
+    let r = c2.rows();
+    let k = w.cols();
+    debug_assert!(v2.rows() >= k && w.rows() == r);
+    for (kk, wcol) in w.cols_mut().enumerate() {
+        let rl = (off + kk + 1).min(n2);
+        let mut j = 0;
+        while j + 4 <= rl {
+            let s0 = v2.get(kk, j);
+            let s1 = v2.get(kk, j + 1);
+            let s2 = v2.get(kk, j + 2);
+            let s3 = v2.get(kk, j + 3);
+            let c0 = c2.col(j);
+            let c1 = c2.col(j + 1);
+            let c2c = c2.col(j + 2);
+            let c3 = c2.col(j + 3);
+            for i in 0..r {
+                wcol[i] += c0[i] * s0 + c1[i] * s1 + c2c[i] * s2 + c3[i] * s3;
+            }
+            j += 4;
+        }
+        while j < rl {
+            let s = v2.get(kk, j);
+            if s != 0.0 {
+                let ccol = c2.col(j);
+                for i in 0..r {
+                    wcol[i] += ccol[i] * s;
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// `C2 -= W V2^T` for the same row-wise lower-triangular `V2` as
+/// [`lq_tri_cv`].
+pub(crate) fn lq_tri_cwv(
+    v2: MatrixView<'_>,
+    w: MatrixView<'_>,
+    c2: &mut MatrixViewMut<'_>,
+    off: usize,
+) {
+    let r = w.rows();
+    let k = w.cols();
+    debug_assert!(v2.rows() >= k && c2.rows() == r);
+    for (j, ccol) in c2.cols_mut().enumerate() {
+        let vcol = v2.col(j);
+        // Row kk of the stored tile (global index off + kk) reaches column
+        // j iff j < min(off + kk + 1, n2), i.e. off + kk >= j.
+        let kk0 = j.saturating_sub(off);
+        for (kk, &s) in vcol.iter().enumerate().take(k).skip(kk0) {
+            if s != 0.0 {
+                let wcol = w.col(kk);
+                for i in 0..r {
+                    ccol[i] -= wcol[i] * s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bidiag_matrix::gen::random_gaussian;
+
+    #[test]
+    fn larft_append_matches_explicit_product() {
+        // Two reflectors with hand-picked vectors: check
+        // H0 H1 = I - V T V^T entry-wise.
+        let m = 5;
+        let v = random_gaussian(m, 2, 3);
+        // Normalize to unit-diagonal column vectors v0, v1 (v1 zero above row 1).
+        let mut vm = Matrix::zeros(m, 2);
+        for i in 0..m {
+            vm.set(i, 0, if i == 0 { 1.0 } else { v.get(i, 0) });
+            vm.set(
+                i,
+                1,
+                if i == 1 {
+                    1.0
+                } else if i > 1 {
+                    v.get(i, 1)
+                } else {
+                    0.0
+                },
+            );
+        }
+        let (tau0, tau1) = (0.7, 1.2);
+        let mut t = Matrix::zeros(2, 2);
+        larft_append(&mut t, 0, tau0, &[]);
+        let vdot = (0..m).map(|i| vm.get(i, 0) * vm.get(i, 1)).sum::<f64>();
+        larft_append(&mut t, 1, tau1, &[vdot]);
+
+        let h = |tau: f64, col: usize| -> Matrix {
+            Matrix::from_fn(m, m, |i, j| {
+                (if i == j { 1.0 } else { 0.0 }) - tau * vm.get(i, col) * vm.get(j, col)
+            })
+        };
+        let prod = h(tau0, 0).matmul(&h(tau1, 1));
+        let vtv = vm.matmul(&t).matmul(&vm.transpose());
+        let wy = Matrix::from_fn(m, m, |i, j| {
+            (if i == j { 1.0 } else { 0.0 }) - vtv.get(i, j)
+        });
+        assert!(prod.sub(&wy).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn apply_t_left_matches_dense_products() {
+        let k = 6;
+        let n = 5;
+        let t = {
+            let g = random_gaussian(k, k, 9);
+            Matrix::from_fn(k, k, |i, j| if j >= i { g.get(i, j) } else { 0.0 })
+        };
+        let w0 = random_gaussian(k, n, 10);
+        let mut aux = Vec::new();
+
+        let mut w = w0.clone();
+        apply_t_left(
+            &mut w.as_view_mut(),
+            t.as_view(),
+            Trans::Transpose,
+            &mut aux,
+        );
+        assert!(w.sub(&t.transpose().matmul(&w0)).norm_max() < 1e-13);
+
+        let mut w = w0.clone();
+        apply_t_left(
+            &mut w.as_view_mut(),
+            t.as_view(),
+            Trans::NoTranspose,
+            &mut aux,
+        );
+        assert!(w.sub(&t.matmul(&w0)).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn apply_t_right_matches_dense_products() {
+        let k = 5;
+        let r = 4;
+        let t = {
+            let g = random_gaussian(k, k, 11);
+            Matrix::from_fn(k, k, |i, j| if j >= i { g.get(i, j) } else { 0.0 })
+        };
+        let w0 = random_gaussian(r, k, 12);
+
+        let mut w = w0.clone();
+        apply_t_right(&mut w.as_view_mut(), t.as_view(), false);
+        assert!(w.sub(&w0.matmul(&t)).norm_max() < 1e-13);
+
+        let mut w = w0.clone();
+        apply_t_right(&mut w.as_view_mut(), t.as_view(), true);
+        assert!(w.sub(&w0.matmul_nt(&t)).norm_max() < 1e-13);
+    }
+}

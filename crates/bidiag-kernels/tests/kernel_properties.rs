@@ -1,14 +1,276 @@
-//! Property tests (proptest) of the elementary orthogonal transformations:
-//! Householder reflector orthogonality and Givens rotation determinant /
-//! norm preservation on random inputs.
+//! Property tests of the kernel layer.
+//!
+//! Two families:
+//!
+//! * proptest checks of the elementary orthogonal transformations
+//!   (Householder reflector orthogonality, Givens determinant / norm
+//!   preservation) on random inputs;
+//! * exhaustive blocked-vs-unblocked equivalence: every blocked compact-WY
+//!   tile kernel must match its unblocked reference to `1e-13` (relative)
+//!   on square, tall, wide and ragged last-tile shapes for
+//!   `nb in {1, 3, 5, 64}`.
 
 use bidiag_kernels::givens::givens;
 use bidiag_kernels::householder::larfg;
-use bidiag_kernels::qr::{build_q, geqrt};
-use bidiag_matrix::checks::orthogonality_error;
+use bidiag_kernels::lq::{
+    gelqt, gelqt_unblocked, tslqt, tslqt_unblocked, tsmlq, tsmlq_unblocked, ttlqt, ttlqt_unblocked,
+    ttmlq, ttmlq_unblocked, unmlq, unmlq_unblocked,
+};
+use bidiag_kernels::qr::{
+    build_q, geqrt, geqrt_unblocked, tsmqr, tsmqr_unblocked, tsqrt, tsqrt_unblocked, ttmqr,
+    ttmqr_unblocked, ttqrt, ttqrt_unblocked, unmqr, unmqr_unblocked,
+};
+use bidiag_kernels::{Trans, Workspace};
+use bidiag_matrix::checks::{
+    lower_triangle_of, orthogonality_error, relative_error, upper_triangle_of,
+};
 use bidiag_matrix::gen::random_gaussian;
 use bidiag_matrix::Matrix;
 use proptest::prelude::*;
+
+/// Tile sizes exercised by the blocked-vs-unblocked sweeps.
+const NBS: [usize; 4] = [1, 3, 5, 64];
+/// Matching tolerance (relative) between blocked and unblocked results.
+const TOL: f64 = 1e-13;
+
+/// Square, tall, wide and ragged (last-tile-like, one dimension much
+/// smaller) shapes for a given tile size.
+fn shapes(nb: usize) -> Vec<(usize, usize)> {
+    let mut s = vec![(nb, nb)];
+    s.push((nb + nb.div_ceil(2) + 1, nb)); // tall
+    s.push((nb, nb + nb.div_ceil(2) + 1)); // wide
+    if nb > 1 {
+        s.push((nb.div_ceil(2), nb)); // ragged last tile row
+        s.push((nb, nb.div_ceil(2))); // ragged last tile column
+    }
+    s
+}
+
+#[test]
+fn blocked_geqrt_and_unmqr_match_unblocked() {
+    let mut ws = Workspace::new();
+    for &nb in &NBS {
+        for &(m, n) in &shapes(nb) {
+            let a0 = random_gaussian(m, n, (m * 1000 + n) as u64);
+            let mut ab = a0.clone();
+            let tf = geqrt(&mut ab, &mut ws);
+            let mut au = a0.clone();
+            let taus = geqrt_unblocked(&mut au);
+            assert!(
+                relative_error(&au, &ab) < TOL,
+                "GEQRT tile differs for {m}x{n}"
+            );
+            assert_eq!(tf.taus(), &taus[..], "GEQRT taus differ for {m}x{n}");
+
+            // Apply to square-ish and skinny C operands in both directions.
+            for nc in [1usize, nb, nb + 3] {
+                let c0 = random_gaussian(m, nc, (m * 7 + nc) as u64);
+                for trans in [Trans::Transpose, Trans::NoTranspose] {
+                    let mut cb = c0.clone();
+                    unmqr(&ab, &tf, &mut cb, trans, &mut ws);
+                    let mut cu = c0.clone();
+                    unmqr_unblocked(&au, &taus, &mut cu, trans);
+                    assert!(
+                        relative_error(&cu, &cb) < TOL,
+                        "UNMQR differs for {m}x{n}, C cols {nc}, {trans:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_tsqrt_and_tsmqr_match_unblocked() {
+    let mut ws = Workspace::new();
+    for &nb in &NBS {
+        // Second-tile row counts: full tile and ragged last tile.
+        for m2 in [nb, nb.div_ceil(2)] {
+            let r1_0 = upper_triangle_of(&random_gaussian(nb, nb, (nb * 31 + m2) as u64));
+            let a2_0 = random_gaussian(m2, nb, (nb * 37 + m2) as u64);
+
+            let mut r1b = r1_0.clone();
+            let mut a2b = a2_0.clone();
+            let tf = tsqrt(&mut r1b, &mut a2b, &mut ws);
+            let mut r1u = r1_0.clone();
+            let mut a2u = a2_0.clone();
+            let taus = tsqrt_unblocked(&mut r1u, &mut a2u);
+            assert!(
+                relative_error(&r1u, &r1b) < TOL,
+                "TSQRT R1, nb={nb} m2={m2}"
+            );
+            assert!(
+                relative_error(&a2u, &a2b) < TOL,
+                "TSQRT V2, nb={nb} m2={m2}"
+            );
+            assert_eq!(tf.taus(), &taus[..]);
+
+            for nc in [1usize, nb] {
+                let c1_0 = random_gaussian(nb, nc, 3);
+                let c2_0 = random_gaussian(m2, nc, 4);
+                for trans in [Trans::Transpose, Trans::NoTranspose] {
+                    let mut b1 = c1_0.clone();
+                    let mut b2 = c2_0.clone();
+                    tsmqr(&mut b1, &mut b2, &a2b, &tf, trans, &mut ws);
+                    let mut u1 = c1_0.clone();
+                    let mut u2 = c2_0.clone();
+                    tsmqr_unblocked(&mut u1, &mut u2, &a2u, &taus, trans);
+                    assert!(
+                        relative_error(&u1, &b1) < TOL && relative_error(&u2, &b2) < TOL,
+                        "TSMQR differs, nb={nb} m2={m2} nc={nc} {trans:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_ttqrt_and_ttmqr_match_unblocked() {
+    let mut ws = Workspace::new();
+    for &nb in &NBS {
+        for m2 in [nb, nb.div_ceil(2)] {
+            let r1_0 = upper_triangle_of(&random_gaussian(nb, nb, (nb * 41 + m2) as u64));
+            let r2_0 = upper_triangle_of(&random_gaussian(m2, nb, (nb * 43 + m2) as u64));
+
+            let mut r1b = r1_0.clone();
+            let mut r2b = r2_0.clone();
+            let tf = ttqrt(&mut r1b, &mut r2b, &mut ws);
+            let mut r1u = r1_0.clone();
+            let mut r2u = r2_0.clone();
+            let taus = ttqrt_unblocked(&mut r1u, &mut r2u);
+            assert!(
+                relative_error(&r1u, &r1b) < TOL,
+                "TTQRT R1, nb={nb} m2={m2}"
+            );
+            assert!(
+                relative_error(&r2u, &r2b) < TOL,
+                "TTQRT V2, nb={nb} m2={m2}"
+            );
+            assert_eq!(tf.taus(), &taus[..]);
+
+            for nc in [1usize, nb] {
+                let c1_0 = random_gaussian(nb, nc, 5);
+                let c2_0 = random_gaussian(m2, nc, 6);
+                for trans in [Trans::Transpose, Trans::NoTranspose] {
+                    let mut b1 = c1_0.clone();
+                    let mut b2 = c2_0.clone();
+                    ttmqr(&mut b1, &mut b2, &r2b, &tf, trans, &mut ws);
+                    let mut u1 = c1_0.clone();
+                    let mut u2 = c2_0.clone();
+                    ttmqr_unblocked(&mut u1, &mut u2, &r2u, &taus, trans);
+                    assert!(
+                        relative_error(&u1, &b1) < TOL && relative_error(&u2, &b2) < TOL,
+                        "TTMQR differs, nb={nb} m2={m2} nc={nc} {trans:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_lq_kernels_match_unblocked() {
+    let mut ws = Workspace::new();
+    for &nb in &NBS {
+        // GELQT / UNMLQ over the shape sweep.
+        for &(m, n) in &shapes(nb) {
+            let a0 = random_gaussian(m, n, (m * 53 + n) as u64);
+            let mut ab = a0.clone();
+            let tf = gelqt(&mut ab, &mut ws);
+            let mut au = a0.clone();
+            let taus = gelqt_unblocked(&mut au);
+            assert!(relative_error(&au, &ab) < TOL, "GELQT tile, {m}x{n}");
+            assert_eq!(tf.taus(), &taus[..]);
+
+            for rc in [1usize, nb] {
+                let c0 = random_gaussian(rc, n, (rc * 3 + n) as u64);
+                for trans in [Trans::Transpose, Trans::NoTranspose] {
+                    let mut cb = c0.clone();
+                    unmlq(&ab, &tf, &mut cb, trans, &mut ws);
+                    let mut cu = c0.clone();
+                    unmlq_unblocked(&au, &taus, &mut cu, trans);
+                    assert!(
+                        relative_error(&cu, &cb) < TOL,
+                        "UNMLQ differs, {m}x{n} rows {rc} {trans:?}"
+                    );
+                }
+            }
+        }
+
+        // TSLQT / TSMLQ and TTLQT / TTMLQ with ragged second-tile columns.
+        for n2 in [nb, nb.div_ceil(2)] {
+            let l1_0 = lower_triangle_of(&random_gaussian(nb, nb, (nb * 59 + n2) as u64));
+            let a2_0 = random_gaussian(nb, n2, (nb * 61 + n2) as u64);
+            let mut l1b = l1_0.clone();
+            let mut a2b = a2_0.clone();
+            let tf = tslqt(&mut l1b, &mut a2b, &mut ws);
+            let mut l1u = l1_0.clone();
+            let mut a2u = a2_0.clone();
+            let taus = tslqt_unblocked(&mut l1u, &mut a2u);
+            assert!(
+                relative_error(&l1u, &l1b) < TOL,
+                "TSLQT L1, nb={nb} n2={n2}"
+            );
+            assert!(
+                relative_error(&a2u, &a2b) < TOL,
+                "TSLQT V2, nb={nb} n2={n2}"
+            );
+            assert_eq!(tf.taus(), &taus[..]);
+
+            for rc in [1usize, nb] {
+                let c1_0 = random_gaussian(rc, nb, 7);
+                let c2_0 = random_gaussian(rc, n2, 8);
+                for trans in [Trans::Transpose, Trans::NoTranspose] {
+                    let mut b1 = c1_0.clone();
+                    let mut b2 = c2_0.clone();
+                    tsmlq(&mut b1, &mut b2, &a2b, &tf, trans, &mut ws);
+                    let mut u1 = c1_0.clone();
+                    let mut u2 = c2_0.clone();
+                    tsmlq_unblocked(&mut u1, &mut u2, &a2u, &taus, trans);
+                    assert!(
+                        relative_error(&u1, &b1) < TOL && relative_error(&u2, &b2) < TOL,
+                        "TSMLQ differs, nb={nb} n2={n2} rc={rc} {trans:?}"
+                    );
+                }
+            }
+
+            let t2_0 = lower_triangle_of(&random_gaussian(nb, n2, (nb * 67 + n2) as u64));
+            let mut t1b = l1_0.clone();
+            let mut t2b = t2_0.clone();
+            let tf = ttlqt(&mut t1b, &mut t2b, &mut ws);
+            let mut t1u = l1_0.clone();
+            let mut t2u = t2_0.clone();
+            let taus = ttlqt_unblocked(&mut t1u, &mut t2u);
+            assert!(
+                relative_error(&t1u, &t1b) < TOL,
+                "TTLQT L1, nb={nb} n2={n2}"
+            );
+            assert!(
+                relative_error(&t2u, &t2b) < TOL,
+                "TTLQT V2, nb={nb} n2={n2}"
+            );
+            assert_eq!(tf.taus(), &taus[..]);
+
+            for rc in [1usize, nb] {
+                let c1_0 = random_gaussian(rc, nb, 9);
+                let c2_0 = random_gaussian(rc, n2, 10);
+                for trans in [Trans::Transpose, Trans::NoTranspose] {
+                    let mut b1 = c1_0.clone();
+                    let mut b2 = c2_0.clone();
+                    ttmlq(&mut b1, &mut b2, &t2b, &tf, trans, &mut ws);
+                    let mut u1 = c1_0.clone();
+                    let mut u2 = c2_0.clone();
+                    ttmlq_unblocked(&mut u1, &mut u2, &t2u, &taus, trans);
+                    assert!(
+                        relative_error(&u1, &b1) < TOL && relative_error(&u2, &b2) < TOL,
+                        "TTMLQ differs, nb={nb} n2={n2} rc={rc} {trans:?}"
+                    );
+                }
+            }
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -39,13 +301,38 @@ proptest! {
         }
     }
 
-    /// The accumulated Q of a full tile QR factorization is orthogonal.
+    /// The accumulated Q of a full blocked tile QR factorization is
+    /// orthogonal and reproduces the input.
     #[test]
     fn accumulated_q_is_orthogonal(m in 1usize..24, n in 1usize..24, seed in 0u64..1000) {
-        let mut a = random_gaussian(m, n, seed);
-        let taus = geqrt(&mut a);
-        let q = build_q(&a, &taus);
+        let mut ws = Workspace::new();
+        let a0 = random_gaussian(m, n, seed);
+        let mut a = a0.clone();
+        let tf = geqrt(&mut a, &mut ws);
+        let q = build_q(&a, tf.taus());
         prop_assert!(orthogonality_error(&q) < 1e-12, "||Q^T Q - I|| too large");
+        let r = upper_triangle_of(&a);
+        prop_assert!(relative_error(&a0, &q.matmul(&r)) < 1e-12, "A != QR");
+    }
+
+    /// Blocked and unblocked GEQRT agree on random shapes, and the blocked
+    /// UNMQR undoes itself.
+    #[test]
+    fn blocked_kernels_match_on_random_shapes(m in 1usize..20, n in 1usize..20, seed in 0u64..500) {
+        let mut ws = Workspace::new();
+        let a0 = random_gaussian(m, n, seed);
+        let mut ab = a0.clone();
+        let tf = geqrt(&mut ab, &mut ws);
+        let mut au = a0.clone();
+        let taus = geqrt_unblocked(&mut au);
+        prop_assert!(relative_error(&au, &ab) < 1e-13);
+        prop_assert_eq!(tf.taus(), &taus[..]);
+
+        let c0 = random_gaussian(m, n, seed + 1);
+        let mut c = c0.clone();
+        unmqr(&ab, &tf, &mut c, Trans::Transpose, &mut ws);
+        unmqr(&ab, &tf, &mut c, Trans::NoTranspose, &mut ws);
+        prop_assert!(relative_error(&c0, &c) < 1e-12);
     }
 
     /// A Givens rotation `G = [[c, s], [-s, c]]` has determinant 1, preserves

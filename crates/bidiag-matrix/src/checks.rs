@@ -46,6 +46,26 @@ pub fn singular_values_match(s1: &[f64], s2: &[f64], tol: f64) -> bool {
     singular_value_error(s1, s2) <= tol
 }
 
+/// The upper triangle of `a` (diagonal included), zeros below — e.g. the
+/// `R` of a factored tile with the Householder vectors masked off.
+pub fn upper_triangle_of(a: &Matrix) -> Matrix {
+    Matrix::from_fn(
+        a.rows(),
+        a.cols(),
+        |i, j| if j >= i { a.get(i, j) } else { 0.0 },
+    )
+}
+
+/// The lower triangle of `a` (diagonal included), zeros above — the LQ
+/// dual of [`upper_triangle_of`].
+pub fn lower_triangle_of(a: &Matrix) -> Matrix {
+    Matrix::from_fn(
+        a.rows(),
+        a.cols(),
+        |i, j| if j <= i { a.get(i, j) } else { 0.0 },
+    )
+}
+
 /// Frobenius norm of the strictly-lower-triangular part relative to the
 /// whole matrix: measures "how far from upper triangular".
 pub fn below_diagonal_mass(a: &Matrix) -> f64 {

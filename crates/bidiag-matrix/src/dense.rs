@@ -5,6 +5,7 @@
 //! leading dimension equal to the number of rows) so that the kernels in
 //! `bidiag-kernels` read like their LAPACK counterparts.
 
+use crate::view::{MatrixView, MatrixViewMut};
 use std::fmt;
 
 /// A dense, column-major, heap-allocated matrix of `f64`.
@@ -117,9 +118,56 @@ impl Matrix {
         (0..self.cols).map(|j| self.get(i, j)).collect()
     }
 
+    /// Copy `other` into `self`, adopting its shape and reusing the
+    /// existing allocation when it is large enough.  This is how
+    /// long-lived scratch buffers snapshot tiles without reallocating.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Borrow the whole matrix as an immutable column-major view.
+    #[inline]
+    pub fn as_view(&self) -> MatrixView<'_> {
+        MatrixView::new(&self.data, self.rows, self.cols, self.rows)
+    }
+
+    /// Borrow the whole matrix as a mutable column-major view.
+    #[inline]
+    pub fn as_view_mut(&mut self) -> MatrixViewMut<'_> {
+        MatrixViewMut::new(&mut self.data, self.rows, self.cols, self.rows.max(1))
+    }
+
+    /// Borrow the `nrows x ncols` window at `(ro, co)` as a view (no copy).
+    #[inline]
+    pub fn view(&self, ro: usize, co: usize, nrows: usize, ncols: usize) -> MatrixView<'_> {
+        self.as_view().submatrix(ro, co, nrows, ncols)
+    }
+
     /// Return the transposed matrix.
+    ///
+    /// Runs over 32x32 blocks so both the contiguous reads (source columns)
+    /// and the strided writes (destination rows) stay within a cache-sized
+    /// footprint.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        const BS: usize = 32;
+        let (m, n) = (self.rows, self.cols);
+        for jb in (0..n).step_by(BS) {
+            let jend = (jb + BS).min(n);
+            for ib in (0..m).step_by(BS) {
+                let iend = (ib + BS).min(m);
+                for j in jb..jend {
+                    let src = &self.data[j * m + ib..j * m + iend];
+                    for (di, &x) in src.iter().enumerate() {
+                        out.data[(ib + di) * n + j] = x;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Matrix product `self * other`.
@@ -224,19 +272,27 @@ impl Matrix {
     }
 
     /// Copy a rectangular block of `other` into `self` at offset `(ro, co)`.
+    /// Column slices are contiguous in both matrices, so each column is one
+    /// `copy_from_slice`.
     pub fn copy_block(&mut self, ro: usize, co: usize, other: &Matrix) {
         assert!(ro + other.rows <= self.rows && co + other.cols <= self.cols);
+        let m = self.rows;
         for j in 0..other.cols {
-            for i in 0..other.rows {
-                self[(ro + i, co + j)] = other.get(i, j);
-            }
+            let dst = (co + j) * m + ro;
+            self.data[dst..dst + other.rows].copy_from_slice(other.col(j));
         }
     }
 
-    /// Extract the block of size `rows x cols` starting at `(ro, co)`.
+    /// Extract the block of size `rows x cols` starting at `(ro, co)`, one
+    /// contiguous column copy at a time.
     pub fn block(&self, ro: usize, co: usize, rows: usize, cols: usize) -> Matrix {
         assert!(ro + rows <= self.rows && co + cols <= self.cols);
-        Matrix::from_fn(rows, cols, |i, j| self.get(ro + i, co + j))
+        let mut out = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            let src = (co + j) * self.rows + ro;
+            out.col_mut(j).copy_from_slice(&self.data[src..src + rows]);
+        }
+        out
     }
 
     /// True when every entry below the main diagonal is (almost) zero.

@@ -5,6 +5,11 @@
 //!
 //! * [`dense::Matrix`] — column-major dense matrices (the storage used inside
 //!   every tile kernel),
+//! * [`view::MatrixView`] / [`view::MatrixViewMut`] — borrowed column-major
+//!   views (offset + leading dimension) that the blocked kernels address
+//!   tiles and workspace panels through without copying,
+//! * [`gemm`] — register-blocked `C += alpha * op(A) * op(B)` microkernels
+//!   (`NN`/`TN`/`NT`), the Level-3 substrate of the compact-WY apply kernels,
 //! * [`tiled::TiledMatrix`] — the `p x q` grid of `nb x nb` tiles on which the
 //!   tiled algorithms operate,
 //! * [`gen`] — LATMS-style generators of matrices with prescribed singular
@@ -19,9 +24,14 @@
 pub mod checks;
 pub mod dense;
 pub mod dist;
+pub mod gemm;
 pub mod gen;
 pub mod tiled;
+pub mod view;
 
 pub use dense::Matrix;
 pub use dist::BlockCyclic;
+pub use gemm::{dot as fast_dot, dot4 as fast_dot4};
+pub use gemm::{gemm_nn, gemm_nt, gemm_tn};
 pub use tiled::{TileCoord, TiledMatrix};
+pub use view::{MatrixView, MatrixViewMut};

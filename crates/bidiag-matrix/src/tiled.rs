@@ -143,6 +143,41 @@ impl TiledMatrix {
         }
     }
 
+    /// Borrow tile `r` immutably together with a distinct tile `w` mutably
+    /// (the shape of an apply kernel: read the reflectors, update a tile).
+    pub fn tile_and_tile_mut(
+        &mut self,
+        r: (usize, usize),
+        w: (usize, usize),
+    ) -> (&Matrix, &mut Matrix) {
+        let ir = r.1 * self.p + r.0;
+        let iw = w.1 * self.p + w.0;
+        let [tr, tw] = self
+            .tiles
+            .get_disjoint_mut([ir, iw])
+            .expect("tile_and_tile_mut requires distinct tiles");
+        (&*tr, tw)
+    }
+
+    /// Borrow tile `r` immutably together with two distinct tiles `w1`,
+    /// `w2` mutably (the shape of a pair-update kernel: read the
+    /// reflectors, update the pivot and target tiles).
+    pub fn tile_and_two_tiles_mut(
+        &mut self,
+        r: (usize, usize),
+        w1: (usize, usize),
+        w2: (usize, usize),
+    ) -> (&Matrix, &mut Matrix, &mut Matrix) {
+        let ir = r.1 * self.p + r.0;
+        let i1 = w1.1 * self.p + w1.0;
+        let i2 = w2.1 * self.p + w2.0;
+        let [tr, t1, t2] = self
+            .tiles
+            .get_disjoint_mut([ir, i1, i2])
+            .expect("tile_and_two_tiles_mut requires distinct tiles");
+        (&*tr, t1, t2)
+    }
+
     /// Flat tile index (used by runtimes to name data handles).
     pub fn tile_index(&self, i: usize, j: usize) -> usize {
         j * self.p + i

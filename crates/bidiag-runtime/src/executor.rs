@@ -70,17 +70,26 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// `Arc`s of per-tile locks).
 pub type TaskBody = Box<dyn FnOnce() + Send>;
 
+/// A task body that receives the executing worker's private scratch.
+///
+/// This is how the blocked tile kernels run allocation-free: every worker
+/// thread owns one long-lived scratch value (created by the `init` closure
+/// of [`execute_parallel_with`]) and lends it to each body it executes, so
+/// kernel workspaces are reused across all the tasks a worker runs instead
+/// of being reallocated per task.
+pub type TaskBodyWith<S> = Box<dyn FnOnce(&mut S) + Send>;
+
 /// Once-cell storage of the task bodies: each slot is written once before
 /// the workers start and taken exactly once by the worker that claimed the
 /// task (see the module docs for the exclusivity argument).
-struct BodySlots(Vec<UnsafeCell<Option<TaskBody>>>);
+struct BodySlots<S>(Vec<UnsafeCell<Option<TaskBodyWith<S>>>>);
 
 // SAFETY: slots are only accessed through `take`, whose per-id exclusivity
 // is guaranteed by the ready/claim protocol described in the module docs.
-unsafe impl Sync for BodySlots {}
+unsafe impl<S> Sync for BodySlots<S> {}
 
-impl BodySlots {
-    fn new(bodies: Vec<TaskBody>) -> Self {
+impl<S> BodySlots<S> {
+    fn new(bodies: Vec<TaskBodyWith<S>>) -> Self {
         BodySlots(
             bodies
                 .into_iter()
@@ -94,7 +103,7 @@ impl BodySlots {
     /// SAFETY contract (upheld by the scheduler): `take(id)` is called at
     /// most once per id, and the call happens after the constructor's write
     /// with a synchronization edge in between (deque mutex or thread spawn).
-    fn take(&self, id: TaskId) -> TaskBody {
+    fn take(&self, id: TaskId) -> TaskBodyWith<S> {
         unsafe { (*self.0[id].get()).take().expect("task executed twice") }
     }
 }
@@ -164,7 +173,7 @@ impl IdleGate {
 }
 
 /// Everything the workers share.
-struct Scheduler<'g> {
+struct Scheduler<'g, S> {
     graph: &'g TaskGraph,
     /// Bottom levels, the scheduling priority (longest path to an exit).
     priority: Vec<f64>,
@@ -173,16 +182,17 @@ struct Scheduler<'g> {
     remaining_preds: Vec<AtomicUsize>,
     /// Countdown of unfinished tasks (completion detection).
     remaining_tasks: AtomicUsize,
-    slots: BodySlots,
+    slots: BodySlots<S>,
     stealers: Vec<Stealer<TaskId>>,
     gate: IdleGate,
 }
 
-impl Scheduler<'_> {
-    /// Run `id`, release its successors, and return the highest-priority
-    /// newly-ready successor for direct execution (work-first handoff).
-    fn run_task(&self, id: TaskId, local: &Worker<TaskId>) -> Option<TaskId> {
-        self.slots.take(id)();
+impl<S> Scheduler<'_, S> {
+    /// Run `id` with the worker's scratch, release its successors, and
+    /// return the highest-priority newly-ready successor for direct
+    /// execution (work-first handoff).
+    fn run_task(&self, id: TaskId, local: &Worker<TaskId>, scratch: &mut S) -> Option<TaskId> {
+        self.slots.take(id)(scratch);
 
         let mut ready: Vec<TaskId> = Vec::new();
         for &succ in self.graph.successors(id) {
@@ -238,7 +248,7 @@ impl Scheduler<'_> {
         None
     }
 
-    fn worker_loop(&self, me: usize, local: Worker<TaskId>) {
+    fn worker_loop(&self, me: usize, local: Worker<TaskId>, scratch: &mut S) {
         // If a task body panics, this worker unwinds without ever reaching
         // the completion countdown; the drain guard then flips the `done`
         // latch so the other workers exit instead of parking forever, and
@@ -258,7 +268,7 @@ impl Scheduler<'_> {
         loop {
             while let Some(id) = self.find_task(me, &local, &mut rng) {
                 let mut current = id;
-                while let Some(next) = self.run_task(current, &local) {
+                while let Some(next) = self.run_task(current, &local, scratch) {
                     current = next;
                 }
             }
@@ -323,6 +333,26 @@ fn xorshift(state: &mut u64) -> u64 {
 /// assert_eq!(cell.load(Ordering::SeqCst), 42);
 /// ```
 pub fn execute_parallel(graph: &TaskGraph, bodies: Vec<TaskBody>, threads: usize) {
+    let bodies: Vec<TaskBodyWith<()>> = bodies
+        .into_iter()
+        .map(|b| Box::new(move |_: &mut ()| b()) as TaskBodyWith<()>)
+        .collect();
+    execute_parallel_with(graph, bodies, threads, || ());
+}
+
+/// Like [`execute_parallel`], but every worker thread owns a private
+/// scratch value created by `init` and passes it to each body it runs.
+///
+/// This is the entry point of the blocked-kernel data plane: `bidiag-core`
+/// hands a `Workspace`-producing `init` here, so the compact-WY kernels a
+/// worker executes share one growable workspace instead of reallocating
+/// scratch per task.  `init` runs once per worker, on that worker's thread.
+pub fn execute_parallel_with<S>(
+    graph: &TaskGraph,
+    bodies: Vec<TaskBodyWith<S>>,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+) {
     let n = graph.len();
     assert_eq!(bodies.len(), n, "one body per task is required");
     if n == 0 {
@@ -371,7 +401,11 @@ pub fn execute_parallel(graph: &TaskGraph, bodies: Vec<TaskBody>, threads: usize
     std::thread::scope(|scope| {
         for (me, local) in workers.into_iter().enumerate() {
             let scheduler = &scheduler;
-            scope.spawn(move || scheduler.worker_loop(me, local));
+            let init = &init;
+            scope.spawn(move || {
+                let mut scratch = init();
+                scheduler.worker_loop(me, local, &mut scratch)
+            });
         }
     });
 

@@ -33,6 +33,8 @@ pub mod executor;
 pub mod graph;
 pub mod sim;
 
-pub use executor::{execute_parallel, execute_sequential, TaskBody};
+pub use executor::{
+    execute_parallel, execute_parallel_with, execute_sequential, TaskBody, TaskBodyWith,
+};
 pub use graph::{AccessMode, DataKey, TaskGraph, TaskId, TaskNode};
 pub use sim::{critical_path_via_sim, simulate, MachineModel, SimResult};

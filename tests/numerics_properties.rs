@@ -3,6 +3,7 @@
 
 use bidiag_kernels::jacobi::jacobi_singular_values;
 use bidiag_kernels::qr::{build_q, geqrt};
+use bidiag_kernels::Workspace;
 use bidiag_matrix::checks::{orthogonality_error, relative_error};
 use bidiag_repro::prelude::*;
 use proptest::prelude::*;
@@ -50,8 +51,8 @@ proptest! {
     fn geqrt_factorization_properties(m in 1usize..24, n in 1usize..24, seed in 0u64..1000) {
         let a0 = random_gaussian(m, n, seed);
         let mut a = a0.clone();
-        let taus = geqrt(&mut a);
-        let q = build_q(&a, &taus);
+        let tf = geqrt(&mut a, &mut Workspace::new());
+        let q = build_q(&a, tf.taus());
         let r = Matrix::from_fn(m, n, |i, j| if j >= i { a.get(i, j) } else { 0.0 });
         prop_assert!(orthogonality_error(&q) < 1e-12);
         prop_assert!(relative_error(&a0, &q.matmul(&r)) < 1e-12);
