@@ -4,22 +4,31 @@
 //! `nb in {32, 64, 128}`, times both implementations (best of 3 rounds,
 //! each round amortized over enough iterations), prints a comparison table
 //! with the blocked/unblocked speedup and GFlop/s (Table I flop model),
-//! and finishes with a best-of-3 end-to-end GE2BND run on the ROADMAP
-//! reference case (768x512, nb = 64, GREEDY, BIDIAG, 1 thread).
+//! sweeps the packed vs unpacked GEMM paths over square sizes (the data
+//! behind the `PACK_CROSSOVER_MNK` dispatch constant), and finishes with a
+//! best-of-3 end-to-end GE2BND run plus a GE2VAL stage split on the
+//! ROADMAP reference case (768x512, nb = 64, GREEDY, BIDIAG, 1 thread).
 //!
-//! Results are also emitted machine-readably to `BENCH_kernels.json`
-//! (fields: `name`, `nb`, `variant`, `ns_per_iter`, `gflops`) — the bench
-//! trajectory file referenced by BENCHMARKING.md.
+//! **Acceptance gate:** every blocked kernel must be at least as fast as
+//! its unblocked reference at the measured tile size — the check that
+//! would have caught the PR 3 TTQRT/TTLQT regression.  The gate *asserts*
+//! (non-zero exit) in `--test` mode so CI enforces it.
 //!
-//! `--test` runs a smoke pass (tiny tile, one iteration, JSON to a temp
-//! path) so CI can verify the harness and the JSON emission without paying
-//! for a measurement.
+//! Results are emitted machine-readably to `BENCH_kernels.json` (fields:
+//! `name`, `nb`, `variant`, `ns_per_iter`, `gflops`), and the end-to-end
+//! numbers to the repo-top-level `BENCH.json` (machine info + per-stage
+//! GE2VAL split + the cross-PR history) — see BENCHMARKING.md.
+//!
+//! Modes: no flag = full sweep; `--test` = CI gate (nb = 64 only, shorter
+//! rounds, JSON to a temp path, no end-to-end run); `--gemm-sweep` = only
+//! the packed-vs-unpacked GEMM crossover table.
 
-use bidiag_bench::measure_ge2bnd_scaling;
+use bidiag_bench::{measure_ge2bnd_scaling, measure_ge2val_stages};
 use bidiag_core::flops::bidiag_flops;
 use bidiag_kernels::cost::KernelKind;
 use bidiag_kernels::{lq, qr, Trans, Workspace};
 use bidiag_matrix::checks::{lower_triangle_of, upper_triangle_of};
+use bidiag_matrix::gemm::{gemm_nn_packed, gemm_nn_unpacked, GemmScratch};
 use bidiag_matrix::gen::random_gaussian;
 use std::time::Instant;
 
@@ -58,7 +67,7 @@ impl Harness {
     fn bench(
         &mut self,
         name: &'static str,
-        kind: KernelKind,
+        flops: f64,
         nb: usize,
         variant: &'static str,
         mut f: impl FnMut(),
@@ -71,7 +80,7 @@ impl Harness {
             nb,
             variant,
             ns_per_iter: secs * 1.0e9,
-            gflops: kind.flops(nb) / secs / 1.0e9,
+            gflops: flops / secs / 1.0e9,
         });
     }
 
@@ -86,6 +95,11 @@ impl Harness {
         Some((u.ns_per_iter, b.ns_per_iter, u.ns_per_iter / b.ns_per_iter))
     }
 }
+
+const KERNEL_NAMES: [&str; 12] = [
+    "geqrt", "unmqr", "tsqrt", "tsmqr", "ttqrt", "ttmqr", "gelqt", "unmlq", "tslqt", "tsmlq",
+    "ttlqt", "ttmlq",
+];
 
 /// Run every kernel pair at one tile size.
 fn bench_tile_size(h: &mut Harness, nb: usize) {
@@ -122,120 +136,273 @@ fn bench_tile_size(h: &mut Harness, nb: usize) {
     let mut w1 = a.clone();
     let mut w2 = b.clone();
 
-    h.bench("geqrt", KernelKind::Geqrt, nb, "blocked", || {
+    h.bench("geqrt", KernelKind::Geqrt.flops(nb), nb, "blocked", || {
         w1.copy_from(&a);
         let _ = qr::geqrt(&mut w1, &mut ws);
     });
-    h.bench("geqrt", KernelKind::Geqrt, nb, "unblocked", || {
-        w1.copy_from(&a);
-        let _ = qr::geqrt_unblocked(&mut w1);
-    });
-    h.bench("unmqr", KernelKind::Unmqr, nb, "blocked", || {
+    h.bench(
+        "geqrt",
+        KernelKind::Geqrt.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&a);
+            let _ = qr::geqrt_unblocked(&mut w1);
+        },
+    );
+    h.bench("unmqr", KernelKind::Unmqr.flops(nb), nb, "blocked", || {
         w1.copy_from(&b);
         qr::unmqr(&v, &tf, &mut w1, Trans::Transpose, &mut ws);
     });
-    h.bench("unmqr", KernelKind::Unmqr, nb, "unblocked", || {
-        w1.copy_from(&b);
-        qr::unmqr_unblocked(&v, &taus, &mut w1, Trans::Transpose);
-    });
-    h.bench("tsqrt", KernelKind::Tsqrt, nb, "blocked", || {
+    h.bench(
+        "unmqr",
+        KernelKind::Unmqr.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&b);
+            qr::unmqr_unblocked(&v, &taus, &mut w1, Trans::Transpose);
+        },
+    );
+    h.bench("tsqrt", KernelKind::Tsqrt.flops(nb), nb, "blocked", || {
         w1.copy_from(&r1);
         w2.copy_from(&b);
         let _ = qr::tsqrt(&mut w1, &mut w2, &mut ws);
     });
-    h.bench("tsqrt", KernelKind::Tsqrt, nb, "unblocked", || {
-        w1.copy_from(&r1);
-        w2.copy_from(&b);
-        let _ = qr::tsqrt_unblocked(&mut w1, &mut w2);
-    });
-    h.bench("tsmqr", KernelKind::Tsmqr, nb, "blocked", || {
+    h.bench(
+        "tsqrt",
+        KernelKind::Tsqrt.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&r1);
+            w2.copy_from(&b);
+            let _ = qr::tsqrt_unblocked(&mut w1, &mut w2);
+        },
+    );
+    h.bench("tsmqr", KernelKind::Tsmqr.flops(nb), nb, "blocked", || {
         w1.copy_from(&b);
         w2.copy_from(&c);
         qr::tsmqr(&mut w1, &mut w2, &vts, &tf_ts, Trans::Transpose, &mut ws);
     });
-    h.bench("tsmqr", KernelKind::Tsmqr, nb, "unblocked", || {
-        w1.copy_from(&b);
-        w2.copy_from(&c);
-        qr::tsmqr_unblocked(&mut w1, &mut w2, &vts, tf_ts.taus(), Trans::Transpose);
-    });
-    h.bench("ttqrt", KernelKind::Ttqrt, nb, "blocked", || {
+    h.bench(
+        "tsmqr",
+        KernelKind::Tsmqr.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&b);
+            w2.copy_from(&c);
+            qr::tsmqr_unblocked(&mut w1, &mut w2, &vts, tf_ts.taus(), Trans::Transpose);
+        },
+    );
+    h.bench("ttqrt", KernelKind::Ttqrt.flops(nb), nb, "blocked", || {
         w1.copy_from(&r1);
         w2.copy_from(&r2);
         let _ = qr::ttqrt(&mut w1, &mut w2, &mut ws);
     });
-    h.bench("ttqrt", KernelKind::Ttqrt, nb, "unblocked", || {
-        w1.copy_from(&r1);
-        w2.copy_from(&r2);
-        let _ = qr::ttqrt_unblocked(&mut w1, &mut w2);
-    });
-    h.bench("ttmqr", KernelKind::Ttmqr, nb, "blocked", || {
+    h.bench(
+        "ttqrt",
+        KernelKind::Ttqrt.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&r1);
+            w2.copy_from(&r2);
+            let _ = qr::ttqrt_unblocked(&mut w1, &mut w2);
+        },
+    );
+    h.bench("ttmqr", KernelKind::Ttmqr.flops(nb), nb, "blocked", || {
         w1.copy_from(&b);
         w2.copy_from(&c);
         qr::ttmqr(&mut w1, &mut w2, &vtt, &tf_tt, Trans::Transpose, &mut ws);
     });
-    h.bench("ttmqr", KernelKind::Ttmqr, nb, "unblocked", || {
-        w1.copy_from(&b);
-        w2.copy_from(&c);
-        qr::ttmqr_unblocked(&mut w1, &mut w2, &vtt, tf_tt.taus(), Trans::Transpose);
-    });
+    h.bench(
+        "ttmqr",
+        KernelKind::Ttmqr.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&b);
+            w2.copy_from(&c);
+            qr::ttmqr_unblocked(&mut w1, &mut w2, &vtt, tf_tt.taus(), Trans::Transpose);
+        },
+    );
 
     // LQ duals.
-    h.bench("gelqt", KernelKind::Gelqt, nb, "blocked", || {
+    h.bench("gelqt", KernelKind::Gelqt.flops(nb), nb, "blocked", || {
         w1.copy_from(&a);
         let _ = lq::gelqt(&mut w1, &mut ws);
     });
-    h.bench("gelqt", KernelKind::Gelqt, nb, "unblocked", || {
-        w1.copy_from(&a);
-        let _ = lq::gelqt_unblocked(&mut w1);
-    });
-    h.bench("unmlq", KernelKind::Unmlq, nb, "blocked", || {
+    h.bench(
+        "gelqt",
+        KernelKind::Gelqt.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&a);
+            let _ = lq::gelqt_unblocked(&mut w1);
+        },
+    );
+    h.bench("unmlq", KernelKind::Unmlq.flops(nb), nb, "blocked", || {
         w1.copy_from(&b);
         lq::unmlq(&vl, &tf_l, &mut w1, Trans::Transpose, &mut ws);
     });
-    h.bench("unmlq", KernelKind::Unmlq, nb, "unblocked", || {
-        w1.copy_from(&b);
-        lq::unmlq_unblocked(&vl, tf_l.taus(), &mut w1, Trans::Transpose);
-    });
-    h.bench("tslqt", KernelKind::Tslqt, nb, "blocked", || {
+    h.bench(
+        "unmlq",
+        KernelKind::Unmlq.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&b);
+            lq::unmlq_unblocked(&vl, tf_l.taus(), &mut w1, Trans::Transpose);
+        },
+    );
+    h.bench("tslqt", KernelKind::Tslqt.flops(nb), nb, "blocked", || {
         w1.copy_from(&l1);
         w2.copy_from(&b);
         let _ = lq::tslqt(&mut w1, &mut w2, &mut ws);
     });
-    h.bench("tslqt", KernelKind::Tslqt, nb, "unblocked", || {
-        w1.copy_from(&l1);
-        w2.copy_from(&b);
-        let _ = lq::tslqt_unblocked(&mut w1, &mut w2);
-    });
-    h.bench("tsmlq", KernelKind::Tsmlq, nb, "blocked", || {
+    h.bench(
+        "tslqt",
+        KernelKind::Tslqt.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&l1);
+            w2.copy_from(&b);
+            let _ = lq::tslqt_unblocked(&mut w1, &mut w2);
+        },
+    );
+    h.bench("tsmlq", KernelKind::Tsmlq.flops(nb), nb, "blocked", || {
         w1.copy_from(&b);
         w2.copy_from(&c);
         lq::tsmlq(&mut w1, &mut w2, &vlts, &tf_lts, Trans::Transpose, &mut ws);
     });
-    h.bench("tsmlq", KernelKind::Tsmlq, nb, "unblocked", || {
-        w1.copy_from(&b);
-        w2.copy_from(&c);
-        lq::tsmlq_unblocked(&mut w1, &mut w2, &vlts, tf_lts.taus(), Trans::Transpose);
-    });
-    h.bench("ttlqt", KernelKind::Ttlqt, nb, "blocked", || {
+    h.bench(
+        "tsmlq",
+        KernelKind::Tsmlq.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&b);
+            w2.copy_from(&c);
+            lq::tsmlq_unblocked(&mut w1, &mut w2, &vlts, tf_lts.taus(), Trans::Transpose);
+        },
+    );
+    h.bench("ttlqt", KernelKind::Ttlqt.flops(nb), nb, "blocked", || {
         w1.copy_from(&l1);
         w2.copy_from(&l2);
         let _ = lq::ttlqt(&mut w1, &mut w2, &mut ws);
     });
-    h.bench("ttlqt", KernelKind::Ttlqt, nb, "unblocked", || {
-        w1.copy_from(&l1);
-        w2.copy_from(&l2);
-        let _ = lq::ttlqt_unblocked(&mut w1, &mut w2);
-    });
-    h.bench("ttmlq", KernelKind::Ttmlq, nb, "blocked", || {
+    h.bench(
+        "ttlqt",
+        KernelKind::Ttlqt.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&l1);
+            w2.copy_from(&l2);
+            let _ = lq::ttlqt_unblocked(&mut w1, &mut w2);
+        },
+    );
+    h.bench("ttmlq", KernelKind::Ttmlq.flops(nb), nb, "blocked", || {
         w1.copy_from(&b);
         w2.copy_from(&c);
         lq::ttmlq(&mut w1, &mut w2, &vltt, &tf_ltt, Trans::Transpose, &mut ws);
     });
-    h.bench("ttmlq", KernelKind::Ttmlq, nb, "unblocked", || {
-        w1.copy_from(&b);
-        w2.copy_from(&c);
-        lq::ttmlq_unblocked(&mut w1, &mut w2, &vltt, tf_ltt.taus(), Trans::Transpose);
-    });
+    h.bench(
+        "ttmlq",
+        KernelKind::Ttmlq.flops(nb),
+        nb,
+        "unblocked",
+        || {
+            w1.copy_from(&b);
+            w2.copy_from(&c);
+            lq::ttmlq_unblocked(&mut w1, &mut w2, &vltt, tf_ltt.taus(), Trans::Transpose);
+        },
+    );
+}
+
+/// Square sizes of the packed-vs-unpacked GEMM sweep (shared by the
+/// measurement and printing loops of [`gemm_sweep`]).
+const GEMM_SWEEP_SIZES: [usize; 8] = [32, 48, 64, 80, 96, 128, 192, 256];
+
+/// Time the packed vs unpacked GEMM paths on square `s x s x s` products:
+/// the measurement behind the `PACK_CROSSOVER_MNK` dispatch constant in
+/// `bidiag_matrix::gemm`.
+fn gemm_sweep(h: &mut Harness) {
+    let mut scratch = GemmScratch::new();
+    for &s in &GEMM_SWEEP_SIZES {
+        let a = random_gaussian(s, s, 11);
+        let b = random_gaussian(s, s, 12);
+        let mut cw = random_gaussian(s, s, 13);
+        let flops = 2.0 * (s as f64).powi(3);
+        h.bench("gemm_nn", flops, s, "unpacked", || {
+            gemm_nn_unpacked(&mut cw.as_view_mut(), 1.0, a.as_view(), b.as_view());
+        });
+        let mut cw = random_gaussian(s, s, 13);
+        h.bench("gemm_nn", flops, s, "packed", || {
+            gemm_nn_packed(
+                &mut cw.as_view_mut(),
+                1.0,
+                a.as_view(),
+                b.as_view(),
+                &mut scratch,
+            );
+        });
+    }
+    println!("# packed vs unpacked GEMM (square sizes; crossover evidence for PACK_CROSSOVER_MNK)");
+    println!("size\tunpacked_ns\tpacked_ns\tpacked/unpacked\tunpacked_GF\tpacked_GF");
+    for &s in &GEMM_SWEEP_SIZES {
+        let find = |variant: &str| {
+            h.records
+                .iter()
+                .find(|r| r.name == "gemm_nn" && r.nb == s && r.variant == variant)
+        };
+        if let (Some(u), Some(p)) = (find("unpacked"), find("packed")) {
+            println!(
+                "{s}\t{:.0}\t{:.0}\t{:.2}x\t{:.2}\t{:.2}",
+                u.ns_per_iter,
+                p.ns_per_iter,
+                u.ns_per_iter / p.ns_per_iter,
+                u.gflops,
+                p.gflops
+            );
+        }
+    }
+    println!();
+}
+
+/// The per-kernel acceptance gate: blocked must be >= 1.0x unblocked for
+/// *every* kernel at the given tile size.  Prints one line per kernel and
+/// returns the failing kernels (empty = all passed).
+fn check_kernel_acceptance(h: &Harness, nb: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    println!("# acceptance: blocked >= 1.0x unblocked for every kernel @ nb={nb}");
+    for name in KERNEL_NAMES {
+        if let Some((_, _, speedup)) = h.pair(name, nb) {
+            let verdict = if speedup >= 1.0 { "PASS" } else { "FAIL" };
+            println!("# check: blocked {name} @ nb={nb}: {speedup:.2}x [{verdict}]");
+            if speedup < 1.0 {
+                failures.push(format!("{name} {speedup:.2}x"));
+            }
+        }
+    }
+    failures
+}
+
+/// Best-effort CPU model name (Linux /proc/cpuinfo).
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn write_json(path: &std::path::Path, records: &[Record]) {
@@ -256,10 +423,69 @@ fn write_json(path: &std::path::Path, records: &[Record]) {
     println!("# wrote {}", path.display());
 }
 
+/// Write the top-level BENCH.json: end-to-end numbers on the reference
+/// case, the machine they were measured on, and the cross-PR trajectory.
+fn write_top_level_bench(ge2bnd_ms: f64, stages: &bidiag_bench::StageTimes) {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let history: &[(&str, f64)] = &[
+        ("PR 2: work-stealing runtime (pre-blocked kernels)", 173.7),
+        ("PR 3: compact-WY blocked tile kernels", 94.2),
+        (
+            "PR 4: packed GEMM + structure-aware WY + fused TT",
+            ge2bnd_ms,
+        ),
+    ];
+    let mut hist = String::new();
+    for (i, (label, ms)) in history.iter().enumerate() {
+        hist.push_str(&format!(
+            "    {{\"label\": \"{label}\", \"ge2bnd_ms\": {ms:.1}}}{}\n",
+            if i + 1 < history.len() { "," } else { "" }
+        ));
+    }
+    let out = format!(
+        r#"{{
+  "generated_by": "cargo bench -p bidiag-bench --bench kernels",
+  "machine": {{
+    "os": "{os}",
+    "arch": "{arch}",
+    "cores": {cores},
+    "cpu": "{cpu}"
+  }},
+  "reference_case": {{
+    "m": 768, "n": 512, "nb": 64, "threads": 1,
+    "tree": "GREEDY", "algorithm": "BIDIAG", "timing": "best of 3"
+  }},
+  "ge2bnd_ms": {ge2bnd_ms:.1},
+  "ge2val": {{
+    "total_ms": {total:.1},
+    "ge2bnd_ms": {s1:.1},
+    "bnd2bd_ms": {s2:.1},
+    "bd2val_ms": {s3:.1}
+  }},
+  "history": [
+{hist}  ]
+}}
+"#,
+        os = std::env::consts::OS,
+        arch = std::env::consts::ARCH,
+        cpu = cpu_model(),
+        total = stages.total() * 1.0e3,
+        s1 = stages.ge2bnd * 1.0e3,
+        s2 = stages.bnd2bd * 1.0e3,
+        s3 = stages.bd2val * 1.0e3,
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH.json");
+    std::fs::write(&path, out).expect("writing BENCH.json");
+    println!("# wrote {}", path.display());
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
+    let sweep_only = std::env::args().any(|a| a == "--gemm-sweep");
     let (nbs, rounds, min_round_secs): (&[usize], usize, f64) = if test_mode {
-        (&[8], 1, 0.0)
+        // CI gate: one realistic tile size, short but real rounds — enough
+        // to expose a kernel running slower than its reference.
+        (&[64], 2, 0.02)
     } else {
         (&[32, 64, 128], 3, 0.05)
     };
@@ -268,6 +494,12 @@ fn main() {
         min_round_secs,
         records: Vec::new(),
     };
+
+    if sweep_only {
+        gemm_sweep(&mut h);
+        return;
+    }
+
     for &nb in nbs {
         bench_tile_size(&mut h, nb);
     }
@@ -275,12 +507,8 @@ fn main() {
     // Per-kernel comparison table.
     println!("# tile kernels: blocked compact-WY vs unblocked reference (best of {rounds})");
     println!("kernel\tnb\tunblocked_ns\tblocked_ns\tspeedup\tblocked_GFlop/s");
-    let names = [
-        "geqrt", "unmqr", "tsqrt", "tsmqr", "ttqrt", "ttmqr", "gelqt", "unmlq", "tslqt", "tsmlq",
-        "ttlqt", "ttmlq",
-    ];
     for &nb in nbs {
-        for name in names {
+        for name in KERNEL_NAMES {
             if let Some((u_ns, b_ns, speedup)) = h.pair(name, nb) {
                 let gf = h
                     .records
@@ -293,9 +521,40 @@ fn main() {
         }
     }
 
+    // The acceptance gate (asserted in --test mode so CI fails on any
+    // kernel regressing below its unblocked reference).  A first-pass miss
+    // on a noisy runner gets one slower, more careful re-measurement before
+    // the gate turns red — a real regression (like PR 3's 0.8x TTQRT)
+    // fails both passes, a scheduler hiccup does not.
+    let failures = check_kernel_acceptance(&h, 64);
+    if !failures.is_empty() && test_mode {
+        println!(
+            "# gate miss on first pass ({}); re-measuring",
+            failures.join(", ")
+        );
+        let mut h2 = Harness {
+            rounds: 3,
+            min_round_secs: 0.05,
+            records: Vec::new(),
+        };
+        bench_tile_size(&mut h2, 64);
+        let failures2 = check_kernel_acceptance(&h2, 64);
+        assert!(
+            failures2.is_empty(),
+            "blocked kernels slower than their unblocked references @ nb=64 in both passes: {}",
+            failures2.join(", ")
+        );
+    } else if !failures.is_empty() {
+        println!(
+            "# WARNING: blocked kernels slower than their unblocked references @ nb=64: {}",
+            failures.join(", ")
+        );
+    }
+
     if !test_mode {
-        // Acceptance check of the PR that introduced the blocked kernels:
-        // UNMQR and TSMQR must be at least 2x their unblocked references at
+        gemm_sweep(&mut h);
+
+        // Legacy PR 3 acceptance: UNMQR and TSMQR at least 2x unblocked at
         // nb = 64 (reported, not asserted — hosts vary).
         for name in ["unmqr", "tsmqr"] {
             if let Some((_, _, speedup)) = h.pair(name, 64) {
@@ -325,6 +584,17 @@ fn main() {
             ns_per_iter: secs * 1.0e9,
             gflops: bidiag_flops(768, 512) / secs / 1.0e9,
         });
+
+        // GE2VAL stage split (the data BENCH.json tracks across PRs).
+        let stages = measure_ge2val_stages(768, 512, 64, 3);
+        println!(
+            "# ge2val 768x512 nb=64 @1 thread: total {:.1} ms = ge2bnd {:.1} + bnd2bd {:.1} + bd2val {:.1}",
+            stages.total() * 1.0e3,
+            stages.ge2bnd * 1.0e3,
+            stages.bnd2bd * 1.0e3,
+            stages.bd2val * 1.0e3
+        );
+        write_top_level_bench(secs * 1.0e3, &stages);
     }
 
     let path = if test_mode {

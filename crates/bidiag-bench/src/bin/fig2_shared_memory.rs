@@ -127,6 +127,41 @@ fn panel_measured_scaling() {
     }
 }
 
+/// Measured (wall-clock) GE2VAL stage breakdown on the ROADMAP reference
+/// case: which of GE2BND / BND2BD / BD2VAL the next perf PR should attack
+/// is read off this table, not guessed.
+fn panel_stage_breakdown() {
+    let (m, n, nb) = (768usize, 512usize, 64usize);
+    let s = measure_ge2val_stages(m, n, nb, 3);
+    let rows = vec![
+        vec![
+            "GE2BND".to_string(),
+            format!("{:.1}", s.ge2bnd * 1.0e3),
+            format!("{:.1}%", s.share(s.ge2bnd)),
+        ],
+        vec![
+            "BND2BD".to_string(),
+            format!("{:.1}", s.bnd2bd * 1.0e3),
+            format!("{:.1}%", s.share(s.bnd2bd)),
+        ],
+        vec![
+            "BD2VAL".to_string(),
+            format!("{:.1}", s.bd2val * 1.0e3),
+            format!("{:.1}%", s.share(s.bd2val)),
+        ],
+        vec![
+            "total".to_string(),
+            format!("{:.1}", s.total() * 1.0e3),
+            "100.0%".to_string(),
+        ],
+    ];
+    print_tsv(
+        &format!("Fig 2 extra: measured GE2VAL stage breakdown, {m}x{n} nb={nb} (best of 3)"),
+        &["stage", "time_ms", "share"],
+        &rows,
+    );
+}
+
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let nb = 160;
@@ -204,4 +239,5 @@ fn main() {
         nb,
     );
     panel_measured_scaling();
+    panel_stage_breakdown();
 }

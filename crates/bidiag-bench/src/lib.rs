@@ -250,6 +250,88 @@ pub fn measure_ge2bnd_scaling(
     points
 }
 
+/// Wall-time split of one measured GE2VAL run (seconds per stage).
+#[derive(Clone, Copy, Debug)]
+pub struct StageTimes {
+    /// GE2BND: dense to band bidiagonal (the tile-kernel DAG).
+    pub ge2bnd: f64,
+    /// BND2BD: band to bidiagonal (bulge chasing).
+    pub bnd2bd: f64,
+    /// BD2VAL: singular values of the bidiagonal (bisection).
+    pub bd2val: f64,
+}
+
+impl StageTimes {
+    /// Total pipeline time in seconds.
+    pub fn total(&self) -> f64 {
+        self.ge2bnd + self.bnd2bd + self.bd2val
+    }
+
+    /// Percentage share of one stage time of the total.
+    pub fn share(&self, stage: f64) -> f64 {
+        100.0 * stage / self.total().max(1e-12)
+    }
+}
+
+/// Measure the wall-time split of the sequential GE2VAL pipeline
+/// (GE2BND / BND2BD / BD2VAL) on the BENCHMARKING.md reference input (latms
+/// with a geometric spectrum, cond 1e4, seed 7).  Runs the full pipeline
+/// `samples` times and returns the split of the run with the best total, so
+/// the three numbers are a consistent snapshot of one run rather than a mix
+/// of per-stage minima.
+///
+/// This is the breakdown that picks the next perf target: once GE2BND stops
+/// dominating, BND2BD (the serial bulge-chasing stage, exactly as in the
+/// paper) is the wall to attack next.
+pub fn measure_ge2val_stages(m: usize, n: usize, nb: usize, samples: usize) -> StageTimes {
+    use bidiag_core::pipeline::{ge2bnd, AlgorithmChoice, Ge2Options};
+    use bidiag_kernels::svd::bidiagonal_singular_values;
+    use std::time::Instant;
+
+    let (a, _) = bidiag_matrix::gen::latms(
+        m,
+        n,
+        &bidiag_matrix::gen::SpectrumKind::Geometric { cond: 1.0e4 },
+        7,
+    );
+    let opts = Ge2Options::new(nb)
+        .with_tree(NamedTree::Greedy)
+        .with_algorithm(AlgorithmChoice::Bidiag);
+    // Warm up allocators and caches once before timing anything.
+    let _ = ge2bnd(&a, &opts);
+
+    let mut best = StageTimes {
+        ge2bnd: f64::INFINITY,
+        bnd2bd: 0.0,
+        bd2val: 0.0,
+    };
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        let r = ge2bnd(&a, &opts);
+        let t_ge2bnd = t0.elapsed().as_secs_f64();
+
+        let mut band = r.band;
+        let t1 = Instant::now();
+        let bidiag = band.reduce_to_bidiagonal();
+        let t_bnd2bd = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let sv = bidiagonal_singular_values(&bidiag.diag, &bidiag.superdiag);
+        let t_bd2val = t2.elapsed().as_secs_f64();
+        assert_eq!(sv.len(), m.min(n));
+
+        let split = StageTimes {
+            ge2bnd: t_ge2bnd,
+            bnd2bd: t_bnd2bd,
+            bd2val: t_bd2val,
+        };
+        if split.total() < best.total() {
+            best = split;
+        }
+    }
+    best
+}
+
 /// Print a measured thread-scaling sweep as a TSV table.
 pub fn print_scaling_table(title: &str, points: &[ScalingPoint]) {
     let rows: Vec<Vec<String>> = points

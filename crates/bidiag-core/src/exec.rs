@@ -23,10 +23,11 @@
 //!   slot the DAG ordered before them, and no global map or lock is ever
 //!   contended; the same table backs the sequential driver;
 //! * every worker thread owns a [`KernelScratch`] (kernel workspace +
-//!   operand snapshot buffer) created once at spawn and lent to each task
-//!   body it runs, so the apply kernels' scratch is never reallocated; the
-//!   only per-task heap traffic left is the `TFactor` each factorization
-//!   kernel produces into its table slot.
+//!   GEMM pack buffers + operand snapshot buffer) pre-sized for the tile
+//!   size at spawn and lent to each task body it runs, so the apply
+//!   kernels' scratch is never reallocated — not even on a worker's first
+//!   task; the only per-task heap traffic left is the `TFactor` each
+//!   factorization kernel produces into its table slot.
 
 use crate::ops::{KernelScratch, TauTable, TileOp};
 use bidiag_kernels::band::BandMatrix;
@@ -45,7 +46,7 @@ use std::sync::Arc;
 /// back-end.
 pub fn execute_sequential(ops: &[TileOp], a: &mut TiledMatrix) {
     let taus = TauTable::for_ops(ops);
-    let mut scratch = KernelScratch::new();
+    let mut scratch = KernelScratch::for_tile(a.nb());
     for (op_id, op) in ops.iter().enumerate() {
         op.execute(op_id, a, &taus, &mut scratch);
     }
@@ -86,7 +87,8 @@ pub fn execute_parallel(ops: &[TileOp], a: &mut TiledMatrix, threads: usize) {
             }) as TaskBodyWith<KernelScratch>
         })
         .collect();
-    runtime_execute_with(&graph, bodies, threads, KernelScratch::new);
+    let nb = a.nb();
+    runtime_execute_with(&graph, bodies, threads, move || KernelScratch::for_tile(nb));
 
     // Copy the tiles back.
     let shared = Arc::try_unwrap(shared).expect("all workers joined");

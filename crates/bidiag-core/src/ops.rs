@@ -194,6 +194,16 @@ impl KernelScratch {
             vbuf: Matrix::zeros(0, 0),
         }
     }
+
+    /// Scratch pre-sized for `nb x nb` tiles: the kernel workspace panels
+    /// and the snapshot buffer are allocated up front, so even the first
+    /// kernel a worker runs is allocation-free.
+    pub fn for_tile(nb: usize) -> Self {
+        KernelScratch {
+            ws: Workspace::for_tile(nb),
+            vbuf: Matrix::zeros(nb, nb),
+        }
+    }
 }
 
 impl Default for KernelScratch {

@@ -30,7 +30,8 @@ use crate::qr::{
 use crate::wy::{
     apply_t_right, chunk_order, grow, lq_cv, lq_cwv, lq_tri_cv, lq_tri_cwv, TFactor, Workspace,
 };
-use bidiag_matrix::{gemm_nn, gemm_nt, Matrix, MatrixViewMut};
+use bidiag_matrix::gemm::{gemm_nn_scratch, gemm_nt_scratch};
+use bidiag_matrix::{Matrix, MatrixViewMut};
 
 /// GELQT: in-place LQ factorization of a tile.
 ///
@@ -146,7 +147,7 @@ pub fn tsmlq(
         c1.cols() >= k,
         "TSMLQ: C1 has fewer columns than reflectors"
     );
-    let (panel, _, _) = ws.bufs();
+    let (panel, _, gemm) = ws.bufs();
     for (p, ibp) in chunk_order(k, trans) {
         let mut w = MatrixViewMut::new(grow(panel, r * ibp), r, ibp, r);
         let v2p = v2.view(p, 0, ibp, n2);
@@ -154,7 +155,7 @@ pub fn tsmlq(
         for (kk, wcol) in w.cols_mut().enumerate() {
             wcol.copy_from_slice(c1.col(p + kk));
         }
-        gemm_nt(&mut w, 1.0, c2.as_view(), v2p);
+        gemm_nt_scratch(&mut w, 1.0, c2.as_view(), v2p, gemm);
         // W = W op(T_pp).
         apply_t_right(
             &mut w,
@@ -169,7 +170,7 @@ pub fn tsmlq(
                 ccol[i] -= wcol[i];
             }
         }
-        gemm_nn(&mut c2.as_view_mut(), -1.0, w.as_view(), v2p);
+        gemm_nn_scratch(&mut c2.as_view_mut(), -1.0, w.as_view(), v2p, gemm);
     }
 }
 

@@ -17,12 +17,16 @@
 //! * The **blocked** kernels (`geqrt`, `unmqr`, ...) are the production data
 //!   plane.  Factorization kernels generate their reflectors in place on
 //!   contiguous column slices (no per-reflector heap `Vec`s) and build the
-//!   upper-triangular compact-WY `T` factor incrementally (LAPACK `xLARFT`),
-//!   returned as a [`TFactor`].  Apply kernels consume the `T` factor and run
-//!   as the three-GEMM sweep `W = V^T C; W = op(T) W; C -= V W` over
-//!   [`bidiag_matrix::MatrixView`]s — `TSMQR`, the hottest kernel, is three
-//!   literal calls into [`bidiag_matrix::gemm`].  All scratch comes from a
-//!   caller-provided [`Workspace`].
+//!   `IB`-block-diagonal of the compact-WY `T` factor incrementally with the
+//!   chunk-local `xLARFT` recurrence (the only part of `T` the chunked
+//!   applies consume — see [`TFactor`]), returned as a [`TFactor`].  Apply
+//!   kernels run the compact-WY sweep `W = C^T V; W = W op(T)^T; C -= V W^T`
+//!   on a transposed `n x IB` panel (LAPACK `xLARFB`'s layout): `TSMQR`, the
+//!   hottest kernel, is two dense calls into [`bidiag_matrix::gemm`] around
+//!   a trmm-style `T` product, while `UNMQR`/`TTMQR` read their structured
+//!   `V` (unit-lower trapezoid / triangle) in place through the fused sweeps
+//!   of [`crate::wy`] instead of densifying it into scratch.  All scratch
+//!   comes from a caller-provided [`Workspace`].
 //! * The **unblocked** references (`geqrt_unblocked`, `unmqr_unblocked`, ...)
 //!   apply the Householder reflectors one by one, exactly mirroring LAPACK
 //!   `xGEQRT2`/`xTPQRT2`.  They are the numerical oracle the property tests
@@ -33,10 +37,11 @@
 
 use crate::householder::{axpy, dot, larfg};
 use crate::wy::{
-    apply_t_left, chunk_order, densify_trapezoid, densify_triangle, grow, TFactor, Workspace,
+    apply_t_left, apply_t_right, chunk_order, grow, trap_ctv, trap_cvwt, tri_ctv, tri_cvwt,
+    TFactor, Workspace,
 };
-use bidiag_matrix::gemm::dot as fdot;
-use bidiag_matrix::{gemm_nn, gemm_tn, Matrix, MatrixViewMut};
+use bidiag_matrix::gemm::{dot as fdot, gemm_nn_scratch, gemm_tn_scratch};
+use bidiag_matrix::{Matrix, MatrixViewMut};
 
 /// Whether an apply kernel applies `Q^T` (used by factorizations) or `Q`
 /// (used when reconstructing / applying backward transformations).
@@ -187,11 +192,13 @@ pub fn geqrt(a: &mut Matrix, ws: &mut Workspace) -> TFactor {
                 larf_left(tau, vtail, &mut trail);
             }
         }
-        // T column k: vdots[l] = v_l^T v_k = a[k, l] + a[k+1.., l] . a[k+1.., k].
-        let vd = grow(aux, k);
+        // T column k, chunk-local (only the IB-diagonal block of T is ever
+        // consumed): vdots[l - k0] = v_l^T v_k = a[k, l] + a[k+1.., l] . a[k+1.., k].
+        let k0 = TFactor::chunk_start(k);
+        let vd = grow(aux, k - k0);
         let ck = a.col(k);
         for (l, slot) in vd.iter_mut().enumerate() {
-            let cl = a.col(l);
+            let cl = a.col(k0 + l);
             *slot = cl[k] + fdot(&cl[k + 1..m], &ck[k + 1..m]);
         }
         tf.append(tau, vd);
@@ -212,20 +219,23 @@ pub fn unmqr(v: &Matrix, tf: &TFactor, c: &mut Matrix, trans: Trans, ws: &mut Wo
     if k == 0 || n == 0 {
         return;
     }
-    let (panel, aux, vpanel) = ws.bufs();
+    let (panel, _, gemm) = ws.bufs();
     for (p, ibp) in chunk_order(k, trans) {
-        let mut w = MatrixViewMut::new(grow(panel, ibp * n), ibp, n, ibp);
-        // Zero-padded dense copy of the chunk's trapezoid of V: the whole
-        // chunk then runs as two fixed-shape GEMMs.
-        let vp = densify_trapezoid(v.as_view(), p, ibp, vpanel);
-        for wcol in w.cols_mut() {
-            wcol.fill(0.0);
-        }
-        gemm_tn(&mut w, 1.0, vp, c.view(p, 0, m - p, n));
-        apply_t_left(&mut w, tf.t().view(p, p, ibp, ibp), trans, aux);
-        let mut cv = c.as_view_mut();
-        let mut cp = cv.submatrix_mut(p, 0, m - p, n);
-        gemm_nn(&mut cp, -1.0, vp, w.as_view());
+        // Structure-aware xLARFB sweep on the transposed panel
+        // W = C^T V_p (n x ib): the chunk's unit-lower-triangular top runs
+        // as trmm-style contiguous axpys, the dense rows below as a GEMM —
+        // V is read in place, never densified into scratch.  In the
+        // transposed layout the T product applies from the right:
+        //   Q^T C = C - V T^T V^T C  <=>  W := W T,
+        //   Q   C = C - V T   V^T C  <=>  W := W T^T.
+        let mut w = MatrixViewMut::new(grow(panel, ibp * n), n, ibp, n);
+        trap_ctv(v.as_view(), p, ibp, c.as_view(), &mut w, gemm);
+        apply_t_right(
+            &mut w,
+            tf.t().view(p, p, ibp, ibp),
+            matches!(trans, Trans::NoTranspose),
+        );
+        trap_cvwt(v.as_view(), p, ibp, &mut w, &mut c.as_view_mut(), gemm);
     }
 }
 
@@ -255,12 +265,13 @@ pub fn tsqrt(r1: &mut Matrix, a2: &mut Matrix, ws: &mut Workspace) -> TFactor {
                 ts_update(tau, head.col(k), r1, k, &mut trail);
             }
         }
-        // T column k: the e_k heads are orthogonal, so only the dense tails
-        // contribute: vdots[l] = a2[:, l] . a2[:, k].
-        let vd = grow(aux, k);
+        // T column k, chunk-local: the e_k heads are orthogonal, so only
+        // the dense tails contribute: vdots[l - k0] = a2[:, l] . a2[:, k].
+        let k0 = TFactor::chunk_start(k);
+        let vd = grow(aux, k - k0);
         let ck = a2.col(k);
         for (l, slot) in vd.iter_mut().enumerate() {
-            *slot = fdot(a2.col(l), &ck[..m2]);
+            *slot = fdot(a2.col(k0 + l), &ck[..m2]);
         }
         tf.append(tau, vd);
     }
@@ -291,7 +302,7 @@ pub fn tsmqr(
         return;
     }
     assert!(a1.rows() >= k, "TSMQR: A1 has fewer rows than reflectors");
-    let (panel, aux, _) = ws.bufs();
+    let (panel, aux, gemm) = ws.bufs();
     for (p, ibp) in chunk_order(k, trans) {
         let mut w = MatrixViewMut::new(grow(panel, ibp * n), ibp, n, ibp);
         let v2p = v2.view(0, p, m2, ibp);
@@ -299,7 +310,7 @@ pub fn tsmqr(
         for (j, wcol) in w.cols_mut().enumerate() {
             wcol.copy_from_slice(&a1.col(j)[p..p + ibp]);
         }
-        gemm_tn(&mut w, 1.0, v2p, a2.as_view());
+        gemm_tn_scratch(&mut w, 1.0, v2p, a2.as_view(), gemm);
         // W = op(T_pp) W.
         apply_t_left(&mut w, tf.t().view(p, p, ibp, ibp), trans, aux);
         // A1[p..p+ib, :] -= W;  A2 -= V2_p W.
@@ -310,7 +321,7 @@ pub fn tsmqr(
                 acol[i] -= wcol[i];
             }
         }
-        gemm_nn(&mut a2.as_view_mut(), -1.0, v2p, w.as_view());
+        gemm_nn_scratch(&mut a2.as_view_mut(), -1.0, v2p, w.as_view(), gemm);
     }
 }
 
@@ -342,12 +353,16 @@ pub fn ttqrt(r1: &mut Matrix, r2: &mut Matrix, ws: &mut Workspace) -> TFactor {
                 ts_update(tau, &head.col(k)[..rl], r1, k, &mut trail);
             }
         }
-        // T column k: vdots[l] over the overlap of the two triangular tails.
-        let vd = grow(aux, k);
+        // T column k, chunk-local: vdots over the overlap of the two
+        // triangular tails.  Restricting to the chunk is what makes the
+        // "fused" TTQRT cheaper than its unblocked reference: the T build
+        // costs O(IB) short dots per reflector instead of O(k).
+        let k0 = TFactor::chunk_start(k);
+        let vd = grow(aux, k - k0);
         let ck = r2.col(k);
         for (l, slot) in vd.iter_mut().enumerate() {
-            let rll = (l + 1).min(m2);
-            *slot = fdot(&r2.col(l)[..rll], &ck[..rll]);
+            let rll = (k0 + l + 1).min(m2);
+            *slot = fdot(&r2.col(k0 + l)[..rll], &ck[..rll]);
         }
         tf.append(tau, vd);
     }
@@ -376,29 +391,41 @@ pub fn ttmqr(
         return;
     }
     assert!(a1.rows() >= k, "TTMQR: A1 has fewer rows than reflectors");
-    let (panel, aux, vpanel) = ws.bufs();
+    let (panel, aux, gemm) = ws.bufs();
     for (p, ibp) in chunk_order(k, trans) {
-        let mut w = MatrixViewMut::new(grow(panel, ibp * n), ibp, n, ibp);
-        // Zero-padded dense copy of the chunk's triangle of V2; rows past
-        // the chunk's reach (min(p + ib, m2)) are untouched by the chunk.
-        let v2p = densify_triangle(v2.as_view(), p, ibp, vpanel);
-        let rlmax = v2p.rows();
-        // W = A1[p..p+ib, :] + V2_p^T A2.
-        for (j, wcol) in w.cols_mut().enumerate() {
-            wcol.copy_from_slice(&a1.col(j)[p..p + ibp]);
-        }
-        gemm_tn(&mut w, 1.0, v2p, a2.view(0, 0, rlmax, n));
-        apply_t_left(&mut w, tf.t().view(p, p, ibp, ibp), trans, aux);
+        // Structure-aware sweep on the transposed panel W = A1^T + A2^T V2_p
+        // (n x ib): the triangular V2 chunk is read in place — common
+        // prefix rows as a GEMM, ragged remainder as contiguous row-axpys
+        // through a transposed strip (see `tri_ctv`) — no densified copy.
+        // T applies from the right exactly as in `unmqr`.
+        let mut w = MatrixViewMut::new(grow(panel, ibp * n), n, ibp, n);
         for j in 0..n {
-            let wcol = w.col(j);
-            let acol = &mut a1.col_mut(j)[p..p + ibp];
-            for i in 0..ibp {
-                acol[i] -= wcol[i];
+            let acol = a1.col(j);
+            for kk in 0..ibp {
+                w.set(j, kk, acol[p + kk]);
             }
         }
-        let mut av = a2.as_view_mut();
-        let mut ap = av.submatrix_mut(0, 0, rlmax, n);
-        gemm_nn(&mut ap, -1.0, v2p, w.as_view());
+        tri_ctv(v2.as_view(), p, ibp, a2.as_view(), &mut w, gemm, aux);
+        apply_t_right(
+            &mut w,
+            tf.t().view(p, p, ibp, ibp),
+            matches!(trans, Trans::NoTranspose),
+        );
+        for j in 0..n {
+            let acol = a1.col_mut(j);
+            for kk in 0..ibp {
+                acol[p + kk] -= w.get(j, kk);
+            }
+        }
+        tri_cvwt(
+            v2.as_view(),
+            p,
+            ibp,
+            w.as_view(),
+            &mut a2.as_view_mut(),
+            gemm,
+            aux,
+        );
     }
 }
 

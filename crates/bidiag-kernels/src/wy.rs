@@ -13,15 +13,25 @@
 //!
 //! instead of `k` rank-one updates.  This module provides:
 //!
-//! * [`TFactor`] — the `tau` scalars plus the `T` matrix of one
-//!   factorization kernel (what tau stores now carry per tile),
-//! * [`Workspace`] — reusable scratch (the `W` panel and an auxiliary
-//!   buffer) so the apply kernels allocate nothing in steady state (the
-//!   factorization kernels still allocate the [`TFactor`] they return),
-//! * the `T` application routines and the structured-`V` panel products
-//!   (trapezoid for GEQRT-style `V`, triangular for TTQRT-style `V`, and
-//!   their row-wise LQ duals) used internally by [`crate::qr`] and
-//!   [`crate::lq`].
+//! * [`TFactor`] — the `tau` scalars plus the *`IB`-block-diagonal* of the
+//!   `T` matrix of one factorization kernel (what tau stores carry per
+//!   tile).  The apply kernels consume `T` exclusively through its `IB x IB`
+//!   diagonal blocks — chunking through the diagonal blocks of a forward
+//!   `larft` factor is an exact regrouping of the reflector product — so
+//!   the off-diagonal blocks are never materialised and the `larft`
+//!   recurrence runs chunk-locally (`O(k * IB)` dots instead of `O(k^2)`).
+//! * [`Workspace`] — reusable scratch (the `W` panel, an auxiliary buffer
+//!   and the GEMM pack buffers) so the apply kernels allocate nothing in
+//!   steady state (the factorization kernels still allocate the
+//!   [`TFactor`] they return),
+//! * the `T` application routines (trmm-style triangular sweeps, never a
+//!   dense product) and the structure-aware `V` panel products: fused
+//!   trapezoid sweeps for GEQRT-style `V` (`trap_ctv` / `trap_cvwt`,
+//!   LAPACK `xLARFB`'s transposed-`W` scheme), fused triangle sweeps for
+//!   TTQRT-style `V` (`tri_ctv` / `tri_cvwt`) and their row-wise LQ
+//!   duals — each splits the structured top of the panel into an exact
+//!   trmm-style sweep of contiguous axpys and hands the dense remainder to
+//!   [`bidiag_matrix::gemm`], instead of densifying `V` into scratch.
 //!
 //! Every inner loop runs down a contiguous column slice, and the middle
 //! loops are unrolled four-wide so one pass over the shared operand feeds
@@ -29,7 +39,7 @@
 //! [`bidiag_matrix::gemm`]).
 
 use crate::qr::Trans;
-use bidiag_matrix::gemm::dot as fdot;
+use bidiag_matrix::gemm::{dot as fdot, gemm_nt_scratch, gemm_tn_scratch, GemmScratch};
 use bidiag_matrix::{Matrix, MatrixView, MatrixViewMut};
 
 /// Inner blocking factor of the apply kernels (PLASMA's `ib`): reflectors
@@ -38,11 +48,13 @@ use bidiag_matrix::{Matrix, MatrixView, MatrixViewMut};
 /// `T` are exactly the larft factors of the chunk's reflectors alone, so
 /// chunking is an exact regrouping — it cuts the `T`-application overhead
 /// from `k^2 n` to `k * IB * n` flops and turns the bulk of the structured
-/// panel products into dense GEMM calls.  Both the `T`-application flops and
-/// the zero-padding waste of the densified panels scale linearly with `IB`,
-/// so smaller is cheaper until per-chunk overheads dominate; 8 measured
-/// fastest on the `kernels` bench sweep (vs 6/10/12) and divides the
-/// reference `nb = 64` evenly.
+/// panel products into dense GEMM calls.  The `T`-application flops, the
+/// chunk-local `larft` dots and the trmm sweeps of the structured panels
+/// all scale linearly with `IB`, so smaller is cheaper until per-chunk
+/// overheads dominate; 8 measured fastest on the `kernels` bench sweep
+/// (vs 6/10/12 in the densified-panel era, re-validated against 16 after
+/// the structure-aware rewrite) and divides the reference `nb = 64`
+/// evenly.
 pub(crate) const IB: usize = 8;
 
 /// Iterate the reflector chunks of a `k`-reflector apply in the order the
@@ -60,57 +72,236 @@ pub(crate) fn chunk_order(k: usize, trans: Trans) -> impl Iterator<Item = (usize
     })
 }
 
-/// Densify one chunk of a GEQRT-style unit-lower-trapezoid `V` into a
-/// zero-padded `(m - p) x ib` column-major panel: column `kk` gets zeros
-/// above the diagonal, an explicit `1` on it, and the stored vector tail
-/// below.  The `O(ib^2)` padding lets the apply kernels run the whole
-/// chunk as fixed-length dense GEMMs instead of ragged triangular sweeps.
-pub(crate) fn densify_trapezoid<'a>(
+/// `W = C[p.., :]^T V_p` for one `IB`-chunk of a GEQRT-style
+/// unit-lower-trapezoid `V`, into the *transposed* `n x ib` panel `w`
+/// (LAPACK `xLARFB`'s `WORK` layout).  The transposed layout is what makes
+/// the structure-aware path fast: the chunk's unit-lower-triangular top
+/// becomes a trmm-style sweep of *contiguous length-`n` axpys*
+/// (`W[:, kk] += v[p+i, p+kk] * W[:, i]`), and the dense rows below it one
+/// GEMM — `V` is read in place, never densified, and no zero-padded flop
+/// is spent.  Overwrites `w`.
+pub(crate) fn trap_ctv(
     v: MatrixView<'_>,
     p: usize,
     ibp: usize,
-    buf: &'a mut Vec<f64>,
-) -> MatrixView<'a> {
+    c: MatrixView<'_>,
+    w: &mut MatrixViewMut<'_>,
+    gemm: &mut GemmScratch,
+) {
     let m = v.rows();
-    let rows = m - p;
-    let out = grow(buf, rows * ibp);
-    for kk in 0..ibp {
-        let src = v.col(p + kk);
-        let dst = &mut out[kk * rows..(kk + 1) * rows];
-        dst[..kk].fill(0.0);
-        dst[kk] = 1.0;
-        dst[kk + 1..].copy_from_slice(&src[p + kk + 1..]);
+    debug_assert_eq!(c.rows(), m);
+    debug_assert!(w.cols() == ibp && p + ibp <= m);
+    let n = c.cols();
+    // W = C1^T: column kk of W is row p + kk of C.
+    for j in 0..n {
+        let ccol = c.col(j);
+        for kk in 0..ibp {
+            w.set(j, kk, ccol[p + kk]);
+        }
     }
-    MatrixView::new(out, rows, ibp, rows)
+    // W := W * V1 (V1 the ib x ib unit-lower-triangular top): ascending kk
+    // reads only not-yet-updated columns i > kk.
+    for kk in 0..ibp {
+        let vcol = v.col(p + kk);
+        let (mut head, tail) = w.split_cols_at_mut(kk + 1);
+        let wk = head.col_mut(kk);
+        for i in kk + 1..ibp {
+            let s = vcol[p + i];
+            if s != 0.0 {
+                let wi = tail.col(i - kk - 1);
+                for (x, &y) in wk.iter_mut().zip(wi) {
+                    *x += s * y;
+                }
+            }
+        }
+    }
+    // W += C2^T V2 (dense rows below the trapezoid's triangle).
+    let r = m - p - ibp;
+    if r > 0 {
+        gemm_tn_scratch(
+            w,
+            1.0,
+            c.submatrix(p + ibp, 0, r, n),
+            v.submatrix(p + ibp, p, r, ibp),
+            gemm,
+        );
+    }
 }
 
-/// Densify one chunk of a TTQRT-style upper-triangular `V` into a
-/// zero-padded `min(p + ib, m2) x ib` panel: column `kk` keeps its stored
-/// prefix of length `min(p + kk + 1, m2)` and zeros below — whatever the
-/// tile holds outside the triangle (typically an earlier GEQRT's vectors)
-/// is never read.
-pub(crate) fn densify_triangle<'a>(
+/// `C[p.., :] -= V_p W^T` for the same unit-lower-trapezoid chunk and
+/// transposed `n x ib` panel as [`trap_ctv`]: dense bottom as one GEMM
+/// (using `W` as-is), then the triangular top as the trmm sweep
+/// `W := W V1^T` followed by a row subtraction.  Consumes `w`.
+pub(crate) fn trap_cvwt(
     v: MatrixView<'_>,
     p: usize,
     ibp: usize,
-    buf: &'a mut Vec<f64>,
-) -> MatrixView<'a> {
-    let m2 = v.rows();
-    let rows = (p + ibp).min(m2);
-    let out = grow(buf, rows * ibp);
-    for kk in 0..ibp {
-        let rl = (p + kk + 1).min(m2);
-        let src = v.col(p + kk);
-        let dst = &mut out[kk * rows..(kk + 1) * rows];
-        dst[..rl].copy_from_slice(&src[..rl]);
-        dst[rl..].fill(0.0);
+    w: &mut MatrixViewMut<'_>,
+    c: &mut MatrixViewMut<'_>,
+    gemm: &mut GemmScratch,
+) {
+    let m = v.rows();
+    debug_assert_eq!(c.rows(), m);
+    debug_assert!(w.cols() == ibp && p + ibp <= m);
+    let n = c.cols();
+    // C2 -= V2 W^T first: the GEMM must see W before the trmm rewrites it.
+    let r = m - p - ibp;
+    if r > 0 {
+        let mut cb = c.submatrix_mut(p + ibp, 0, r, n);
+        gemm_nt_scratch(
+            &mut cb,
+            -1.0,
+            v.submatrix(p + ibp, p, r, ibp),
+            w.as_view(),
+            gemm,
+        );
     }
-    MatrixView::new(out, rows, ibp, rows)
+    // W := W * V1^T: descending kk reads only original columns i < kk.
+    for kk in (0..ibp).rev() {
+        let (head, mut tail) = w.split_cols_at_mut(kk);
+        let wk = tail.col_mut(0);
+        for i in 0..kk {
+            let s = v.get(p + kk, p + i);
+            if s != 0.0 {
+                let wi = head.col(i);
+                for (x, &y) in wk.iter_mut().zip(wi) {
+                    *x += s * y;
+                }
+            }
+        }
+    }
+    // C1 -= W^T: row p + kk of C gets column kk of W.
+    for j in 0..n {
+        let ccol = c.col_mut(j);
+        for kk in 0..ibp {
+            ccol[p + kk] -= w.get(j, kk);
+        }
+    }
+}
+
+/// `W += C2^T V2_p` for one `IB`-chunk of a TTQRT-style upper-triangular
+/// `V2` into the transposed `n x ib` panel `w` (column `kk` of the chunk
+/// has its stored prefix of length `min(p + kk + 1, m2)`; whatever the
+/// tile holds below the triangle — typically an earlier GEQRT's vectors —
+/// is never read).  The common prefix rows `0..min(p, m2)` run as one
+/// dense GEMM; the ragged triangular remainder first transposes the
+/// `<= ib` touched `C2` rows into `aux` (an L1-resident strip) so the
+/// per-reflector updates are contiguous length-`n` axpys, not strided
+/// gathers.  `w` must already hold the `C1` contribution.
+pub(crate) fn tri_ctv(
+    v2: MatrixView<'_>,
+    p: usize,
+    ibp: usize,
+    c: MatrixView<'_>,
+    w: &mut MatrixViewMut<'_>,
+    gemm: &mut GemmScratch,
+    aux: &mut Vec<f64>,
+) {
+    let m2 = v2.rows();
+    debug_assert_eq!(c.rows(), m2);
+    debug_assert!(w.cols() == ibp);
+    let n = c.cols();
+    let rl0 = p.min(m2);
+    if rl0 > 0 {
+        gemm_tn_scratch(
+            w,
+            1.0,
+            c.submatrix(0, 0, rl0, n),
+            v2.submatrix(0, p, rl0, ibp),
+            gemm,
+        );
+    }
+    let rmax = (p + ibp).min(m2);
+    if rmax > rl0 {
+        let nrows = rmax - rl0;
+        // strip row i (contiguous, length n) = C2 row rl0 + i.
+        let strip = grow(aux, nrows * n);
+        for j in 0..n {
+            let ccol = c.col(j);
+            for i in 0..nrows {
+                strip[i * n + j] = ccol[rl0 + i];
+            }
+        }
+        for kk in 0..ibp {
+            let rl = (p + kk + 1).min(m2);
+            let vcol = v2.col(p + kk);
+            let wk = w.col_mut(kk);
+            for i in rl0..rl {
+                let s = vcol[i];
+                if s != 0.0 {
+                    let row = &strip[(i - rl0) * n..(i - rl0) * n + n];
+                    for (x, &y) in wk.iter_mut().zip(row) {
+                        *x += s * y;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C2 -= V2_p W^T` for the same upper-triangular chunk and transposed
+/// panel as [`tri_ctv`]: dense prefix as one GEMM, ragged remainder
+/// accumulated into the transposed `aux` strip with contiguous axpys and
+/// folded back into the `C2` rows afterwards.
+pub(crate) fn tri_cvwt(
+    v2: MatrixView<'_>,
+    p: usize,
+    ibp: usize,
+    w: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    gemm: &mut GemmScratch,
+    aux: &mut Vec<f64>,
+) {
+    let m2 = v2.rows();
+    debug_assert_eq!(c.rows(), m2);
+    debug_assert!(w.cols() == ibp);
+    let n = c.cols();
+    let rl0 = p.min(m2);
+    if rl0 > 0 {
+        let mut cb = c.submatrix_mut(0, 0, rl0, n);
+        gemm_nt_scratch(&mut cb, -1.0, v2.submatrix(0, p, rl0, ibp), w, gemm);
+    }
+    let rmax = (p + ibp).min(m2);
+    if rmax > rl0 {
+        let nrows = rmax - rl0;
+        // strip row i accumulates the update of C2 row rl0 + i.
+        let strip = grow(aux, nrows * n);
+        strip[..nrows * n].fill(0.0);
+        for kk in 0..ibp {
+            let rl = (p + kk + 1).min(m2);
+            let vcol = v2.col(p + kk);
+            let wk = w.col(kk);
+            for i in rl0..rl {
+                let s = vcol[i];
+                if s != 0.0 {
+                    let row = &mut strip[(i - rl0) * n..(i - rl0) * n + n];
+                    for (x, &y) in row.iter_mut().zip(wk) {
+                        *x += s * y;
+                    }
+                }
+            }
+        }
+        for (j, ccol) in c.cols_mut().enumerate() {
+            for i in 0..nrows {
+                ccol[rl0 + i] -= strip[i * n + j];
+            }
+        }
+    }
 }
 
 /// The compact-WY representation of one factorization kernel's reflectors:
-/// the `tau` scalars and the upper-triangular `T` such that
-/// `H_0 ... H_{k-1} = I - V T V^T`.
+/// the `tau` scalars and the `IB`-block-diagonal of the upper-triangular
+/// `T` such that `H_0 ... H_{k-1} = I - V T V^T`.
+///
+/// Only the `IB x IB` diagonal blocks of `T` are stored (the off-diagonal
+/// entries of [`t`](TFactor::t) are zero): because `T` is upper
+/// triangular, rows `k0..k` of its `larft` column recurrence only involve
+/// columns `k0..k`, so each diagonal block equals the `larft` factor of
+/// its chunk's reflectors alone — exactly what the `IB`-chunked apply
+/// kernels consume.  Skipping the off-diagonal blocks turns the `O(k^2)`
+/// reflector-dot sweep per column into an `O(IB)` one and is what makes
+/// the triangle-on-triangle factorizations (TTQRT/TTLQT) cheaper than
+/// their unblocked references.
 ///
 /// `tau[i] == T[(i, i)]`; the scalars are kept alongside `T` so the
 /// unblocked reference kernels (and diagnostics like
@@ -153,31 +344,40 @@ impl TFactor {
         &self.taus
     }
 
-    /// The upper-triangular `T` matrix.
+    /// The `IB`-block-diagonal of the upper-triangular `T` matrix (see the
+    /// type-level docs: off-diagonal blocks are identically zero and never
+    /// consumed).
     pub fn t(&self) -> &Matrix {
         &self.t
     }
 
-    /// Append reflector `k` (its `tau` and the dot products
-    /// `vdots[l] = v_l^T v_k`, `l < k`) to the factor; see [`larft_append`].
+    /// Chunk start of reflector `k`: the first reflector of its `IB`-chunk.
+    #[inline]
+    pub(crate) fn chunk_start(k: usize) -> usize {
+        k - (k % IB)
+    }
+
+    /// Append reflector `k` (its `tau` and the chunk-local dot products
+    /// `vdots[l - k0] = v_l^T v_k` for `l in k0..k`, where
+    /// `k0 = chunk_start(k)`) to the factor; see [`larft_append`].
     pub(crate) fn append(&mut self, tau: f64, vdots: &[f64]) {
         let k = self.taus.len();
-        larft_append(&mut self.t, k, tau, vdots);
+        larft_append(&mut self.t, Self::chunk_start(k), k, tau, vdots);
         self.taus.push(tau);
     }
 }
 
 /// Reusable scratch of the blocked kernels: the `W` panel of the three-GEMM
-/// apply and an auxiliary buffer (reflector dot products during
-/// factorization, `T` transposes during `NoTranspose` applies).  Buffers
-/// grow on first use and are reused afterwards, so a long-lived workspace —
-/// one per runtime worker — makes the kernels allocation-free in steady
-/// state.
+/// apply, an auxiliary buffer (reflector dot products during factorization,
+/// `T` transposes during `NoTranspose` applies) and the pack buffers of the
+/// packed GEMM path.  Buffers grow on first use and are reused afterwards,
+/// so a long-lived workspace — one per runtime worker — makes the kernels
+/// allocation-free in steady state.
 #[derive(Default, Debug)]
 pub struct Workspace {
     panel: Vec<f64>,
     aux: Vec<f64>,
-    vpanel: Vec<f64>,
+    gemm: GemmScratch,
 }
 
 impl Workspace {
@@ -186,10 +386,23 @@ impl Workspace {
         Self::default()
     }
 
-    /// The three scratch buffers (`W` panel, auxiliary, densified-`V`
-    /// panel), split so they can be borrowed independently.
-    pub(crate) fn bufs(&mut self) -> (&mut Vec<f64>, &mut Vec<f64>, &mut Vec<f64>) {
-        (&mut self.panel, &mut self.aux, &mut self.vpanel)
+    /// Workspace pre-sized for tiles up to `nb x nb`: the `W` panel, the
+    /// auxiliary buffer (large enough for the `T` transpose, the chunk
+    /// vdots and the `IB x nb` triangle strip of `tri_ctv`/`tri_cvwt`) and
+    /// the GEMM pack buffers are allocated up front, so the first kernel
+    /// call is as allocation-free as the steady state.
+    pub fn for_tile(nb: usize) -> Self {
+        Workspace {
+            panel: vec![0.0; IB * nb.max(1)],
+            aux: vec![0.0; (IB * IB).max(IB * nb)],
+            gemm: GemmScratch::for_tile(nb),
+        }
+    }
+
+    /// The scratch buffers (`W` panel, auxiliary, GEMM pack scratch), split
+    /// so they can be borrowed independently.
+    pub(crate) fn bufs(&mut self) -> (&mut Vec<f64>, &mut Vec<f64>, &mut GemmScratch) {
+        (&mut self.panel, &mut self.aux, &mut self.gemm)
     }
 }
 
@@ -201,22 +414,29 @@ pub(crate) fn grow(v: &mut Vec<f64>, len: usize) -> &mut [f64] {
     &mut v[..len]
 }
 
-/// Append column `k` to the forward compact-WY factor `t` (LAPACK `xLARFT`
-/// column recurrence): `T[0..k, k] = -tau * T[0..k, 0..k] * vdots` and
-/// `T[k, k] = tau`, where `vdots[l] = v_l^T v_k`.
-pub(crate) fn larft_append(t: &mut Matrix, k: usize, tau: f64, vdots: &[f64]) {
-    debug_assert!(vdots.len() >= k);
+/// Append column `k` to the forward compact-WY factor `t`, restricted to
+/// the `IB`-diagonal block starting at `k0` (LAPACK `xLARFT` column
+/// recurrence): `T[k0..k, k] = -tau * T[k0..k, k0..k] * vdots` and
+/// `T[k, k] = tau`, where `vdots[l - k0] = v_l^T v_k` for `l in k0..k`.
+///
+/// The restriction is exact for the block-diagonal of the full factor:
+/// `T` is upper triangular, so rows `k0..k` of the full recurrence
+/// `T[0..k, k] = -tau * T[0..k, 0..k] * vdots_full` read zeros from every
+/// column below `k0` — the chunk-local recurrence reproduces the diagonal
+/// block of the full `larft` bit for bit.
+pub(crate) fn larft_append(t: &mut Matrix, k0: usize, k: usize, tau: f64, vdots: &[f64]) {
+    debug_assert!(k0 <= k && vdots.len() >= k - k0);
     let mut tv = t.as_view_mut();
     let (head, mut tail) = tv.split_cols_at_mut(k);
     let tcol = tail.col_mut(0);
-    for x in tcol[..k].iter_mut() {
+    for x in tcol[k0..k].iter_mut() {
         *x = 0.0;
     }
-    for (c, &vd) in vdots[..k].iter().enumerate() {
+    for (c, &vd) in vdots[..k - k0].iter().enumerate() {
         let s = -tau * vd;
         if s != 0.0 {
-            let hcol = head.col(c);
-            for l in 0..=c {
+            let hcol = head.col(k0 + c);
+            for l in k0..=(k0 + c) {
                 tcol[l] += s * hcol[l];
             }
         }
@@ -498,9 +718,9 @@ mod tests {
         }
         let (tau0, tau1) = (0.7, 1.2);
         let mut t = Matrix::zeros(2, 2);
-        larft_append(&mut t, 0, tau0, &[]);
+        larft_append(&mut t, 0, 0, tau0, &[]);
         let vdot = (0..m).map(|i| vm.get(i, 0) * vm.get(i, 1)).sum::<f64>();
-        larft_append(&mut t, 1, tau1, &[vdot]);
+        larft_append(&mut t, 0, 1, tau1, &[vdot]);
 
         let h = |tau: f64, col: usize| -> Matrix {
             Matrix::from_fn(m, m, |i, j| {
@@ -513,6 +733,64 @@ mod tests {
             (if i == j { 1.0 } else { 0.0 }) - vtv.get(i, j)
         });
         assert!(prod.sub(&wy).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn chunk_local_larft_matches_the_diagonal_blocks_of_the_full_factor() {
+        // Build a full forward larft T with a local reference recurrence
+        // from synthetic V columns spanning two IB-chunks, then check the
+        // chunk-local recurrence reproduces its diagonal blocks exactly.
+        let k = IB + 3;
+        let m = k + 5;
+        let v = {
+            let g = random_gaussian(m, k, 17);
+            // Unit-lower-trapezoid V like a factored tile stores.
+            Matrix::from_fn(m, k, |i, j| {
+                if i == j {
+                    1.0
+                } else if i > j {
+                    g.get(i, j)
+                } else {
+                    0.0
+                }
+            })
+        };
+        let taus: Vec<f64> = (0..k).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let vdot = |a: usize, b: usize| fdot(v.col(a), v.col(b));
+
+        // Full (dense upper-triangular) reference recurrence.
+        let mut tfull = Matrix::zeros(k, k);
+        for (kk, &tau) in taus.iter().enumerate() {
+            for l in 0..kk {
+                let mut s = 0.0;
+                for c in l..kk {
+                    s += tfull.get(l, c) * vdot(c, kk);
+                }
+                tfull.set(l, kk, -tau * s);
+            }
+            tfull.set(kk, kk, tau);
+        }
+
+        // Chunk-local recurrence (what TFactor::append runs).
+        let mut tblk = Matrix::zeros(k, k);
+        for (kk, &tau) in taus.iter().enumerate() {
+            let k0 = TFactor::chunk_start(kk);
+            let vd: Vec<f64> = (k0..kk).map(|l| vdot(l, kk)).collect();
+            larft_append(&mut tblk, k0, kk, tau, &vd);
+        }
+
+        for kk in 0..k {
+            let k0 = TFactor::chunk_start(kk);
+            for l in 0..k {
+                if l >= k0 && l <= kk {
+                    let d = (tblk.get(l, kk) - tfull.get(l, kk)).abs();
+                    let tol = 1e-12 * (1.0 + tfull.get(l, kk).abs());
+                    assert!(d < tol, "diag-block entry ({l}, {kk}) differs by {d}");
+                } else {
+                    assert_eq!(tblk.get(l, kk), 0.0, "off-block entry ({l}, {kk}) set");
+                }
+            }
+        }
     }
 
     #[test]

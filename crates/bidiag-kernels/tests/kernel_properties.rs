@@ -8,7 +8,11 @@
 //! * exhaustive blocked-vs-unblocked equivalence: every blocked compact-WY
 //!   tile kernel must match its unblocked reference to `1e-13` (relative)
 //!   on square, tall, wide and ragged last-tile shapes for
-//!   `nb in {1, 3, 5, 64}`.
+//!   `nb in {1, 3, 5, 8, 9, 17, 64}` — the sizes straddling the `IB = 8`
+//!   chunk boundaries (8, 9, 17) pin the fused chunk-local `T` build and
+//!   the structure-aware trapezoid/triangle sweeps of the TT kernels
+//!   against the reflector-by-reflector oracles exactly where an
+//!   off-by-one in the chunking would surface.
 
 use bidiag_kernels::givens::givens;
 use bidiag_kernels::householder::larfg;
@@ -28,8 +32,9 @@ use bidiag_matrix::gen::random_gaussian;
 use bidiag_matrix::Matrix;
 use proptest::prelude::*;
 
-/// Tile sizes exercised by the blocked-vs-unblocked sweeps.
-const NBS: [usize; 4] = [1, 3, 5, 64];
+/// Tile sizes exercised by the blocked-vs-unblocked sweeps; 8/9/17
+/// straddle the `IB = 8` chunk boundaries of the fused kernels.
+const NBS: [usize; 7] = [1, 3, 5, 8, 9, 17, 64];
 /// Matching tolerance (relative) between blocked and unblocked results.
 const TOL: f64 = 1e-13;
 

@@ -46,6 +46,50 @@ pub fn singular_values_match(s1: &[f64], s2: &[f64], tol: f64) -> bool {
     singular_value_error(s1, s2) <= tol
 }
 
+/// Whether an operand of [`matmul_reference`] is transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefOp {
+    /// Use the operand as stored.
+    None,
+    /// Use the transpose of the operand.
+    Transpose,
+}
+
+/// Naive triple-loop `C += alpha * op(A) * op(B)` reference in the plainest
+/// possible index order — the oracle the packed/blocked GEMM paths are
+/// property-tested against.  Deliberately free of unrolling, views and
+/// accumulation tricks so a bug in the fast paths cannot be mirrored here.
+pub fn matmul_reference(
+    c: &mut Matrix,
+    alpha: f64,
+    a: &Matrix,
+    op_a: RefOp,
+    b: &Matrix,
+    op_b: RefOp,
+) {
+    let get_a = |i: usize, l: usize| match op_a {
+        RefOp::None => a.get(i, l),
+        RefOp::Transpose => a.get(l, i),
+    };
+    let get_b = |l: usize, j: usize| match op_b {
+        RefOp::None => b.get(l, j),
+        RefOp::Transpose => b.get(j, l),
+    };
+    let k = match op_a {
+        RefOp::None => a.cols(),
+        RefOp::Transpose => a.rows(),
+    };
+    for j in 0..c.cols() {
+        for i in 0..c.rows() {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += get_a(i, l) * get_b(l, j);
+            }
+            c.set(i, j, c.get(i, j) + alpha * s);
+        }
+    }
+}
+
 /// The upper triangle of `a` (diagonal included), zeros below — e.g. the
 /// `R` of a factored tile with the Householder vectors masked off.
 pub fn upper_triangle_of(a: &Matrix) -> Matrix {

@@ -8,8 +8,11 @@
 //! * [`view::MatrixView`] / [`view::MatrixViewMut`] — borrowed column-major
 //!   views (offset + leading dimension) that the blocked kernels address
 //!   tiles and workspace panels through without copying,
-//! * [`gemm`] — register-blocked `C += alpha * op(A) * op(B)` microkernels
-//!   (`NN`/`TN`/`NT`), the Level-3 substrate of the compact-WY apply kernels,
+//! * [`gemm`] — packed, cache-blocked `C += alpha * op(A) * op(B)` kernels
+//!   (`NN`/`TN`/`NT`): a BLIS-style three-level blocked path over an
+//!   `MR x NR` register microkernel above a size crossover, an in-place
+//!   register-blocked path below it — the Level-3 substrate of the
+//!   compact-WY apply kernels,
 //! * [`tiled::TiledMatrix`] — the `p x q` grid of `nb x nb` tiles on which the
 //!   tiled algorithms operate,
 //! * [`gen`] — LATMS-style generators of matrices with prescribed singular
@@ -32,6 +35,6 @@ pub mod view;
 pub use dense::Matrix;
 pub use dist::BlockCyclic;
 pub use gemm::{dot as fast_dot, dot4 as fast_dot4};
-pub use gemm::{gemm_nn, gemm_nt, gemm_tn};
+pub use gemm::{gemm_nn, gemm_nt, gemm_tn, GemmScratch};
 pub use tiled::{TileCoord, TiledMatrix};
 pub use view::{MatrixView, MatrixViewMut};

@@ -1,0 +1,156 @@
+//! Property tests of the GEMM layer: every path (dispatching, forced
+//! packed, forced unpacked) of every transpose variant must match the
+//! naive triple-loop reference to 1e-13 (relative) on a ragged shape
+//! sweep that straddles the microkernel (`MR`/`NR`), cache-block and
+//! dispatch-crossover boundaries.
+
+use bidiag_matrix::checks::{matmul_reference, RefOp};
+use bidiag_matrix::gemm::{
+    gemm_nn, gemm_nn_packed, gemm_nn_unpacked, gemm_nt, gemm_nt_packed, gemm_nt_unpacked, gemm_tn,
+    gemm_tn_packed, gemm_tn_unpacked, GemmScratch,
+};
+use bidiag_matrix::gen::random_gaussian;
+use bidiag_matrix::Matrix;
+
+/// Ragged sizes: 1 (degenerate), 3/7 (below every unroll), 31 (straddles
+/// MR/NR panels), 64 (reference tile size), 97 (above the crossover and
+/// not a multiple of anything).
+const SIZES: [usize; 6] = [1, 3, 7, 31, 64, 97];
+const TOL: f64 = 1e-13;
+
+fn rel_err(a: &Matrix, b: &Matrix) -> f64 {
+    let denom = a.norm_fro().max(f64::EPSILON);
+    a.sub(b).norm_fro() / denom
+}
+
+/// Reference `C += alpha * op(A) * op(B)` built from the naive triple loop.
+fn expected(c0: &Matrix, alpha: f64, a: &Matrix, op_a: RefOp, b: &Matrix, op_b: RefOp) -> Matrix {
+    let mut e = c0.clone();
+    matmul_reference(&mut e, alpha, a, op_a, b, op_b);
+    e
+}
+
+#[test]
+fn gemm_nn_matches_triple_loop_on_ragged_shapes() {
+    let mut scratch = GemmScratch::new();
+    for &m in &SIZES {
+        for &n in &SIZES {
+            for &k in &SIZES {
+                let a = random_gaussian(m, k, (m * 101 + k) as u64);
+                let b = random_gaussian(k, n, (n * 103 + k) as u64);
+                let c0 = random_gaussian(m, n, (m * 107 + n) as u64);
+                let want = expected(&c0, 1.5, &a, RefOp::None, &b, RefOp::None);
+
+                let mut c = c0.clone();
+                gemm_nn(&mut c.as_view_mut(), 1.5, a.as_view(), b.as_view());
+                assert!(rel_err(&want, &c) < TOL, "nn dispatch {m}x{n}x{k}");
+
+                let mut c = c0.clone();
+                gemm_nn_unpacked(&mut c.as_view_mut(), 1.5, a.as_view(), b.as_view());
+                assert!(rel_err(&want, &c) < TOL, "nn unpacked {m}x{n}x{k}");
+
+                let mut c = c0.clone();
+                gemm_nn_packed(
+                    &mut c.as_view_mut(),
+                    1.5,
+                    a.as_view(),
+                    b.as_view(),
+                    &mut scratch,
+                );
+                assert!(rel_err(&want, &c) < TOL, "nn packed {m}x{n}x{k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_tn_matches_triple_loop_on_ragged_shapes() {
+    let mut scratch = GemmScratch::new();
+    for &m in &SIZES {
+        for &n in &SIZES {
+            for &k in &SIZES {
+                // op(A) = A^T with A stored k x m.
+                let a = random_gaussian(k, m, (m * 109 + k) as u64);
+                let b = random_gaussian(k, n, (n * 113 + k) as u64);
+                let c0 = random_gaussian(m, n, (m * 127 + n) as u64);
+                let want = expected(&c0, -0.75, &a, RefOp::Transpose, &b, RefOp::None);
+
+                let mut c = c0.clone();
+                gemm_tn(&mut c.as_view_mut(), -0.75, a.as_view(), b.as_view());
+                assert!(rel_err(&want, &c) < TOL, "tn dispatch {m}x{n}x{k}");
+
+                let mut c = c0.clone();
+                gemm_tn_unpacked(&mut c.as_view_mut(), -0.75, a.as_view(), b.as_view());
+                assert!(rel_err(&want, &c) < TOL, "tn unpacked {m}x{n}x{k}");
+
+                let mut c = c0.clone();
+                gemm_tn_packed(
+                    &mut c.as_view_mut(),
+                    -0.75,
+                    a.as_view(),
+                    b.as_view(),
+                    &mut scratch,
+                );
+                assert!(rel_err(&want, &c) < TOL, "tn packed {m}x{n}x{k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_nt_matches_triple_loop_on_ragged_shapes() {
+    let mut scratch = GemmScratch::new();
+    for &m in &SIZES {
+        for &n in &SIZES {
+            for &k in &SIZES {
+                // op(B) = B^T with B stored n x k.
+                let a = random_gaussian(m, k, (m * 131 + k) as u64);
+                let b = random_gaussian(n, k, (n * 137 + k) as u64);
+                let c0 = random_gaussian(m, n, (m * 139 + n) as u64);
+                let want = expected(&c0, 2.0, &a, RefOp::None, &b, RefOp::Transpose);
+
+                let mut c = c0.clone();
+                gemm_nt(&mut c.as_view_mut(), 2.0, a.as_view(), b.as_view());
+                assert!(rel_err(&want, &c) < TOL, "nt dispatch {m}x{n}x{k}");
+
+                let mut c = c0.clone();
+                gemm_nt_unpacked(&mut c.as_view_mut(), 2.0, a.as_view(), b.as_view());
+                assert!(rel_err(&want, &c) < TOL, "nt unpacked {m}x{n}x{k}");
+
+                let mut c = c0.clone();
+                gemm_nt_packed(
+                    &mut c.as_view_mut(),
+                    2.0,
+                    a.as_view(),
+                    b.as_view(),
+                    &mut scratch,
+                );
+                assert!(rel_err(&want, &c) < TOL, "nt packed {m}x{n}x{k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_gemm_on_subviews_respects_leading_dimension() {
+    // Windows of a larger buffer (ld > rows) through the packed path: the
+    // pack routines must honour the view offsets and strides.
+    let mut scratch = GemmScratch::new();
+    let big_a = random_gaussian(120, 120, 7);
+    let big_b = random_gaussian(120, 120, 8);
+    let (m, n, k) = (97, 33, 41);
+    let a = big_a.block(11, 5, m, k);
+    let b = big_b.block(2, 19, k, n);
+    let c0 = random_gaussian(m, n, 9);
+    let want = expected(&c0, 1.0, &a, RefOp::None, &b, RefOp::None);
+
+    let mut c = c0.clone();
+    gemm_nn_packed(
+        &mut c.as_view_mut(),
+        1.0,
+        big_a.as_view().submatrix(11, 5, m, k),
+        big_b.as_view().submatrix(2, 19, k, n),
+        &mut scratch,
+    );
+    assert!(rel_err(&want, &c) < TOL);
+}
