@@ -9,21 +9,25 @@
 //! best-of-3 end-to-end GE2BND run plus a GE2VAL stage split on the
 //! ROADMAP reference case (768x512, nb = 64, GREEDY, BIDIAG, 1 thread).
 //!
-//! **Acceptance gate:** every blocked kernel must be at least as fast as
+//! **Acceptance gates:** every blocked kernel must be at least as fast as
 //! its unblocked reference at the measured tile size — the check that
-//! would have caught the PR 3 TTQRT/TTLQT regression.  The gate *asserts*
-//! (non-zero exit) in `--test` mode so CI enforces it.
+//! would have caught the PR 3 TTQRT/TTLQT regression — and the BD2VAL
+//! dqds solver must beat per-value bisection by at least 3x on the
+//! reference bidiagonal (n = 512).  Both gates *assert* (non-zero exit)
+//! in `--test` mode so CI enforces them.
 //!
 //! Results are emitted machine-readably to `BENCH_kernels.json` (fields:
 //! `name`, `nb`, `variant`, `ns_per_iter`, `gflops`), and the end-to-end
 //! numbers to the repo-top-level `BENCH.json` (machine info + per-stage
-//! GE2VAL split + the cross-PR history) — see BENCHMARKING.md.
+//! GE2VAL split + BD2VAL solver times + the cross-PR history) — see
+//! BENCHMARKING.md.
 //!
 //! Modes: no flag = full sweep; `--test` = CI gate (nb = 64 only, shorter
-//! rounds, JSON to a temp path, no end-to-end run); `--gemm-sweep` = only
-//! the packed-vs-unpacked GEMM crossover table.
+//! rounds, JSON to a temp path, no end-to-end run, but both acceptance
+//! gates); `--gemm-sweep` = only the packed-vs-unpacked GEMM crossover
+//! table; `--bd2val` = only the BD2VAL solver comparison.
 
-use bidiag_bench::{measure_ge2bnd_scaling, measure_ge2val_stages};
+use bidiag_bench::{measure_bd2val_solvers, measure_ge2bnd_scaling, measure_ge2val_stages};
 use bidiag_core::flops::bidiag_flops;
 use bidiag_kernels::cost::KernelKind;
 use bidiag_kernels::{lq, qr, Trans, Workspace};
@@ -392,6 +396,40 @@ fn check_kernel_acceptance(h: &Harness, nb: usize) -> Vec<String> {
     failures
 }
 
+/// BD2VAL solver comparison on the reference bidiagonal (the acceptance
+/// data of the `bidiag-svd` subsystem): prints the per-solver table and
+/// the dqds-vs-bisection speedup check, records the timings, and returns
+/// them for the gate/JSON writers.  The nominal GFlop/s rate uses the
+/// machine model's `30 n^2` BD2VAL operation count.
+fn bd2val_comparison(h: &mut Harness, samples: usize) -> bidiag_bench::Bd2ValTimings {
+    let t = measure_bd2val_solvers(768, 512, 64, samples);
+    let nominal = 30.0 * (t.n as f64) * (t.n as f64);
+    println!(
+        "# BD2VAL solvers on the reference bidiagonal, n={} (768x512 nb=64 pipeline; best of {samples})",
+        t.n
+    );
+    println!("solver\ttime_ms\tspeedup_vs_bisection");
+    for (name, secs) in [
+        ("bisection", t.bisection),
+        ("sliced", t.sliced),
+        ("dqds", t.dqds),
+    ] {
+        println!("{name}\t{:.2}\t{:.2}x", secs * 1.0e3, t.bisection / secs);
+        h.records.push(Record {
+            name: "bd2val_n512",
+            nb: 64,
+            variant: name,
+            ns_per_iter: secs * 1.0e9,
+            gflops: nominal / secs / 1.0e9,
+        });
+    }
+    println!(
+        "# dqds iteration profile: {} passes, {} flips, {} fallback values",
+        t.dqds_stats.passes, t.dqds_stats.flips, t.dqds_stats.fallback_values
+    );
+    t
+}
+
 /// Best-effort CPU model name (Linux /proc/cpuinfo).
 fn cpu_model() -> String {
     std::fs::read_to_string("/proc/cpuinfo")
@@ -424,21 +462,38 @@ fn write_json(path: &std::path::Path, records: &[Record]) {
 }
 
 /// Write the top-level BENCH.json: end-to-end numbers on the reference
-/// case, the machine they were measured on, and the cross-PR trajectory.
-fn write_top_level_bench(ge2bnd_ms: f64, stages: &bidiag_bench::StageTimes) {
+/// case, the BD2VAL solver comparison, the machine they were measured on,
+/// and the cross-PR trajectory (GE2BND plus, from PR 4 on, the BD2VAL
+/// stage time the singular-value subsystem was built to attack).
+fn write_top_level_bench(
+    ge2bnd_ms: f64,
+    stages: &bidiag_bench::StageTimes,
+    bd2val: &bidiag_bench::Bd2ValTimings,
+) {
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let history: &[(&str, f64)] = &[
-        ("PR 2: work-stealing runtime (pre-blocked kernels)", 173.7),
-        ("PR 3: compact-WY blocked tile kernels", 94.2),
+    let history: &[(&str, f64, Option<f64>)] = &[
+        (
+            "PR 2: work-stealing runtime (pre-blocked kernels)",
+            173.7,
+            None,
+        ),
+        ("PR 3: compact-WY blocked tile kernels", 94.2, None),
         (
             "PR 4: packed GEMM + structure-aware WY + fused TT",
+            72.8,
+            Some(227.2),
+        ),
+        (
+            "PR 5: bidiag-svd subsystem (dqds + spectrum slicing)",
             ge2bnd_ms,
+            Some(stages.bd2val * 1.0e3),
         ),
     ];
     let mut hist = String::new();
-    for (i, (label, ms)) in history.iter().enumerate() {
+    for (i, (label, ms, bd)) in history.iter().enumerate() {
+        let bd_field = bd.map_or(String::new(), |v| format!(", \"bd2val_ms\": {v:.1}"));
         hist.push_str(&format!(
-            "    {{\"label\": \"{label}\", \"ge2bnd_ms\": {ms:.1}}}{}\n",
+            "    {{\"label\": \"{label}\", \"ge2bnd_ms\": {ms:.1}{bd_field}}}{}\n",
             if i + 1 < history.len() { "," } else { "" }
         ));
     }
@@ -460,7 +515,15 @@ fn write_top_level_bench(ge2bnd_ms: f64, stages: &bidiag_bench::StageTimes) {
     "total_ms": {total:.1},
     "ge2bnd_ms": {s1:.1},
     "bnd2bd_ms": {s2:.1},
-    "bd2val_ms": {s3:.1}
+    "bd2val_ms": {s3:.1},
+    "bd2val_solver": "dqds"
+  }},
+  "bd2val_solvers": {{
+    "n": {bn},
+    "bisection_ms": {bb:.2},
+    "sliced_ms": {bs:.2},
+    "dqds_ms": {bq:.2},
+    "dqds_speedup_vs_bisection": {bx:.2}
   }},
   "history": [
 {hist}  ]
@@ -473,6 +536,11 @@ fn write_top_level_bench(ge2bnd_ms: f64, stages: &bidiag_bench::StageTimes) {
         s1 = stages.ge2bnd * 1.0e3,
         s2 = stages.bnd2bd * 1.0e3,
         s3 = stages.bd2val * 1.0e3,
+        bn = bd2val.n,
+        bb = bd2val.bisection * 1.0e3,
+        bs = bd2val.sliced * 1.0e3,
+        bq = bd2val.dqds * 1.0e3,
+        bx = bd2val.bisection / bd2val.dqds,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH.json");
     std::fs::write(&path, out).expect("writing BENCH.json");
@@ -482,6 +550,7 @@ fn write_top_level_bench(ge2bnd_ms: f64, stages: &bidiag_bench::StageTimes) {
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     let sweep_only = std::env::args().any(|a| a == "--gemm-sweep");
+    let bd2val_only = std::env::args().any(|a| a == "--bd2val");
     let (nbs, rounds, min_round_secs): (&[usize], usize, f64) = if test_mode {
         // CI gate: one realistic tile size, short but real rounds — enough
         // to expose a kernel running slower than its reference.
@@ -497,6 +566,10 @@ fn main() {
 
     if sweep_only {
         gemm_sweep(&mut h);
+        return;
+    }
+    if bd2val_only {
+        bd2val_comparison(&mut h, 3);
         return;
     }
 
@@ -551,6 +624,26 @@ fn main() {
         );
     }
 
+    // BD2VAL acceptance: the dqds fast path must beat the per-value
+    // bisection oracle by >= 3x on the reference bidiagonal (n = 512).
+    // Asserted in --test mode so CI catches a fast-path regression; the
+    // margin is wide (>= 10x on the reference host) so scheduler noise
+    // cannot flip the gate.
+    let bd2val = bd2val_comparison(&mut h, if test_mode { 2 } else { 3 });
+    let dqds_speedup = bd2val.bisection / bd2val.dqds;
+    let verdict = if dqds_speedup >= 3.0 { "PASS" } else { "FAIL" };
+    println!(
+        "# check: bd2val dqds >= 3x per-value bisection @ n={}: {dqds_speedup:.2}x [{verdict}]",
+        bd2val.n
+    );
+    if test_mode {
+        assert!(
+            dqds_speedup >= 3.0,
+            "bd2val acceptance: dqds only {dqds_speedup:.2}x over per-value bisection at n={}",
+            bd2val.n
+        );
+    }
+
     if !test_mode {
         gemm_sweep(&mut h);
 
@@ -594,7 +687,7 @@ fn main() {
             stages.bnd2bd * 1.0e3,
             stages.bd2val * 1.0e3
         );
-        write_top_level_bench(secs * 1.0e3, &stages);
+        write_top_level_bench(secs * 1.0e3, &stages, &bd2val);
     }
 
     let path = if test_mode {

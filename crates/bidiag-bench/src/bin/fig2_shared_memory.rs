@@ -156,7 +156,9 @@ fn panel_stage_breakdown() {
         ],
     ];
     print_tsv(
-        &format!("Fig 2 extra: measured GE2VAL stage breakdown, {m}x{n} nb={nb} (best of 3)"),
+        &format!(
+            "Fig 2 extra: measured GE2VAL stage breakdown, {m}x{n} nb={nb} (best of 3; BD2VAL = dqds)"
+        ),
         &["stage", "time_ms", "share"],
         &rows,
     );

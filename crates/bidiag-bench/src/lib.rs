@@ -278,14 +278,17 @@ impl StageTimes {
 /// with a geometric spectrum, cond 1e4, seed 7).  Runs the full pipeline
 /// `samples` times and returns the split of the run with the best total, so
 /// the three numbers are a consistent snapshot of one run rather than a mix
-/// of per-stage minima.
+/// of per-stage minima.  BD2VAL runs the *production* solver (the
+/// [`bidiag_svd::Bd2ValOptions`] default, i.e. dqds), exactly what
+/// `ge2val` executes — solver-vs-solver comparisons live in
+/// [`measure_bd2val_solvers`].
 ///
 /// This is the breakdown that picks the next perf target: once GE2BND stops
 /// dominating, BND2BD (the serial bulge-chasing stage, exactly as in the
 /// paper) is the wall to attack next.
 pub fn measure_ge2val_stages(m: usize, n: usize, nb: usize, samples: usize) -> StageTimes {
     use bidiag_core::pipeline::{ge2bnd, AlgorithmChoice, Ge2Options};
-    use bidiag_kernels::svd::bidiagonal_singular_values;
+    use bidiag_svd::{singular_values_with, Bd2ValOptions};
     use std::time::Instant;
 
     let (a, _) = bidiag_matrix::gen::latms(
@@ -316,7 +319,7 @@ pub fn measure_ge2val_stages(m: usize, n: usize, nb: usize, samples: usize) -> S
         let t_bnd2bd = t1.elapsed().as_secs_f64();
 
         let t2 = Instant::now();
-        let sv = bidiagonal_singular_values(&bidiag.diag, &bidiag.superdiag);
+        let sv = singular_values_with(&bidiag.diag, &bidiag.superdiag, &Bd2ValOptions::default());
         let t_bd2val = t2.elapsed().as_secs_f64();
         assert_eq!(sv.len(), m.min(n));
 
@@ -330,6 +333,83 @@ pub fn measure_ge2val_stages(m: usize, n: usize, nb: usize, samples: usize) -> S
         }
     }
     best
+}
+
+/// Best-of-`samples` wall times (seconds) of the three BD2VAL solvers on
+/// one bidiagonal, plus the dqds iteration counters.
+#[derive(Clone, Copy, Debug)]
+pub struct Bd2ValTimings {
+    /// Order of the bidiagonal (number of singular values).
+    pub n: usize,
+    /// Per-value bisection (the oracle — the pre-subsystem production path).
+    pub bisection: f64,
+    /// Sturm spectrum slicing with the batched Newton front.
+    pub sliced: f64,
+    /// The dqds fast path.
+    pub dqds: f64,
+    /// dqds iteration counters of the last run.
+    pub dqds_stats: bidiag_svd::DqdsStats,
+}
+
+/// Measure all three BD2VAL solvers on the bidiagonal produced by the
+/// first two pipeline stages of the reference input (latms, geometric
+/// spectrum cond 1e4, seed 7 — the same matrix every other measurement in
+/// this crate uses).  Each solver is timed best-of-`samples` on identical
+/// input; the results are cross-checked against each other (sigma_max
+/// relative 1e-12) so a solver can never "win" by being wrong.
+pub fn measure_bd2val_solvers(m: usize, n: usize, nb: usize, samples: usize) -> Bd2ValTimings {
+    use bidiag_core::pipeline::{ge2bnd, AlgorithmChoice, Ge2Options};
+    use bidiag_svd::{singular_values_with, Bd2ValOptions, SvdSolver};
+    use std::time::Instant;
+
+    let (a, _) = bidiag_matrix::gen::latms(
+        m,
+        n,
+        &bidiag_matrix::gen::SpectrumKind::Geometric { cond: 1.0e4 },
+        7,
+    );
+    let opts = Ge2Options::new(nb)
+        .with_tree(NamedTree::Greedy)
+        .with_algorithm(AlgorithmChoice::Bidiag);
+    let r = ge2bnd(&a, &opts);
+    let mut band = r.band;
+    let bd = band.reduce_to_bidiagonal();
+    let k = bd.diag.len();
+
+    let time_solver = |solver: SvdSolver| -> (f64, Vec<f64>) {
+        let o = Bd2ValOptions::default().with_solver(solver);
+        let mut best = f64::INFINITY;
+        let mut sv = Vec::new();
+        for _ in 0..samples.max(1) {
+            let t0 = Instant::now();
+            sv = singular_values_with(&bd.diag, &bd.superdiag, &o);
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(sv.len(), k);
+        }
+        (best, sv)
+    };
+    let (t_bis, sv_bis) = time_solver(SvdSolver::Bisection);
+    let (t_sliced, sv_sliced) = time_solver(SvdSolver::SlicedBisection);
+    let (t_dqds, sv_dqds) = time_solver(SvdSolver::Dqds);
+
+    let smax = sv_bis.first().copied().unwrap_or(0.0);
+    for (name, sv) in [("sliced", &sv_sliced), ("dqds", &sv_dqds)] {
+        for (j, (s, o)) in sv.iter().zip(&sv_bis).enumerate() {
+            assert!(
+                (s - o).abs() <= 1e-12 * smax,
+                "{name} disagrees with the oracle at value {j}: {s} vs {o}"
+            );
+        }
+    }
+    let (_, dqds_stats) = bidiag_svd::dqds_singular_values_with_stats(&bd.diag, &bd.superdiag);
+
+    Bd2ValTimings {
+        n: k,
+        bisection: t_bis,
+        sliced: t_sliced,
+        dqds: t_dqds,
+        dqds_stats,
+    }
 }
 
 /// Print a measured thread-scaling sweep as a TSV table.

@@ -7,7 +7,9 @@
 //!   measurements and machine simulation,
 //! * [`bnd2bd_on_runtime`] / [`bd2val_on_runtime`] — run the second and
 //!   third pipeline stages through the same runtime, so every stage of
-//!   GE2VAL is scheduled by one executor.
+//!   GE2VAL is scheduled by one executor.  BD2VAL fans out one task per
+//!   *spectrum interval* (Sturm-count slicing from `bidiag-svd`), or runs
+//!   the serial dqds fast path as a single task — see [`bd2val_task_count`].
 //!
 //! # Parallel data plane
 //!
@@ -32,12 +34,12 @@
 use crate::ops::{KernelScratch, TauTable, TileOp};
 use bidiag_kernels::band::BandMatrix;
 use bidiag_kernels::gebd2::Bidiagonal;
-use bidiag_kernels::svd::GkBisection;
 use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
 use bidiag_runtime::{
     execute_parallel as runtime_execute, execute_parallel_with as runtime_execute_with, AccessMode,
     TaskBody, TaskBodyWith, TaskGraph,
 };
+use bidiag_svd::{slice_spectrum, solve_slice, Bd2ValOptions, GkBisection, GkSturm, SvdSolver};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
@@ -151,44 +153,139 @@ pub fn bnd2bd_on_runtime(band: &mut BandMatrix, threads: usize) -> Bidiagonal {
     band.bidiagonal_factor()
 }
 
+/// Number of runtime tasks [`bd2val_on_runtime`] fans out for this
+/// bidiagonal under these options — the *interval* count, not the value
+/// count.
+///
+/// The sliced path spawns one task per [`SpectrumSlice`]
+/// (`~ceil(k / values_per_task)`, fewer when slices merge inside
+/// clusters); dqds runs as a single task; only the explicit
+/// [`SvdSolver::Bisection`] oracle keeps the historical one-task-per-value
+/// fan-out.  Exposed so tests can pin the task-count contract (the old
+/// per-value fan-out cost 512 task activations on the reference case).
+///
+/// [`SpectrumSlice`]: bidiag_svd::SpectrumSlice
+pub fn bd2val_task_count(diag: &[f64], superdiag: &[f64], opts: &Bd2ValOptions) -> usize {
+    let k = diag.len();
+    if k == 0 {
+        return 0;
+    }
+    match opts.solver {
+        SvdSolver::Dqds => 1,
+        SvdSolver::SlicedBisection => {
+            slice_spectrum(&GkSturm::new(diag, superdiag), opts.values_per_task).len()
+        }
+        SvdSolver::Bisection => k,
+    }
+}
+
 /// Run the BD2VAL stage (singular values of the bidiagonal) through the
-/// task runtime: every singular value is one independent bisection task, so
-/// this stage is embarrassingly parallel.
+/// task runtime, with the solver selected by `opts`:
 ///
-/// Returns the singular values in non-increasing order, bitwise identical
-/// to [`bidiagonal_singular_values`] (each bisection performs exactly the
-/// same arithmetic in both back-ends).
+/// * [`SvdSolver::SlicedBisection`] — the parallel path: the spectrum is
+///   partitioned by Sturm counts into disjoint multi-value intervals and
+///   the runtime schedules **one task per interval** (not per value — see
+///   [`bd2val_task_count`]), each resolving its whole bracket with a
+///   batched Newton/bisection front;
+/// * [`SvdSolver::Dqds`] — the serial fast path, scheduled as a single
+///   task (at `O(n^2)` with a small constant it is cheaper than any
+///   fan-out for the sizes this pipeline runs);
+/// * [`SvdSolver::Bisection`] — the oracle: one task per singular value,
+///   kept for reference runs and determinism tests.
 ///
-/// [`bidiagonal_singular_values`]: bidiag_kernels::svd::bidiagonal_singular_values
-pub fn bd2val_on_runtime(diag: &[f64], superdiag: &[f64], threads: usize) -> Vec<f64> {
-    let bisect = Arc::new(GkBisection::new(diag, superdiag));
-    let k = bisect.num_values();
+/// Returns the singular values in non-increasing order.  For every solver
+/// the slicing/partitioning is independent of `threads`, so the result is
+/// bitwise identical to the sequential path of the same solver
+/// ([`bidiag_svd::singular_values_with`]) at every thread count.
+pub fn bd2val_on_runtime(
+    diag: &[f64],
+    superdiag: &[f64],
+    threads: usize,
+    opts: &Bd2ValOptions,
+) -> Vec<f64> {
+    let k = diag.len();
     if k == 0 {
         return Vec::new();
     }
-    let mut g = TaskGraph::new();
-    for j in 0..k {
-        // Independent tasks: each writes its own result slot.
-        g.add_task(1.0, 0, 0, &[(j as u64, AccessMode::Write)]);
+    match opts.solver {
+        SvdSolver::Dqds => {
+            let mut g = TaskGraph::new();
+            g.add_task(1.0, 0, 0, &[(0, AccessMode::Write)]);
+            let result: Arc<std::sync::OnceLock<Vec<f64>>> = Arc::new(std::sync::OnceLock::new());
+            let d = diag.to_vec();
+            let e = superdiag.to_vec();
+            let slot = Arc::clone(&result);
+            let bodies: Vec<TaskBody> = vec![Box::new(move || {
+                slot.set(bidiag_svd::dqds_singular_values(&d, &e))
+                    .expect("dqds task ran twice");
+            }) as TaskBody];
+            runtime_execute(&g, bodies, threads);
+            Arc::try_unwrap(result)
+                .expect("all workers joined")
+                .into_inner()
+                .expect("dqds task never ran")
+        }
+        SvdSolver::SlicedBisection => {
+            let sturm = Arc::new(GkSturm::new(diag, superdiag));
+            let slices = slice_spectrum(&sturm, opts.values_per_task);
+            let rel_tol = opts.rel_tol;
+            let mut g = TaskGraph::new();
+            for (i, _) in slices.iter().enumerate() {
+                // Independent intervals: each writes its own result slot.
+                g.add_task(1.0, 0, 0, &[(i as u64, AccessMode::Write)]);
+            }
+            type SliceOut = std::sync::OnceLock<Vec<(usize, f64)>>;
+            let results: Arc<Vec<SliceOut>> =
+                Arc::new((0..slices.len()).map(|_| SliceOut::new()).collect());
+            let bodies: Vec<TaskBody> = slices
+                .iter()
+                .enumerate()
+                .map(|(i, &slice)| {
+                    let sturm = Arc::clone(&sturm);
+                    let results = Arc::clone(&results);
+                    Box::new(move || {
+                        results[i]
+                            .set(solve_slice(&sturm, &slice, rel_tol))
+                            .expect("interval solved twice");
+                    }) as TaskBody
+                })
+                .collect();
+            runtime_execute(&g, bodies, threads);
+            let mut sv = vec![0.0f64; k];
+            for cell in results.iter() {
+                for &(j, v) in cell.get().expect("interval never solved") {
+                    sv[j] = v;
+                }
+            }
+            sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            sv
+        }
+        SvdSolver::Bisection => {
+            let bisect = Arc::new(GkBisection::new(diag, superdiag));
+            let mut g = TaskGraph::new();
+            for j in 0..k {
+                g.add_task(1.0, 0, 0, &[(j as u64, AccessMode::Write)]);
+            }
+            let results: Arc<Vec<std::sync::OnceLock<f64>>> =
+                Arc::new((0..k).map(|_| std::sync::OnceLock::new()).collect());
+            let bodies: Vec<TaskBody> = (0..k)
+                .map(|j| {
+                    let bisect = Arc::clone(&bisect);
+                    let results = Arc::clone(&results);
+                    Box::new(move || {
+                        results[j]
+                            .set(bisect.nth_largest(j))
+                            .expect("singular value computed twice");
+                    }) as TaskBody
+                })
+                .collect();
+            runtime_execute(&g, bodies, threads);
+            results
+                .iter()
+                .map(|c| *c.get().expect("singular value never computed"))
+                .collect()
+        }
     }
-    let results: Arc<Vec<std::sync::OnceLock<f64>>> =
-        Arc::new((0..k).map(|_| std::sync::OnceLock::new()).collect());
-    let bodies: Vec<TaskBody> = (0..k)
-        .map(|j| {
-            let bisect = Arc::clone(&bisect);
-            let results = Arc::clone(&results);
-            Box::new(move || {
-                results[j]
-                    .set(bisect.nth_largest(j))
-                    .expect("singular value computed twice");
-            }) as TaskBody
-        })
-        .collect();
-    runtime_execute(&g, bodies, threads);
-    results
-        .iter()
-        .map(|c| *c.get().expect("singular value never computed"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -295,7 +392,48 @@ mod tests {
         let d = vec![4.0, -3.0, 2.5, 1.0, 0.5];
         let e = vec![0.7, -0.3, 0.2, 0.1];
         let seq = bidiagonal_singular_values(&d, &e);
-        let par = bd2val_on_runtime(&d, &e, 4);
+        let opts = Bd2ValOptions::default().with_solver(SvdSolver::Bisection);
+        let par = bd2val_on_runtime(&d, &e, 4, &opts);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn bd2val_on_runtime_every_solver_matches_its_sequential_path() {
+        let d = vec![4.0, -3.0, 2.5, 1.0, 0.5, 0.25, 2.0, 1.5];
+        let e = vec![0.7, -0.3, 0.2, 0.1, 0.4, -0.6, 0.05];
+        for solver in [
+            SvdSolver::Dqds,
+            SvdSolver::SlicedBisection,
+            SvdSolver::Bisection,
+        ] {
+            let opts = Bd2ValOptions::default()
+                .with_solver(solver)
+                .with_values_per_task(3);
+            let seq = bidiag_svd::singular_values_with(&d, &e, &opts);
+            for threads in [1usize, 2, 4] {
+                let par = bd2val_on_runtime(&d, &e, threads, &opts);
+                assert_eq!(seq, par, "{solver:?} @ {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn bd2val_fans_out_intervals_not_values() {
+        let n = 64;
+        let g = random_gaussian(n, 2, 5);
+        let d: Vec<f64> = (0..n).map(|i| g.get(i, 0)).collect();
+        let e: Vec<f64> = (0..n - 1).map(|i| g.get(i, 1)).collect();
+        let opts = Bd2ValOptions::default().with_solver(SvdSolver::SlicedBisection);
+        let tasks = bd2val_task_count(&d, &e, &opts);
+        assert!(tasks >= 1);
+        assert!(
+            tasks <= n.div_ceil(opts.values_per_task) + 1,
+            "sliced path must fan out per interval, got {tasks} tasks for {n} values"
+        );
+        assert_eq!(
+            bd2val_task_count(&d, &e, &Bd2ValOptions::default()),
+            1,
+            "dqds runs as a single task"
+        );
     }
 }

@@ -38,7 +38,11 @@ pub use drivers::{
     bidiag_ops, ge2bnd_ops, qr_factorization_ops, rbidiag_ops, Algorithm, GenConfig,
 };
 pub use exec::{
-    bd2val_on_runtime, bnd2bd_on_runtime, build_graph, execute_parallel, execute_sequential,
+    bd2val_on_runtime, bd2val_task_count, bnd2bd_on_runtime, build_graph, execute_parallel,
+    execute_sequential,
 };
 pub use ops::{ops_flops, KernelScratch, TauTable, TileOp};
 pub use pipeline::{ge2bnd, ge2val, AlgorithmChoice, Ge2BndResult, Ge2Options, Ge2ValResult};
+// The BD2VAL solver options the pipeline threads through, re-exported so
+// downstream callers need not depend on `bidiag-svd` directly.
+pub use bidiag_svd::{Bd2ValOptions, SvdSolver};

@@ -10,18 +10,21 @@
 //! With `threads > 1` every stage runs on the work-stealing task runtime of
 //! `bidiag-runtime`: GE2BND as the tile-kernel DAG, BND2BD as a chain of
 //! sweep tasks (the stage is inherently serial, exactly as in the paper),
-//! and BD2VAL as one independent bisection task per singular value.  The
-//! thread count never changes the numerical result — the task graphs encode
-//! every data conflict of the sequential order, so any schedule executes
-//! the same arithmetic (see the `bidiag-runtime` crate docs).
+//! and BD2VAL through the `bidiag-svd` solver subsystem — the dqds fast
+//! path as a single task, or Sturm spectrum slicing as one task per
+//! multi-value interval ([`Bd2ValOptions`] selects).  The thread count
+//! never changes the numerical result — the task graphs encode every data
+//! conflict of the sequential order and the spectrum slicing is
+//! thread-count independent, so any schedule executes the same arithmetic
+//! (see the `bidiag-runtime` crate docs).
 
 use crate::drivers::{ge2bnd_ops, Algorithm, GenConfig};
 use crate::exec::{bd2val_on_runtime, bnd2bd_on_runtime, execute_parallel, execute_sequential};
 use crate::flops;
 use crate::ops::ops_flops;
 use bidiag_kernels::band::BandMatrix;
-use bidiag_kernels::svd::bidiagonal_singular_values;
 use bidiag_matrix::{Matrix, TiledMatrix};
+use bidiag_svd::{singular_values_with, Bd2ValOptions, SvdSolver};
 use bidiag_trees::NamedTree;
 
 /// How the GE2BND algorithm is chosen.
@@ -46,6 +49,9 @@ pub struct Ge2Options {
     pub algorithm: AlgorithmChoice,
     /// Number of worker threads (1 runs the reference sequential path).
     pub threads: usize,
+    /// BD2VAL stage options: singular-value solver choice and tolerances
+    /// (defaults to the dqds fast path).
+    pub bd2val: Bd2ValOptions,
 }
 
 impl Ge2Options {
@@ -57,6 +63,7 @@ impl Ge2Options {
             tree: NamedTree::Greedy,
             algorithm: AlgorithmChoice::Auto,
             threads: 1,
+            bd2val: Bd2ValOptions::default(),
         }
     }
 
@@ -75,6 +82,18 @@ impl Ge2Options {
     /// Builder-style: set the number of worker threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style: set the full BD2VAL option block.
+    pub fn with_bd2val(mut self, bd2val: Bd2ValOptions) -> Self {
+        self.bd2val = bd2val;
+        self
+    }
+
+    /// Builder-style: select the BD2VAL singular-value solver.
+    pub fn with_svd_solver(mut self, solver: SvdSolver) -> Self {
+        self.bd2val.solver = solver;
         self
     }
 
@@ -183,12 +202,13 @@ pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
     } else {
         band.reduce_to_bidiagonal()
     };
-    // BD2VAL: bisection on the Golub-Kahan tridiagonal (one task per
-    // singular value when threaded).
+    // BD2VAL: the solver picked in the options — dqds fast path by
+    // default, or Sturm spectrum slicing (one task per interval when
+    // threaded), or the per-value bisection oracle.
     let mut sv = if opts.threads > 1 {
-        bd2val_on_runtime(&bidiag.diag, &bidiag.superdiag, opts.threads)
+        bd2val_on_runtime(&bidiag.diag, &bidiag.superdiag, opts.threads, &opts.bd2val)
     } else {
-        bidiagonal_singular_values(&bidiag.diag, &bidiag.superdiag)
+        singular_values_with(&bidiag.diag, &bidiag.superdiag, &opts.bd2val)
     };
     sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
     Ge2ValResult {
@@ -304,6 +324,29 @@ mod tests {
             assert!(
                 singular_values_match(&r.singular_values, &sigma, 1e-10),
                 "tree {tree:?} changed the singular values"
+            );
+        }
+    }
+
+    #[test]
+    fn every_svd_solver_recovers_the_spectrum_at_every_thread_count() {
+        let (a, sigma) = latms(26, 17, &SpectrumKind::Geometric { cond: 1e6 }, 19);
+        for solver in [
+            SvdSolver::Dqds,
+            SvdSolver::SlicedBisection,
+            SvdSolver::Bisection,
+        ] {
+            let opts = |t: usize| Ge2Options::new(4).with_svd_solver(solver).with_threads(t);
+            let seq = ge2val(&a, &opts(1));
+            let par = ge2val(&a, &opts(4));
+            // Same solver => bitwise identical values at every thread count.
+            assert_eq!(
+                seq.singular_values, par.singular_values,
+                "{solver:?} diverged across thread counts"
+            );
+            assert!(
+                singular_values_match(&seq.singular_values, &sigma, 1e-10),
+                "{solver:?} missed the spectrum"
             );
         }
     }

@@ -15,8 +15,9 @@
 //!   the one-stage baselines,
 //! * [`band`] — band storage and the Givens bulge-chasing band-to-bidiagonal
 //!   reduction (the BND2BD stage),
-//! * [`svd`] — bidiagonal singular values by bisection on the Golub–Kahan
-//!   tridiagonal (the BD2VAL stage),
+//! * [`svd`] — the BD2VAL stage: the `bidiag-svd` solver subsystem (dqds
+//!   fast path, Sturm spectrum slicing, bisection oracle) re-exported at
+//!   the kernel level,
 //! * [`jacobi`] — a one-sided Jacobi SVD used as an independent test oracle,
 //! * [`cost`] — the Table I kernel cost model driving critical paths and the
 //!   machine simulations.

@@ -1,148 +1,36 @@
 //! Singular values of a bidiagonal matrix (`BD2VAL`).
 //!
-//! The paper delegates this stage to LAPACK `xBDSQR`; we implement an
-//! equally robust alternative: bisection with Sturm-sequence counts on the
-//! Golub–Kahan tridiagonal form
+//! The solvers themselves live in the dedicated [`bidiag_svd`] subsystem
+//! crate — a dqds fast path, a spectrum-slicing parallel path and the
+//! per-value bisection oracle behind one [`bidiag_svd::Bd2ValOptions`]
+//! switch; this module re-exports them and keeps the historical
+//! kernel-level entry points:
 //!
-//! ```text
-//!        [ 0   d1              ]
-//!        [ d1  0   e1          ]
-//! T_GK = [     e1  0   d2      ]   (order 2k, zero diagonal)
-//!        [         d2  0  ...  ]
-//! ```
+//! * [`bidiagonal_singular_values`] — the *bisection oracle* (unchanged
+//!   numerics contract: maximally robust, one independent bracket per
+//!   value), used by the baselines and as the reference of every property
+//!   test,
+//! * [`singular_values`] — the same oracle over a [`Bidiagonal`] factor.
 //!
-//! whose eigenvalues are exactly `{ +sigma_i, -sigma_i }`.  Working on
-//! `T_GK` avoids squaring the matrix and therefore computes even tiny
-//! singular values to high relative accuracy.
+//! Production callers pick their algorithm through
+//! [`bidiag_svd::singular_values_with`] (the GE2VAL pipeline defaults to
+//! dqds); see the `bidiag-svd` crate docs for the algorithm menu.
 
 use crate::gebd2::Bidiagonal;
 
-/// Number of eigenvalues of the symmetric tridiagonal matrix (zero diagonal,
-/// off-diagonals `off`) that are strictly smaller than `x`, computed with a
-/// Sturm sequence (non-pivoting LDL^T count).
-fn sturm_count(off: &[f64], x: f64, pivmin: f64) -> usize {
-    let m = off.len() + 1;
-    let mut count = 0usize;
-    let mut d = -x;
-    if d < 0.0 {
-        count += 1;
-    }
-    for i in 1..m {
-        let b = off[i - 1];
-        let mut dd = d;
-        if dd.abs() < pivmin {
-            dd = -pivmin;
-        }
-        d = -x - b * b / dd;
-        if d < 0.0 {
-            count += 1;
-        }
-    }
-    count
-}
-
-/// Prepared bisection state for the singular values of one bidiagonal
-/// matrix: the Golub–Kahan off-diagonals plus the Gershgorin bound and the
-/// derived pivot/termination thresholds.
-///
-/// Each singular value is an independent bisection over this shared
-/// read-only state ([`GkBisection::nth_largest`]), which is what lets the
-/// BD2VAL stage fan out one task per singular value on the task runtime:
-/// the parallel and sequential back-ends perform bit-for-bit the same
-/// arithmetic per value.
-#[derive(Clone, Debug)]
-pub struct GkBisection {
-    /// Off-diagonals of the Golub-Kahan tridiagonal: d1, e1, d2, ..., dk.
-    off: Vec<f64>,
-    bound: f64,
-    pivmin: f64,
-    tol: f64,
-    k: usize,
-}
-
-impl GkBisection {
-    /// Prepare the bisection state for the bidiagonal matrix with main
-    /// diagonal `d` and superdiagonal `e` (`e.len() == d.len() - 1`).
-    pub fn new(d: &[f64], e: &[f64]) -> Self {
-        let k = d.len();
-        if k == 0 {
-            return GkBisection {
-                off: Vec::new(),
-                bound: 0.0,
-                pivmin: f64::MIN_POSITIVE,
-                tol: 0.0,
-                k: 0,
-            };
-        }
-        assert_eq!(e.len(), k - 1, "superdiagonal must have length n-1");
-
-        // Off-diagonals of the Golub-Kahan tridiagonal: d1, e1, d2, ..., dk.
-        let mut off = Vec::with_capacity(2 * k - 1);
-        for i in 0..k {
-            off.push(d[i]);
-            if i + 1 < k {
-                off.push(e[i]);
-            }
-        }
-
-        // Gershgorin bound: diagonal is zero, so |lambda| <= max row sum.
-        let mut bound: f64 = 0.0;
-        let m = 2 * k;
-        for i in 0..m {
-            let left = if i > 0 { off[i - 1].abs() } else { 0.0 };
-            let right = if i < m - 1 { off[i].abs() } else { 0.0 };
-            bound = bound.max(left + right);
-        }
-        let pivmin = f64::MIN_POSITIVE.max(f64::EPSILON * bound * bound * 1e-3);
-        let tol = 2.0 * f64::EPSILON * bound;
-        GkBisection {
-            off,
-            bound,
-            pivmin,
-            tol,
-            k,
-        }
-    }
-
-    /// Number of singular values (the order of the bidiagonal matrix).
-    pub fn num_values(&self) -> usize {
-        self.k
-    }
-
-    /// The `j`-th largest singular value, `j` in `0..num_values()`.
-    ///
-    /// The (0-based) `j`-th largest singular value is the `(2k - j)`-th
-    /// smallest eigenvalue of the Golub-Kahan tridiagonal (1-based):
-    /// bisection maintains `count(lo) <= target < count(hi)` for
-    /// `target = 2k - j - 1`.
-    pub fn nth_largest(&self, j: usize) -> f64 {
-        assert!(j < self.k, "value index out of range");
-        if self.bound == 0.0 {
-            return 0.0;
-        }
-        let target = 2 * self.k - j - 1;
-        let mut lo = 0.0_f64;
-        let mut hi = self.bound * (1.0 + 4.0 * f64::EPSILON);
-        while hi - lo > self.tol.max(f64::EPSILON * hi) {
-            let mid = 0.5 * (lo + hi);
-            if sturm_count(&self.off, mid, self.pivmin) > target {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        0.5 * (lo + hi)
-    }
-}
+pub use bidiag_svd::{
+    bisection_singular_values, dqds_singular_values, singular_values_with, Bd2ValOptions,
+    GkBisection, GkSturm, SvdSolver,
+};
 
 /// Singular values of the bidiagonal matrix with main diagonal `d` and
 /// superdiagonal `e`, returned in non-increasing order.
 ///
-/// Runs bisection to roughly machine precision relative to the largest
-/// singular value.
+/// Runs the per-value bisection oracle to relative accuracy (see
+/// [`GkBisection`]); this is the reference-numerics path — the pipeline's
+/// production solver is selected via [`Bd2ValOptions`] instead.
 pub fn bidiagonal_singular_values(d: &[f64], e: &[f64]) -> Vec<f64> {
-    let b = GkBisection::new(d, e);
-    (0..b.num_values()).map(|j| b.nth_largest(j)).collect()
+    bisection_singular_values(d, e)
 }
 
 /// Convenience wrapper over [`bidiagonal_singular_values`] for a
@@ -213,7 +101,7 @@ mod tests {
     fn zero_matrix_and_empty_edge_cases() {
         assert!(bidiagonal_singular_values(&[], &[]).is_empty());
         let s = bidiagonal_singular_values(&[0.0, 0.0], &[0.0]);
-        assert_eq!(s, vec![0.0, 0.0]);
+        assert!(singular_values_match(&s, &[0.0, 0.0], 1e-14));
     }
 
     #[test]
@@ -222,5 +110,19 @@ mod tests {
         let e = vec![0.0, 0.0];
         let s = bidiagonal_singular_values(&d, &e);
         assert!((s[2] - 1e-8).abs() < 1e-15, "tiny value lost: {}", s[2]);
+    }
+
+    #[test]
+    fn production_solvers_agree_with_oracle_through_gebd2() {
+        let (a, sigma) = latms(24, 12, &SpectrumKind::Geometric { cond: 1.0e6 }, 9);
+        let mut w = a.clone();
+        let bd = gebd2(&mut w);
+        let oracle = singular_values(&bd);
+        for solver in [SvdSolver::Dqds, SvdSolver::SlicedBisection] {
+            let opts = Bd2ValOptions::default().with_solver(solver);
+            let s = singular_values_with(&bd.diag, &bd.superdiag, &opts);
+            assert!(singular_values_match(&s, &oracle, 1e-13), "{solver:?}");
+            assert!(singular_values_match(&s, &sigma, 1e-12), "{solver:?}");
+        }
     }
 }

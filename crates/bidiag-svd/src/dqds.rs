@@ -1,0 +1,399 @@
+//! The dqds fast path: Fernando–Parlett differential quotient-difference
+//! with shifts (the algorithm behind LAPACK `dlasq`).
+//!
+//! Works on the *squared* bidiagonal in qd form — `q_i = d_i^2`,
+//! `e_i = e_i^2` — where one dqds pass
+//!
+//! ```text
+//! d_1 = q_1 - s
+//! for i = 1 .. m-1:   qhat_i = d_i + e_i
+//!                     ehat_i = e_i * (q_{i+1} / qhat_i)
+//!                     d_{i+1} = d_i * (q_{i+1} / qhat_i) - s
+//! qhat_m = d_m
+//! ```
+//!
+//! is one shifted Cholesky LR step on `B^T B` performed entirely in
+//! factored quantities: every intermediate stays non-negative whenever the
+//! shift `s` is below the smallest eigenvalue, which is both the
+//! high-relative-accuracy argument (no subtractive cancellation on the
+//! data, only on the shift accumulator) and the shift-rejection test — a
+//! negative `d` proves the shift overshot and the pass is discarded.
+//!
+//! The driver adds the standard production machinery: splitting at
+//! negligible `e`, flipping graded segments so deflation happens at the
+//! cheap end, ping-pong buffers so a rejected pass costs nothing,
+//! aggressive bottom deflation, Gershgorin-capped shifts, closed-form
+//! `1x1`/`2x2` finishes, and a safeguarded fall back to the
+//! [`GkBisection`] oracle for any segment that
+//! refuses to converge — robustness never depends on the qd iteration.
+//!
+//! Computing all `n` values costs `O(n)` passes of `O(m)` work each —
+//! `O(n^2)` total with a small constant, versus the `O(n^2 log(1/eps))`
+//! of per-value bisection with its ~50 full Sturm passes per value.
+
+use crate::sturm::GkBisection;
+
+/// Aggressive-deflation threshold: `tol2 = (100 eps)^2`, the square of
+/// LAPACK `dlasq`'s `TOL`, because we deflate in the squared (qd) world —
+/// a deflation perturbs a squared eigenvalue by at most `tol2` relative,
+/// i.e. half that on the singular value itself.
+const TOL2: f64 = (100.0 * f64::EPSILON) * (100.0 * f64::EPSILON);
+
+/// Flip bias (LAPACK `dlasq2`'s `CBIAS`): a segment is reversed when its
+/// bottom corner is this much larger than its top, so the smallest
+/// eigenvalues emerge at the deflation end.
+const CBIAS: f64 = 1.5;
+
+/// Per-shift safety factor: the next shift is this fraction of the `dmin`
+/// estimate from the previous pass (rejection handles the overshoots the
+/// factor does not).
+const SHIFT_SAFETY: f64 = 0.98;
+
+/// Counters describing how a [`dqds_singular_values_with_stats`] run went.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DqdsStats {
+    /// Total dqds passes executed (including rejected shift attempts).
+    pub passes: usize,
+    /// Number of singular values that were computed by the bisection
+    /// fallback rather than by qd iteration.
+    pub fallback_values: usize,
+    /// Number of segment flips performed.
+    pub flips: usize,
+}
+
+/// One independent unreduced segment of the squared problem, in qd form.
+struct Segment {
+    q: Vec<f64>,
+    e: Vec<f64>,
+    /// Accumulated shift: eigenvalues of the original segment are
+    /// `(eigenvalues of the current qd array) + sigma`.
+    sigma: f64,
+}
+
+/// Singular values of the bidiagonal matrix with main diagonal `d` and
+/// superdiagonal `e`, in non-increasing order, via dqds.
+///
+/// See [`dqds_singular_values_with_stats`] for the variant that also
+/// reports iteration/fallback counters.
+pub fn dqds_singular_values(d: &[f64], e: &[f64]) -> Vec<f64> {
+    dqds_singular_values_with_stats(d, e).0
+}
+
+/// [`dqds_singular_values`] plus the [`DqdsStats`] counters (used by the
+/// benches and the property tests to confirm the fast path actually ran).
+pub fn dqds_singular_values_with_stats(d: &[f64], e: &[f64]) -> (Vec<f64>, DqdsStats) {
+    let n = d.len();
+    let mut stats = DqdsStats::default();
+    if n == 0 {
+        return (Vec::new(), stats);
+    }
+    assert_eq!(e.len(), n - 1, "superdiagonal must have length n-1");
+
+    // Scale by a power of two so the largest entry is in (0.5, 1]: exact
+    // (no rounding) and keeps all squares far from overflow/underflow.
+    let amax = d
+        .iter()
+        .chain(e.iter())
+        .fold(0.0_f64, |acc, &v| acc.max(v.abs()));
+    if amax == 0.0 {
+        return (vec![0.0; n], stats);
+    }
+    let scale = (-amax.log2().ceil()) as i32;
+    let s2 = 2.0_f64.powi(scale);
+    let unscale = 2.0_f64.powi(-scale);
+
+    // The squared, scaled qd arrays. Squaring underflows only for entries
+    // below ~1e-154 * amax, and an underflowed e^2 == 0 simply becomes a
+    // split point (a relative perturbation far below eps on any sigma).
+    let q0: Vec<f64> = d.iter().map(|&v| (v * s2) * (v * s2)).collect();
+    let e0: Vec<f64> = e.iter().map(|&v| (v * s2) * (v * s2)).collect();
+
+    // Split into unreduced segments at exact zeros of e^2.
+    let mut stack: Vec<Segment> = Vec::new();
+    let mut start = 0usize;
+    for i in 0..n {
+        if i + 1 == n || e0[i] == 0.0 {
+            stack.push(Segment {
+                q: q0[start..=i].to_vec(),
+                e: e0[start..i].to_vec(),
+                sigma: 0.0,
+            });
+            start = i + 1;
+        }
+    }
+
+    // Shared pass budget: dqds needs a handful of passes per eigenvalue;
+    // anything beyond this bound is pathological and goes to bisection.
+    let mut budget = 30 * n + 100;
+    let mut lambdas: Vec<f64> = Vec::with_capacity(n);
+    while let Some(seg) = stack.pop() {
+        solve_segment(seg, &mut stack, &mut lambdas, &mut budget, &mut stats);
+    }
+    debug_assert_eq!(lambdas.len(), n);
+
+    let mut sv: Vec<f64> = lambdas
+        .into_iter()
+        .map(|l| l.max(0.0).sqrt() * unscale)
+        .collect();
+    sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    (sv, stats)
+}
+
+/// Iterate one segment to completion, pushing eigenvalues (of the squared
+/// problem, original scaling minus nothing — `lambda = qd eigenvalue +
+/// sigma`) into `lambdas` and any split-off sub-segments onto `stack`.
+fn solve_segment(
+    seg: Segment,
+    stack: &mut Vec<Segment>,
+    lambdas: &mut Vec<f64>,
+    budget: &mut usize,
+    stats: &mut DqdsStats,
+) {
+    let Segment { q, e, sigma } = seg;
+    let mut m = q.len();
+    if m == 0 {
+        return;
+    }
+
+    // Ping-pong buffers: `cur` holds the live arrays, `alt` receives the
+    // next pass; a rejected shift simply never swaps, so retrying with a
+    // smaller shift re-reads intact data.
+    let mut cur = (q, e);
+    let mut alt = (vec![0.0; m], vec![0.0; m.saturating_sub(1)]);
+    let mut sigma = sigma;
+    let mut dmin_est = f64::INFINITY; // no estimate before the first pass
+    let mut shift = 0.0_f64; // first pass is a pure (safe) dqd
+
+    loop {
+        let (q, e) = (&mut cur.0, &mut cur.1);
+
+        // --- deflation at the bottom + tiny closed forms -----------------
+        loop {
+            match m {
+                0 => return,
+                1 => {
+                    lambdas.push(q[0] + sigma);
+                    return;
+                }
+                2 => {
+                    let (big, small) = two_by_two(q[0], q[1], e[0]);
+                    lambdas.push(big + sigma);
+                    lambdas.push(small + sigma);
+                    return;
+                }
+                _ => {}
+            }
+            if e[m - 2] <= TOL2 * (sigma + q[m - 1]) {
+                lambdas.push(q[m - 1] + sigma);
+                m -= 1;
+            } else {
+                break;
+            }
+        }
+
+        // --- split at interior zeros (can appear as the iteration drives
+        //     individual e's to underflow) ---------------------------------
+        if let Some(i) = (0..m - 1).find(|&i| e[i] == 0.0) {
+            stack.push(Segment {
+                q: q[..=i].to_vec(),
+                e: e[..i].to_vec(),
+                sigma,
+            });
+            stack.push(Segment {
+                q: q[i + 1..m].to_vec(),
+                e: e[i + 1..m - 1].to_vec(),
+                sigma,
+            });
+            return;
+        }
+
+        // --- budget exhausted: hand the segment to the oracle ------------
+        if *budget == 0 {
+            bisection_fallback(&q[..m], &e[..m - 1], sigma, lambdas);
+            stats.fallback_values += m;
+            return;
+        }
+
+        // --- flip so the (expected) small end sits at the bottom ---------
+        if CBIAS * q[0] < q[m - 1] {
+            q[..m].reverse();
+            e[..m - 1].reverse();
+            stats.flips += 1;
+        }
+
+        // --- Gershgorin-safe shift: lambda_min is at most the smallest
+        //     diagonal of the associated tridiagonal B^T B, whose qd
+        //     coordinates are q_i + e_{i-1} ---------------------------------
+        let mut gersh = q[0];
+        for i in 1..m {
+            gersh = gersh.min(q[i] + e[i - 1]);
+        }
+        if dmin_est.is_finite() {
+            shift = (SHIFT_SAFETY * dmin_est).clamp(0.0, 0.99 * gersh);
+        }
+
+        // --- one dqds pass, with shift rejection --------------------------
+        loop {
+            *budget = budget.saturating_sub(1);
+            stats.passes += 1;
+            let dmin = dqds_pass(&cur.0[..m], &cur.1[..m - 1], shift, &mut alt.0, &mut alt.1);
+            if dmin >= 0.0 && dmin.is_finite() {
+                sigma += shift;
+                dmin_est = dmin;
+                std::mem::swap(&mut cur, &mut alt);
+                break;
+            }
+            if shift == 0.0 {
+                // A zero-shift dqd pass can only fail through over/underflow
+                // pathologies; the oracle takes over.
+                bisection_fallback(&cur.0[..m], &cur.1[..m - 1], sigma, lambdas);
+                stats.fallback_values += m;
+                return;
+            }
+            // Shift overshot the smallest eigenvalue: retry smaller, then
+            // give up and take the always-safe unshifted pass.
+            shift = if shift > 1e-3 * gersh {
+                shift * 0.25
+            } else {
+                0.0
+            };
+            if *budget == 0 {
+                bisection_fallback(&cur.0[..m], &cur.1[..m - 1], sigma, lambdas);
+                stats.fallback_values += m;
+                return;
+            }
+        }
+    }
+}
+
+/// One dqds transform: reads `(q, e)`, writes `(qh, eh)` (only the first
+/// `m` / `m-1` entries), returns the running minimum of the `d` values —
+/// non-negative iff the shift was admissible.
+fn dqds_pass(q: &[f64], e: &[f64], s: f64, qh: &mut [f64], eh: &mut [f64]) -> f64 {
+    let m = q.len();
+    let mut d = q[0] - s;
+    let mut dmin = d;
+    for i in 0..m - 1 {
+        qh[i] = d + e[i];
+        let t = q[i + 1] / qh[i];
+        eh[i] = e[i] * t;
+        d = d * t - s;
+        if d < dmin {
+            dmin = d;
+        }
+    }
+    qh[m - 1] = d;
+    if !d.is_finite() {
+        return f64::NAN;
+    }
+    dmin
+}
+
+/// Eigenvalues of the order-2 qd segment `(q0, q1, e0)` — i.e. of the
+/// 2x2 symmetric tridiagonal `[[q0, c], [c, q1 + e0]]` with `c^2 = q0 e0`
+/// — via the stable trace/determinant formulas: the discriminant is the
+/// cancellation-free sum `(q0 - q1 + e0)^2 + 4 q1 e0` and the small root
+/// comes from `det / lambda_max`, so both roots keep relative accuracy.
+fn two_by_two(q0: f64, q1: f64, e0: f64) -> (f64, f64) {
+    let tr = q0 + q1 + e0;
+    let disc = {
+        let u = q0 - q1 + e0;
+        (u * u + 4.0 * q1 * e0).max(0.0)
+    };
+    let big = 0.5 * (tr + disc.sqrt());
+    let small = if big > 0.0 { (q0 * q1) / big } else { 0.0 };
+    (big, small)
+}
+
+/// Robust finish for a segment the qd iteration could not close out:
+/// bisection on the segment's bidiagonal (`sqrt` of the qd arrays — the
+/// signs are irrelevant to singular values), re-squared and shifted back
+/// into the caller's eigenvalue coordinates.
+fn bisection_fallback(q: &[f64], e: &[f64], sigma: f64, lambdas: &mut Vec<f64>) {
+    let d: Vec<f64> = q.iter().map(|&v| v.max(0.0).sqrt()).collect();
+    let ee: Vec<f64> = e.iter().map(|&v| v.max(0.0).sqrt()).collect();
+    let b = GkBisection::new(&d, &ee);
+    for j in 0..b.num_values() {
+        let s = b.nth_largest(j);
+        lambdas.push(s * s + sigma);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        let scale = a.first().copied().unwrap_or(1.0).max(f64::MIN_POSITIVE);
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= tol * scale, "{x} vs {y} (scale {scale})");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let (sv, stats) = dqds_singular_values_with_stats(&[3.0, -1.0, 2.0], &[0.0, 0.0]);
+        assert_close(&sv, &[3.0, 2.0, 1.0], 1e-15);
+        assert_eq!(stats.fallback_values, 0);
+    }
+
+    #[test]
+    fn two_by_two_golden_ratio() {
+        // B = [[1, 1], [0, 1]]: sigma = sqrt((3 ± sqrt(5)) / 2).
+        let sv = dqds_singular_values(&[1.0, 1.0], &[1.0]);
+        let expect = [
+            ((3.0 + 5.0_f64.sqrt()) / 2.0).sqrt(),
+            ((3.0 - 5.0_f64.sqrt()) / 2.0).sqrt(),
+        ];
+        assert_close(&sv, &expect, 1e-15);
+    }
+
+    #[test]
+    fn matches_bisection_oracle_on_random_bidiagonals() {
+        // Deterministic pseudo-random data without pulling in rand: a
+        // simple LCG driving d and e.
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [1usize, 2, 3, 5, 8, 17, 33, 64] {
+            let d: Vec<f64> = (0..n).map(|_| next() * 3.0).collect();
+            let e: Vec<f64> = (0..n - 1).map(|_| next()).collect();
+            let (sv, _) = dqds_singular_values_with_stats(&d, &e);
+            let b = GkBisection::new(&d, &e);
+            let oracle: Vec<f64> = (0..n).map(|j| b.nth_largest(j)).collect();
+            assert_close(&sv, &oracle, 1e-13);
+        }
+    }
+
+    #[test]
+    fn huge_and_tiny_scales_are_handled() {
+        for s in [1e-150_f64, 1e150, 1.0] {
+            let d = [3.0 * s, 1.0 * s, 2.0 * s];
+            let e = [0.5 * s, 0.25 * s];
+            let sv = dqds_singular_values(&d, &e);
+            let b = GkBisection::new(&d, &e);
+            let oracle: Vec<f64> = (0..3).map(|j| b.nth_largest(j)).collect();
+            assert_close(&sv, &oracle, 1e-13);
+        }
+    }
+
+    #[test]
+    fn zero_and_empty() {
+        assert!(dqds_singular_values(&[], &[]).is_empty());
+        let sv = dqds_singular_values(&[0.0, 0.0], &[0.0]);
+        assert_eq!(sv, vec![0.0, 0.0]);
+        let sv = dqds_singular_values(&[1.0, 0.0, 2.0], &[0.0, 0.0]);
+        assert_close(&sv, &[2.0, 1.0, 0.0], 1e-15);
+    }
+
+    #[test]
+    fn tiny_singular_value_keeps_relative_accuracy() {
+        let (sv, _) = dqds_singular_values_with_stats(&[1.0, 1e-8, 1.0], &[0.0, 0.0]);
+        assert!((sv[2] - 1e-8).abs() < 1e-22, "tiny value lost: {}", sv[2]);
+    }
+}

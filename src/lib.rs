@@ -11,6 +11,8 @@
 //!
 //! * [`matrix`] — dense/tiled matrices, generators, block-cyclic maps,
 //! * [`kernels`] — Householder/Givens tile kernels, band reduction, SVD,
+//! * [`svd`] — the singular-value solver subsystem (dqds, spectrum
+//!   slicing, bisection oracle) behind the BD2VAL stage,
 //! * [`trees`] — FLATTS/FLATTT/GREEDY/AUTO and hierarchical reduction trees,
 //! * [`runtime`] — task-graph runtime, threaded executor, cluster simulator,
 //! * [`core`] — BIDIAG / R-BIDIAG, critical paths, GE2BND/GE2VAL pipelines,
@@ -29,6 +31,7 @@ pub use bidiag_core as core;
 pub use bidiag_kernels as kernels;
 pub use bidiag_matrix as matrix;
 pub use bidiag_runtime as runtime;
+pub use bidiag_svd as svd;
 pub use bidiag_trees as trees;
 
 /// Convenient glob import for examples and quick experiments.
@@ -43,5 +46,6 @@ pub mod prelude {
     pub use bidiag_matrix::gen::{latms, random_gaussian, SpectrumKind};
     pub use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
     pub use bidiag_runtime::{simulate, MachineModel, TaskGraph};
+    pub use bidiag_svd::{dqds_singular_values, singular_values_with, Bd2ValOptions, SvdSolver};
     pub use bidiag_trees::{HighLevelTree, NamedTree, TreeConfig};
 }
