@@ -7,7 +7,9 @@
 //!   measurements and machine simulation,
 //! * [`bnd2bd_on_runtime`] / [`bd2val_on_runtime`] — run the second and
 //!   third pipeline stages through the same runtime, so every stage of
-//!   GE2VAL is scheduled by one executor.  BD2VAL fans out one task per
+//!   GE2VAL is scheduled by one executor.  BND2BD fans out one task per
+//!   bulge-chasing *wavefront* (row-block dependencies let wavefronts of
+//!   different groups and passes overlap); BD2VAL fans out one task per
 //!   *spectrum interval* (Sturm-count slicing from `bidiag-svd`), or runs
 //!   the serial dqds fast path as a single task — see [`bd2val_task_count`].
 //!
@@ -32,7 +34,7 @@
 //!   factorization kernel produces into its table slot.
 
 use crate::ops::{KernelScratch, TauTable, TileOp};
-use bidiag_kernels::band::BandMatrix;
+use bidiag_kernels::band::{bulge_wavefronts, BandMatrix};
 use bidiag_kernels::gebd2::Bidiagonal;
 use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
 use bidiag_runtime::{
@@ -40,7 +42,7 @@ use bidiag_runtime::{
     TaskBody, TaskBodyWith, TaskGraph,
 };
 use bidiag_svd::{slice_spectrum, solve_slice, Bd2ValOptions, GkBisection, GkSturm, SvdSolver};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Execute the operations in order on the tiled matrix, sharing the
@@ -116,40 +118,77 @@ pub fn build_graph(ops: &[TileOp], q: usize, dist: &BlockCyclic) -> TaskGraph {
     g
 }
 
-/// Run the BND2BD stage (band to bidiagonal) through the task runtime: one
-/// task per superdiagonal-removal sweep, chained by write-write dependencies
-/// on the band.
+/// The band matrix shared across BND2BD wavefront tasks.
 ///
-/// The bulge-chasing algorithm is inherently sequential at this granularity
-/// — each sweep rewrites the whole band — so the graph is a chain and the
-/// numerical result is identical to
-/// [`BandMatrix::reduce_to_bidiagonal`]; what this buys is that the stage
-/// is *scheduled* like every other stage (the paper likewise runs BND2BD
-/// as the serial section of its pipeline).
+/// # Safety
+///
+/// The wavefront task graph declares `Write` accesses on every band row
+/// block a task may touch ([`bidiag_kernels::band::Wavefront::row_blocks`]),
+/// so the runtime
+/// orders every pair of tasks whose blocks intersect; tasks it lets run
+/// concurrently have disjoint row sets, and in the packed band layout every
+/// element belongs to exactly one row — concurrent tasks therefore touch
+/// disjoint memory and the unsynchronised access is race-free.
+struct SharedBand(std::cell::UnsafeCell<BandMatrix>);
+
+unsafe impl Sync for SharedBand {}
+
+/// Run the BND2BD stage (band to bidiagonal) through the task runtime: one
+/// task per pipelined bulge-chasing *wavefront* (see
+/// [`bulge_wavefronts`]), with dependencies inferred from the band row
+/// blocks each wavefront touches.
+///
+/// Wavefronts of one group conflict on their shared window of the band and
+/// execute in pipeline order, but wavefronts of *different* groups — and of
+/// different superdiagonal passes — overlap whenever their row blocks are
+/// disjoint, so the stage scales with threads like GE2BND (the paper
+/// delegates this stage to PLASMA's multi-threaded bulge-chasing kernel).
+///
+/// The deflation threshold is computed once up front, exactly as
+/// [`BandMatrix::reduce_to_bidiagonal`] does, and conflicting wavefronts
+/// execute in program order, so the result is bitwise identical to the
+/// sequential reduction at every thread count.
 pub fn bnd2bd_on_runtime(band: &mut BandMatrix, threads: usize) -> Bidiagonal {
     let bw = band.bandwidth();
-    if bw < 2 {
+    let n = band.order();
+    if bw < 2 || n < 3 {
         return band.bidiagonal_factor();
     }
+    let wavefronts = bulge_wavefronts(n, bw);
+    let tol = band.deflation_tolerance();
+    let block_rows = bw.max(2);
     let mut g = TaskGraph::new();
-    for _ in (2..=bw).rev() {
-        // Every sweep writes the whole band: WAW edges chain them in order.
-        g.add_task(1.0, 0, 0, &[(0, AccessMode::Write)]);
+    let mut accesses: Vec<(u64, AccessMode)> = Vec::new();
+    for wf in &wavefronts {
+        accesses.clear();
+        accesses.extend(
+            wf.row_blocks(n, block_rows)
+                .into_iter()
+                .map(|blk| (blk, AccessMode::Write)),
+        );
+        g.add_task(wf.steps(n).count().max(1) as f64, 0, 0, &accesses);
     }
-    let shared = Arc::new(Mutex::new(std::mem::replace(band, BandMatrix::zeros(1, 1))));
-    let bodies: Vec<TaskBody> = (2..=bw)
-        .rev()
-        .map(|b| {
+    let shared = Arc::new(SharedBand(std::cell::UnsafeCell::new(std::mem::replace(
+        band,
+        BandMatrix::zeros(1, 1),
+    ))));
+    let bodies: Vec<TaskBody> = wavefronts
+        .iter()
+        .map(|&wf| {
             let shared = Arc::clone(&shared);
             Box::new(move || {
-                shared.lock().remove_superdiagonal(b);
+                // SAFETY: see [`SharedBand`] — the graph orders every pair
+                // of wavefronts with intersecting row blocks, and a
+                // wavefront only writes rows inside its declared blocks.
+                unsafe { (*shared.0.get()).run_wavefront(&wf, tol) };
             }) as TaskBody
         })
         .collect();
     runtime_execute(&g, bodies, threads);
-    *band = Arc::try_unwrap(shared)
-        .expect("all workers joined")
-        .into_inner();
+    let Ok(cell) = Arc::try_unwrap(shared) else {
+        unreachable!("all workers joined");
+    };
+    *band = cell.0.into_inner();
     band.bidiagonal_factor()
 }
 
@@ -376,15 +415,50 @@ mod tests {
         }
     }
 
+    /// A random band matrix built directly in band storage (no dense
+    /// detour, so nothing is discarded).
+    fn random_band(n: usize, bw: usize, seed: u64) -> BandMatrix {
+        let g = random_gaussian(n, n, seed);
+        let mut b = BandMatrix::zeros(n, bw);
+        for i in 0..n {
+            for j in i..=(i + bw).min(n - 1) {
+                b.set(i, j, g.get(i, j));
+            }
+        }
+        b
+    }
+
     #[test]
     fn bnd2bd_on_runtime_matches_direct_reduction() {
-        let g = random_gaussian(30, 30, 11);
-        let mut b1 = BandMatrix::from_dense(&g, 5);
+        let mut b1 = random_band(30, 5, 11);
         let mut b2 = b1.clone();
         let direct = b1.reduce_to_bidiagonal();
         let threaded = bnd2bd_on_runtime(&mut b2, 4);
         assert_eq!(direct.diag, threaded.diag);
         assert_eq!(direct.superdiag, threaded.superdiag);
+    }
+
+    #[test]
+    fn bnd2bd_wavefront_tasks_are_deterministic_across_thread_counts() {
+        // Conflicting wavefronts are graph-ordered and concurrent ones
+        // touch disjoint rows, so every thread count must reproduce the
+        // sequential reduction bit for bit.
+        for (n, bw, seed) in [(100usize, 8usize, 13u64), (61, 3, 14), (40, 17, 15)] {
+            let mut reference = random_band(n, bw, seed);
+            let band0 = reference.clone();
+            let seq = reference.reduce_to_bidiagonal();
+            for threads in [1usize, 2, 4] {
+                let mut b = band0.clone();
+                let par = bnd2bd_on_runtime(&mut b, threads);
+                assert_eq!(seq.diag, par.diag, "n={n} bw={bw} @ {threads} threads");
+                assert_eq!(
+                    seq.superdiag, par.superdiag,
+                    "n={n} bw={bw} @ {threads} threads"
+                );
+                // The band storages themselves must agree too.
+                assert_eq!(reference.to_dense(), b.to_dense());
+            }
+        }
     }
 
     #[test]

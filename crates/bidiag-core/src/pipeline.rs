@@ -8,8 +8,10 @@
 //!   threading knobs.
 //!
 //! With `threads > 1` every stage runs on the work-stealing task runtime of
-//! `bidiag-runtime`: GE2BND as the tile-kernel DAG, BND2BD as a chain of
-//! sweep tasks (the stage is inherently serial, exactly as in the paper),
+//! `bidiag-runtime`: GE2BND as the tile-kernel DAG, BND2BD as one task per
+//! pipelined bulge-chasing *wavefront* (row-block dependencies let
+//! memory-disjoint wavefronts overlap — the paper delegates this stage to
+//! PLASMA's multi-threaded bulge-chasing kernel),
 //! and BD2VAL through the `bidiag-svd` solver subsystem — the dqds fast
 //! path as a single task, or Sturm spectrum slicing as one task per
 //! multi-value interval ([`Bd2ValOptions`] selects).  The thread count
@@ -194,8 +196,8 @@ pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
         &work
     };
     let stage1 = ge2bnd(a_ref, opts);
-    // BND2BD: bulge chasing on the band (a serial chain of sweep tasks on
-    // the runtime when threaded).
+    // BND2BD: pipelined bulge chasing on the band (one runtime task per
+    // wavefront when threaded; same wavefront schedule either way).
     let mut band = stage1.band.clone();
     let bidiag = if opts.threads > 1 {
         bnd2bd_on_runtime(&mut band, opts.threads)

@@ -15,7 +15,13 @@ pub struct Givens {
     pub r: f64,
 }
 
-/// Compute the Givens rotation zeroing `g` against `f` (LAPACK `dlartg`).
+/// Compute the Givens rotation zeroing `g` against `f`, following the LAPACK
+/// `dlartg` sign convention: the sign of `r` follows the larger-magnitude
+/// input (so `c >= 0` whenever `|f| > |g|`).  Taking the sign from `f`
+/// unconditionally — as a naive implementation does — flips the sign of a
+/// whole row/column whenever a small leading entry happens to be negative,
+/// and over the `O(n^2)` rotation chains of the bulge chase those avoidable
+/// flips accumulate as drift in the trailing band.
 pub fn givens(f: f64, g: f64) -> Givens {
     if g == 0.0 {
         Givens {
@@ -30,13 +36,16 @@ pub fn givens(f: f64, g: f64) -> Givens {
             r: g,
         }
     } else {
-        let r = f.hypot(g);
-        let r = if f >= 0.0 { r } else { -r };
-        Givens {
-            c: f / r,
-            s: g / r,
-            r,
+        let d = f.hypot(g);
+        let mut c = f / d;
+        let mut s = g / d;
+        let mut r = d;
+        if f.abs() > g.abs() && c < 0.0 {
+            c = -c;
+            s = -s;
+            r = -r;
         }
+        Givens { c, s, r }
     }
 }
 
@@ -52,6 +61,7 @@ impl Givens {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn givens_zeroes_second_component() {
@@ -74,9 +84,53 @@ mod tests {
     }
 
     #[test]
+    fn dlartg_sign_convention() {
+        // |f| > |g|: c > 0 and the sign of r follows f.
+        let rot = givens(-3.0, 2.0);
+        assert!(rot.c > 0.0 && rot.r < 0.0);
+        let rot = givens(3.0, -2.0);
+        assert!(rot.c > 0.0 && rot.r > 0.0);
+        // |g| > |f|: plain normalisation, r keeps the sign of the
+        // untouched f-based quotient (c keeps sign of f).
+        let rot = givens(-2.0, 3.0);
+        assert!(rot.r > 0.0 && rot.c < 0.0);
+        // Degenerate cases pass through.
+        assert_eq!(givens(-5.0, 0.0).r, -5.0);
+        assert_eq!(givens(0.0, -5.0).r, -5.0);
+    }
+
+    #[test]
     fn apply_preserves_norm() {
         let rot = givens(1.5, -2.5);
         let (a, b) = rot.apply(0.3, 0.7);
         assert!((a.hypot(b) - 0.3_f64.hypot(0.7)).abs() < 1e-14);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The rotation is orthogonal, annihilates `g`, reproduces `r`, and
+        /// obeys the dlartg sign rule, over many magnitude scales.
+        #[test]
+        fn givens_properties(
+            f in -1.0e8_f64..1.0e8,
+            g in -1.0e8_f64..1.0e8,
+            scale in 0_u32..16,
+        ) {
+            let s = 10.0_f64.powi(2 * scale as i32 - 16);
+            let (f, g) = (f * s, g * s);
+            let rot = givens(f, g);
+            if f != 0.0 || g != 0.0 {
+                prop_assert!((rot.c * rot.c + rot.s * rot.s - 1.0).abs() < 1e-14);
+            }
+            let (r, z) = rot.apply(f, g);
+            let norm = f.hypot(g);
+            prop_assert!(z.abs() <= 1e-14 * norm.max(1.0e-300));
+            prop_assert!((r - rot.r).abs() <= 1e-12 * norm.max(1.0e-300));
+            if f.abs() > g.abs() {
+                // Larger-magnitude component dictates the sign: c >= 0.
+                prop_assert!(rot.c >= 0.0, "c = {} for ({f}, {g})", rot.c);
+            }
+        }
     }
 }
