@@ -9,29 +9,41 @@
 //! best-of-3 end-to-end GE2BND run plus a GE2VAL stage split on the
 //! ROADMAP reference case (768x512, nb = 64, GREEDY, BIDIAG, 1 thread).
 //!
+//! The SIMD section compares the runtime-dispatched backends of
+//! [`bidiag_matrix::simd`]: the packed GEMM microkernel and the blocked
+//! UNMQR apply are timed under the forced scalar and AVX2+FMA backends and
+//! reported as GFlop/s against the *machine FMA peak*
+//! (`cores x rated_GHz x lanes x 2` flops/cycle; lanes = 1 scalar, 4 AVX2 —
+//! a one-FMA-port model, so measured percentages can exceed 100% on wider
+//! cores), followed by the reference GE2BND case run under both backends.
+//!
 //! **Acceptance gates:** every blocked kernel must be at least as fast as
 //! its unblocked reference at the measured tile size — the check that
 //! would have caught the PR 3 TTQRT/TTLQT regression — the BD2VAL
 //! dqds solver must beat per-value bisection by at least 3x on the
-//! reference bidiagonal (n = 512), and the pipelined BND2BD wavefront
+//! reference bidiagonal (n = 512), the pipelined BND2BD wavefront
 //! reduction must beat the retained single-bulge chase by at least 2x on
-//! the reference band (n = 512, bw = 64).  All three gates *assert*
-//! (non-zero exit) in `--test` mode so CI enforces them.
+//! the reference band (n = 512, bw = 64), and (when the host has AVX2+FMA)
+//! the AVX2 backend must run the reference GE2BND at least 1.3x faster
+//! than the forced-scalar backend.  All gates *assert* (non-zero exit) in
+//! `--test` mode so CI enforces them.
 //!
 //! Results are emitted machine-readably to `BENCH_kernels.json` (fields:
 //! `name`, `nb`, `variant`, `ns_per_iter`, `gflops`), and the end-to-end
 //! numbers to the repo-top-level `BENCH.json` (machine info + per-stage
-//! GE2VAL split + BD2VAL solver times + the cross-PR history) — see
-//! BENCHMARKING.md.
+//! GE2VAL split + BD2VAL solver times + the `simd` GFlop/s-vs-peak block +
+//! the cross-PR history) — see BENCHMARKING.md.
 //!
 //! Modes: no flag = full sweep; `--test` = CI gate (nb = 64 only, shorter
 //! rounds, JSON to a temp path, no end-to-end run, but all acceptance
 //! gates); `--gemm-sweep` = only the packed-vs-unpacked GEMM crossover
 //! table; `--bd2val` = only the BD2VAL solver comparison; `--bnd2bd` =
-//! only the BND2BD pipelined-vs-single-bulge comparison.
+//! only the BND2BD pipelined-vs-single-bulge comparison; `--simd` = only
+//! the SIMD backend comparison plus the GE2BND backend gate.
 
 use bidiag_bench::{
-    measure_bd2val_solvers, measure_bnd2bd, measure_ge2bnd_scaling, measure_ge2val_stages,
+    measure_bd2val_solvers, measure_bnd2bd, measure_ge2bnd_backends, measure_ge2bnd_scaling,
+    measure_ge2val_stages,
 };
 use bidiag_core::flops::bidiag_flops;
 use bidiag_kernels::cost::KernelKind;
@@ -39,6 +51,7 @@ use bidiag_kernels::{lq, qr, Trans, Workspace};
 use bidiag_matrix::checks::{lower_triangle_of, upper_triangle_of};
 use bidiag_matrix::gemm::{gemm_nn_packed, gemm_nn_unpacked, GemmScratch};
 use bidiag_matrix::gen::random_gaussian;
+use bidiag_matrix::simd::{self, SimdBackend};
 use std::time::Instant;
 
 /// One measured data point.
@@ -466,6 +479,190 @@ fn bnd2bd_comparison(h: &mut Harness, samples: usize) -> bidiag_bench::Bnd2BdTim
     t
 }
 
+/// Nominal machine FMA peak, modelled as `cores x freq x lanes x 2`
+/// (one 4-lane f64 FMA issued per cycle = 8 flops; hosts with two FMA
+/// ports can double this, so measured rates are reported against the
+/// conservative 1-port figure and can legitimately exceed 100% of the
+/// scalar peak).
+struct FmaPeak {
+    /// Nominal clock in GHz (0.0 when undetectable — peaks become 0 and
+    /// the vs-peak columns print as n/a).
+    freq_ghz: f64,
+    cores: usize,
+}
+
+impl FmaPeak {
+    /// Parse the nominal frequency from `/proc/cpuinfo`: the `model name`
+    /// `@ x.xxGHz` suffix when present (the *rated* clock), else the
+    /// current `cpu MHz` reading.
+    fn detect() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let info = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+        let from_model = info
+            .lines()
+            .find(|l| l.starts_with("model name"))
+            .and_then(|l| l.rsplit_once('@'))
+            .and_then(|(_, f)| f.trim().strip_suffix("GHz"))
+            .and_then(|f| f.trim().parse::<f64>().ok());
+        let from_mhz = info
+            .lines()
+            .find(|l| l.starts_with("cpu MHz"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .map(|mhz| mhz / 1000.0);
+        FmaPeak {
+            freq_ghz: from_model.or(from_mhz).unwrap_or(0.0),
+            cores,
+        }
+    }
+
+    /// One-core f64 FMA peak in GFlop/s at `lanes` lanes per register.
+    fn core_peak(&self, lanes: usize) -> f64 {
+        self.freq_ghz * lanes as f64 * 2.0
+    }
+
+    /// Whole-machine peak: `cores x freq x lanes x 2`.
+    fn machine_peak(&self, lanes: usize) -> f64 {
+        self.cores as f64 * self.core_peak(lanes)
+    }
+}
+
+/// Percent-of-peak formatter tolerant of an undetectable clock.
+fn pct_of(gflops: f64, peak: f64) -> String {
+    if peak > 0.0 {
+        format!("{:.0}%", 100.0 * gflops / peak)
+    } else {
+        "n/a".to_string()
+    }
+}
+
+/// Measured GFlop/s of the two SIMD-dispatch flagship kernels (packed GEMM
+/// and the blocked WY apply) under each forced backend, for the vs-peak
+/// table and the BENCH.json `simd` block.
+struct SimdGflops {
+    /// (backend name, GFlop/s) for `gemm_nn_packed` at 256^3.
+    gemm: Vec<(&'static str, f64)>,
+    /// (backend name, GFlop/s) for blocked UNMQR at nb = 64.
+    wy_unmqr: Vec<(&'static str, f64)>,
+}
+
+/// Time packed GEMM (256^3) and the blocked WY apply (UNMQR @ nb = 64)
+/// under each available backend through the production dispatch path
+/// ([`simd::with_forced_backend`] pins the process-global backend; the
+/// kernels consult [`simd::backend`] as usual), and print GFlop/s against
+/// the nominal FMA peaks.
+fn simd_backend_comparison(h: &mut Harness, peak: &FmaPeak) -> SimdGflops {
+    let mut backends = vec![SimdBackend::Scalar];
+    if simd::avx2_available() {
+        backends.push(SimdBackend::Avx2);
+    } else {
+        println!("# AVX2+FMA not available: SIMD comparison covers the scalar backend only");
+    }
+
+    let s = 256;
+    let a = random_gaussian(s, s, 21);
+    let b = random_gaussian(s, s, 22);
+    let gemm_flops = 2.0 * (s as f64).powi(3);
+    let nb = 64;
+    let cq = random_gaussian(nb, nb, 23);
+    let mut v = random_gaussian(nb, nb, 24);
+    let tf = qr::geqrt(&mut v, &mut Workspace::new());
+    let unmqr_flops = KernelKind::Unmqr.flops(nb);
+
+    let mut out = SimdGflops {
+        gemm: Vec::new(),
+        wy_unmqr: Vec::new(),
+    };
+    for be in backends {
+        simd::with_forced_backend(be, || {
+            let mut scratch = GemmScratch::new();
+            let mut cw = random_gaussian(s, s, 25);
+            h.bench("gemm_nn_simd", gemm_flops, s, be.name(), || {
+                gemm_nn_packed(
+                    &mut cw.as_view_mut(),
+                    1.0,
+                    a.as_view(),
+                    b.as_view(),
+                    &mut scratch,
+                );
+            });
+            let mut ws = Workspace::new();
+            let mut w = cq.clone();
+            h.bench("unmqr_simd", unmqr_flops, nb, be.name(), || {
+                w.copy_from(&cq);
+                qr::unmqr(&v, &tf, &mut w, Trans::Transpose, &mut ws);
+            });
+        });
+        let gf = |name: &str| {
+            h.records
+                .iter()
+                .find(|r| r.name == name && r.variant == be.name())
+                .map_or(0.0, |r| r.gflops)
+        };
+        out.gemm.push((be.name(), gf("gemm_nn_simd")));
+        out.wy_unmqr.push((be.name(), gf("unmqr_simd")));
+    }
+
+    println!(
+        "# SIMD backends vs machine FMA peak ({} cores x {:.2} GHz x lanes x 2; 1-thread kernels, 1 FMA port)",
+        peak.cores, peak.freq_ghz
+    );
+    println!("kernel\tbackend\tGFlop/s\tpeak_GF\tpct_of_peak");
+    for (kernel, rows) in [("gemm_nn_256", &out.gemm), ("unmqr_nb64", &out.wy_unmqr)] {
+        for &(name, gflops) in rows {
+            let lanes = if name == "avx2" { 4 } else { 1 };
+            let p = peak.machine_peak(lanes);
+            println!(
+                "{kernel}\t{name}\t{gflops:.2}\t{p:.1}\t{}",
+                pct_of(gflops, p)
+            );
+        }
+    }
+    if let (Some((_, gs)), Some((_, gv))) = (out.gemm.first(), out.gemm.get(1)) {
+        println!("# gemm avx2/scalar: {:.2}x", gv / gs);
+    }
+    if let (Some((_, ws_)), Some((_, wv))) = (out.wy_unmqr.first(), out.wy_unmqr.get(1)) {
+        println!("# unmqr avx2/scalar: {:.2}x", wv / ws_);
+    }
+    println!();
+    out
+}
+
+/// GE2BND on the reference case under each forced backend, with the PR 7
+/// acceptance gate: AVX2 must be at least `1.3x` faster than the scalar
+/// backend end-to-end.  Asserted in `--test` mode (when AVX2 exists) after
+/// a slower re-measurement pass, mirroring the other gates' noise policy.
+fn ge2bnd_backend_gate(samples: usize, test_mode: bool) -> Vec<bidiag_bench::BackendPoint> {
+    let points = measure_ge2bnd_backends(768, 512, 64, samples);
+    println!("# ge2bnd 768x512 nb=64 @1 thread, forced SIMD backends (best of {samples})");
+    println!("backend\ttime_ms\tspeedup_vs_scalar");
+    let scalar = points[0].seconds;
+    for p in &points {
+        println!(
+            "{}\t{:.1}\t{:.2}x",
+            p.backend,
+            p.seconds * 1.0e3,
+            scalar / p.seconds
+        );
+    }
+    if let Some(avx2) = points.iter().find(|p| p.backend == "avx2") {
+        let speedup = scalar / avx2.seconds;
+        let verdict = if speedup >= 1.3 { "PASS" } else { "FAIL" };
+        println!("# check: ge2bnd avx2 >= 1.3x scalar backend: {speedup:.2}x [{verdict}]");
+        if test_mode && speedup < 1.3 {
+            println!("# gate miss on first pass; re-measuring");
+            let retry = measure_ge2bnd_backends(768, 512, 64, samples.max(3));
+            let speedup2 = retry[0].seconds / retry.last().unwrap().seconds;
+            assert!(
+                speedup2 >= 1.3,
+                "simd acceptance: avx2 ge2bnd only {speedup2:.2}x over scalar in both passes"
+            );
+        }
+    }
+    println!();
+    points
+}
+
 /// Best-effort CPU model name (Linux /proc/cpuinfo).
 fn cpu_model() -> String {
     std::fs::read_to_string("/proc/cpuinfo")
@@ -508,6 +705,9 @@ fn write_top_level_bench(
     stages: &bidiag_bench::StageTimes,
     bd2val: &bidiag_bench::Bd2ValTimings,
     bnd2bd: &bidiag_bench::Bnd2BdTimings,
+    peak: &FmaPeak,
+    sg: &SimdGflops,
+    backend_points: &[bidiag_bench::BackendPoint],
 ) {
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let history: &[(&str, f64, Option<f64>, Option<f64>)] = &[
@@ -532,6 +732,12 @@ fn write_top_level_bench(
         ),
         (
             "PR 6: pipelined cache-blocked BND2BD bulge chasing",
+            76.5,
+            Some(8.3),
+            Some(25.5),
+        ),
+        (
+            "PR 7: SIMD kernel layer (AVX2+FMA runtime dispatch)",
             ge2bnd_ms,
             Some(stages.bd2val * 1.0e3),
             Some(stages.bnd2bd * 1.0e3),
@@ -541,11 +747,80 @@ fn write_top_level_bench(
     for (i, (label, ms, bd, b2b)) in history.iter().enumerate() {
         let bd_field = bd.map_or(String::new(), |v| format!(", \"bd2val_ms\": {v:.1}"));
         let b2b_field = b2b.map_or(String::new(), |v| format!(", \"bnd2bd_ms\": {v:.1}"));
+        // The live (last) entry also records the flagship-kernel GFlop/s
+        // per backend, so the vectorization trajectory accumulates in the
+        // history alongside the stage times.
+        let gf_field = if i + 1 == history.len() {
+            let field = |pts: &[(&'static str, f64)]| {
+                pts.iter()
+                    .map(|(be, gf)| format!("\"{be}\": {gf:.1}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            format!(
+                ", \"gemm_gflops\": {{{}}}, \"unmqr_gflops\": {{{}}}",
+                field(&sg.gemm),
+                field(&sg.wy_unmqr)
+            )
+        } else {
+            String::new()
+        };
         hist.push_str(&format!(
-            "    {{\"label\": \"{label}\", \"ge2bnd_ms\": {ms:.1}{b2b_field}{bd_field}}}{}\n",
+            "    {{\"label\": \"{label}\", \"ge2bnd_ms\": {ms:.1}{b2b_field}{bd_field}{gf_field}}}{}\n",
             if i + 1 < history.len() { "," } else { "" }
         ));
     }
+
+    // GFlop/s-vs-peak block: flagship kernels under each forced backend
+    // plus the end-to-end backend split (see BENCHMARKING.md for the peak
+    // model and why the 1-port figure can be exceeded).
+    let kernel_rows = |rows: &[(&'static str, f64)]| -> String {
+        rows.iter()
+            .map(|(name, gflops)| {
+                let lanes = if *name == "avx2" { 4 } else { 1 };
+                format!(
+                    "      {{\"backend\": \"{name}\", \"gflops\": {gflops:.2}, \"peak_gflops\": {:.1}}}",
+                    peak.machine_peak(lanes)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let backend_rows = backend_points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{\"backend\": \"{}\", \"ge2bnd_ms\": {:.1}, \"speedup_vs_scalar\": {:.2}}}",
+                p.backend,
+                p.seconds * 1.0e3,
+                backend_points[0].seconds / p.seconds
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let simd_block = format!(
+        r#"  "simd": {{
+    "default_backend": "{default}",
+    "freq_ghz": {freq:.2},
+    "machine_fma_peak_gflops": {{"scalar": {ps:.1}, "avx2": {pv:.1}}},
+    "gemm_nn_256": [
+{gemm}
+    ],
+    "unmqr_nb64": [
+{wy}
+    ],
+    "ge2bnd_backends": [
+{be}
+    ]
+  }},"#,
+        default = simd::backend().name(),
+        freq = peak.freq_ghz,
+        ps = peak.machine_peak(1),
+        pv = peak.machine_peak(4),
+        gemm = kernel_rows(&sg.gemm),
+        wy = kernel_rows(&sg.wy_unmqr),
+        be = backend_rows,
+    );
     let out = format!(
         r#"{{
   "generated_by": "cargo bench -p bidiag-bench --bench kernels",
@@ -581,6 +856,7 @@ fn write_top_level_bench(
     "pipelined_ms": {cp:.2},
     "pipelined_speedup_vs_single_bulge": {cx:.2}
   }},
+{simd_block}
   "history": [
 {hist}  ]
 }}
@@ -613,6 +889,7 @@ fn main() {
     let sweep_only = std::env::args().any(|a| a == "--gemm-sweep");
     let bd2val_only = std::env::args().any(|a| a == "--bd2val");
     let bnd2bd_only = std::env::args().any(|a| a == "--bnd2bd");
+    let simd_only = std::env::args().any(|a| a == "--simd");
     let (nbs, rounds, min_round_secs): (&[usize], usize, f64) = if test_mode {
         // CI gate: one realistic tile size, short but real rounds — enough
         // to expose a kernel running slower than its reference.
@@ -636,6 +913,12 @@ fn main() {
     }
     if bnd2bd_only {
         bnd2bd_comparison(&mut h, 3);
+        return;
+    }
+    if simd_only {
+        let peak = FmaPeak::detect();
+        simd_backend_comparison(&mut h, &peak);
+        ge2bnd_backend_gate(3, false);
         return;
     }
 
@@ -731,6 +1014,14 @@ fn main() {
         );
     }
 
+    // SIMD layer: flagship-kernel GFlop/s vs peak under both forced
+    // backends, plus the end-to-end GE2BND backend split with the PR 7
+    // acceptance gate (avx2 >= 1.3x scalar, asserted in --test mode when
+    // the host has AVX2).
+    let peak = FmaPeak::detect();
+    let sg = simd_backend_comparison(&mut h, &peak);
+    let backend_points = ge2bnd_backend_gate(if test_mode { 2 } else { 3 }, test_mode);
+
     if !test_mode {
         gemm_sweep(&mut h);
 
@@ -774,7 +1065,15 @@ fn main() {
             stages.bnd2bd * 1.0e3,
             stages.bd2val * 1.0e3
         );
-        write_top_level_bench(secs * 1.0e3, &stages, &bd2val, &bnd2bd);
+        write_top_level_bench(
+            secs * 1.0e3,
+            &stages,
+            &bd2val,
+            &bnd2bd,
+            &peak,
+            &sg,
+            &backend_points,
+        );
     }
 
     let path = if test_mode {

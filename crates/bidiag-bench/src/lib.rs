@@ -250,6 +250,61 @@ pub fn measure_ge2bnd_scaling(
     points
 }
 
+/// One GE2BND timing under a forced SIMD backend.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendPoint {
+    /// Backend name (`"scalar"` / `"avx2"`).
+    pub backend: &'static str,
+    /// Best-of-`samples` wall time in seconds.
+    pub seconds: f64,
+}
+
+/// Time GE2BND on the reference input under each available SIMD backend
+/// (scalar always; AVX2 when the host supports it), via
+/// [`bidiag_matrix::simd::with_forced_backend`] — so the comparison is
+/// independent of `BIDIAG_SIMD` and of whatever the process has already
+/// auto-selected.  Same input and options as [`measure_ge2bnd_scaling`]
+/// at 1 thread.
+pub fn measure_ge2bnd_backends(m: usize, n: usize, nb: usize, samples: usize) -> Vec<BackendPoint> {
+    use bidiag_core::pipeline::{ge2bnd, AlgorithmChoice, Ge2Options};
+    use bidiag_matrix::simd::{self, SimdBackend};
+    let (a, _) = bidiag_matrix::gen::latms(
+        m,
+        n,
+        &bidiag_matrix::gen::SpectrumKind::Geometric { cond: 1.0e4 },
+        7,
+    );
+    let opts = Ge2Options::new(nb)
+        .with_tree(NamedTree::Greedy)
+        .with_algorithm(AlgorithmChoice::Bidiag)
+        .with_threads(1);
+    let mut backends = vec![SimdBackend::Scalar];
+    if simd::avx2_available() {
+        backends.push(SimdBackend::Avx2);
+    }
+    backends
+        .into_iter()
+        .map(|be| {
+            let seconds = simd::with_forced_backend(be, || {
+                let _ = ge2bnd(&a, &opts); // warm caches under this backend
+                let mut best = f64::INFINITY;
+                for _ in 0..samples.max(1) {
+                    let start = std::time::Instant::now();
+                    let r = ge2bnd(&a, &opts);
+                    let dt = start.elapsed().as_secs_f64();
+                    assert!(r.num_tasks > 0);
+                    best = best.min(dt);
+                }
+                best
+            });
+            BackendPoint {
+                backend: be.name(),
+                seconds,
+            }
+        })
+        .collect()
+}
+
 /// Wall-time split of one measured GE2VAL run (seconds per stage).
 #[derive(Clone, Copy, Debug)]
 pub struct StageTimes {

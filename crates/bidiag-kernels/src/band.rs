@@ -45,7 +45,7 @@
 
 use crate::gebd2::Bidiagonal;
 use crate::givens::givens;
-use bidiag_matrix::Matrix;
+use bidiag_matrix::{simd, Matrix};
 
 /// Chase-step lag between adjacent pipelined sweeps.
 ///
@@ -88,6 +88,65 @@ fn fast_givens(f: f64, g: f64) -> crate::givens::Givens {
         crate::givens::Givens { c, s, r }
     } else {
         givens(f, g)
+    }
+}
+
+/// Strided pair-rotation walk of [`BandMatrix::rot_rows`], portable
+/// fallback: unfused arithmetic, because `f64::mul_add` without the FMA
+/// target feature lowers to a libm call (the exact trap that cost BND2BD
+/// 3x when the `-C target-cpu=native` pin was dropped).
+///
+/// # Safety
+///
+/// The caller must guarantee `start + (m - 1) * step + 2 <= data.len()`.
+#[inline(always)]
+unsafe fn rot_rows_walk(data: &mut [f64], start: usize, m: usize, step: usize, gc: f64, gs: f64) {
+    // SAFETY: the caller's bound guarantees `start` is in-buffer.
+    let mut p = unsafe { data.as_mut_ptr().add(start) };
+    for _ in 0..m {
+        // SAFETY: `p` and `p + 1` stay below `start + (m-1)*step + 2`,
+        // which the caller proved is within the buffer.
+        unsafe {
+            let x = *p;
+            let y = *p.add(1);
+            *p = gc * x + gs * y;
+            *p.add(1) = gc * y - gs * x;
+            p = p.add(step);
+        }
+    }
+}
+
+/// [`rot_rows_walk`] recompiled with the FMA target feature: identical
+/// strided walk, but the multiply-adds fuse into single `vfmadd`
+/// instructions (the strided 2-element pairs leave nothing for the vector
+/// lanes themselves to do).
+///
+/// # Safety
+///
+/// AVX2+FMA must be available, and the caller must guarantee
+/// `start + (m - 1) * step + 2 <= data.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn rot_rows_walk_avx2(
+    data: &mut [f64],
+    start: usize,
+    m: usize,
+    step: usize,
+    gc: f64,
+    gs: f64,
+) {
+    // SAFETY: the caller's bound guarantees `start` is in-buffer.
+    let mut p = unsafe { data.as_mut_ptr().add(start) };
+    for _ in 0..m {
+        // SAFETY: `p` and `p + 1` stay below `start + (m-1)*step + 2`,
+        // which the caller proved is within the buffer.
+        unsafe {
+            let x = *p;
+            let y = *p.add(1);
+            *p = gc.mul_add(x, gs * y);
+            *p.add(1) = gc.mul_add(y, -gs * x);
+            p = p.add(step);
+        }
     }
 }
 
@@ -382,21 +441,20 @@ impl BandMatrix {
         let len = r1 - r0 + 1;
         let xs = &mut left[o1..o1 + len];
         let ys = &mut rest[o1 - 1..o1 - 1 + len];
-        for t in 0..len {
-            let x = xs[t];
-            let y = ys[t];
-            // mul_add compiles to a fused multiply-add under the
-            // `-C target-cpu=native` build (see .cargo/config.toml): two
-            // FMAs + two muls per pair instead of four muls + two adds,
-            // and the loop stays auto-vectorizable.
-            xs[t] = gc.mul_add(x, gs * y);
-            ys[t] = gc.mul_add(y, -gs * x);
-        }
+        // Two contiguous strips -> the dispatched fused-rotation kernel
+        // (AVX2 broadcast-FMA above 4 elements, scalar below/fallback).
+        // The backend read is one relaxed atomic load, never a cpuid.
+        simd::rot_strips(simd::backend(), xs, ys, gc, gs);
     }
 
     /// Apply a row rotation to rows `(r, r + 1)` over columns `c0 ..= c1`:
     /// the two elements of each column are *adjacent* in its packed slice,
     /// so the walk is one strided sweep with no per-element index logic.
+    /// The data is strided 2-element pairs, so there is no contiguous strip
+    /// for a vector kernel to load; the backend dispatch below exists to
+    /// recompile the same scalar walk with hardware FMA under AVX2
+    /// (`f64::mul_add` on the portable baseline would lower to a libm
+    /// call), with the unfused walk as the portable fallback.
     #[inline]
     fn rot_rows(&mut self, r: usize, c0: usize, c1: usize, gc: f64, gs: f64) {
         debug_assert!(c0 <= c1 && c1 < self.n && c0 >= r.saturating_sub(self.bw + 1));
@@ -409,16 +467,19 @@ impl BandMatrix {
         // step-count-dominating small-`b` passes the per-pair check cost
         // rivals the arithmetic.
         assert!(start + (m - 1) * (ldab - 1) + 2 <= self.data.len());
-        let mut p = unsafe { self.data.as_mut_ptr().add(start) };
-        for _ in 0..m {
-            // SAFETY: `p` and `p + 1` stay below `start + (m-1)*(ldab-1) + 2`,
-            // which the assertion above proved is within the buffer.
-            unsafe {
-                let x = *p;
-                let y = *p.add(1);
-                *p = gc.mul_add(x, gs * y);
-                *p.add(1) = gc.mul_add(y, -gs * x);
-                p = p.add(ldab - 1);
+        match simd::backend() {
+            #[cfg(target_arch = "x86_64")]
+            simd::SimdBackend::Avx2 => {
+                simd::check_avx2();
+                // SAFETY: `check_avx2` above proved AVX2+FMA are available,
+                // and the bounds assertion covers every pointer the walk
+                // dereferences.
+                unsafe { rot_rows_walk_avx2(&mut self.data, start, m, ldab - 1, gc, gs) }
+            }
+            _ => {
+                // SAFETY: the bounds assertion covers every pointer the
+                // walk dereferences.
+                unsafe { rot_rows_walk(&mut self.data, start, m, ldab - 1, gc, gs) }
             }
         }
     }

@@ -23,6 +23,7 @@
 //!   machine simulations.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod band;
 pub mod cost;

@@ -41,7 +41,7 @@ use crate::wy::{
     TFactor, Workspace,
 };
 use bidiag_matrix::gemm::{dot as fdot, gemm_nn_scratch, gemm_tn_scratch};
-use bidiag_matrix::{Matrix, MatrixViewMut};
+use bidiag_matrix::{simd, Matrix, MatrixViewMut};
 
 /// Whether an apply kernel applies `Q^T` (used by factorizations) or `Q`
 /// (used when reconstructing / applying backward transformations).
@@ -59,6 +59,7 @@ fn larf_left(tau: f64, vtail: &[f64], c: &mut MatrixViewMut<'_>) {
     let mlen = vtail.len();
     debug_assert_eq!(c.rows(), mlen + 1);
     let n = c.cols();
+    let be = simd::backend();
     let mut cols = c.cols_mut();
     let mut j = 0;
     while j < n {
@@ -67,29 +68,19 @@ fn larf_left(tau: f64, vtail: &[f64], c: &mut MatrixViewMut<'_>) {
             let c1 = cols.next().unwrap();
             let c2 = cols.next().unwrap();
             let c3 = cols.next().unwrap();
-            let (mut w0, mut w1, mut w2, mut w3) = (c0[0], c1[0], c2[0], c3[0]);
-            for i in 0..mlen {
-                let v = vtail[i];
-                w0 += v * c0[i + 1];
-                w1 += v * c1[i + 1];
-                w2 += v * c2[i + 1];
-                w3 += v * c3[i + 1];
-            }
-            w0 *= tau;
-            w1 *= tau;
-            w2 *= tau;
-            w3 *= tau;
+            let d = simd::dot4(be, vtail, &c0[1..], &c1[1..], &c2[1..], &c3[1..]);
+            let w0 = tau * (c0[0] + d[0]);
+            let w1 = tau * (c1[0] + d[1]);
+            let w2 = tau * (c2[0] + d[2]);
+            let w3 = tau * (c3[0] + d[3]);
             c0[0] -= w0;
             c1[0] -= w1;
             c2[0] -= w2;
             c3[0] -= w3;
-            for i in 0..mlen {
-                let v = vtail[i];
-                c0[i + 1] -= v * w0;
-                c1[i + 1] -= v * w1;
-                c2[i + 1] -= v * w2;
-                c3[i + 1] -= v * w3;
-            }
+            simd::axpy(be, &mut c0[1..], -w0, vtail);
+            simd::axpy(be, &mut c1[1..], -w1, vtail);
+            simd::axpy(be, &mut c2[1..], -w2, vtail);
+            simd::axpy(be, &mut c3[1..], -w3, vtail);
             j += 4;
         } else {
             let c0 = cols.next().unwrap();
@@ -113,6 +104,7 @@ fn larf_left(tau: f64, vtail: &[f64], c: &mut MatrixViewMut<'_>) {
 fn ts_update(tau: f64, v: &[f64], r1: &mut Matrix, k: usize, trail: &mut MatrixViewMut<'_>) {
     let rl = v.len();
     let n = trail.cols();
+    let be = simd::backend();
     let mut cols = trail.cols_mut();
     let mut jj = 0;
     while jj < n {
@@ -122,32 +114,19 @@ fn ts_update(tau: f64, v: &[f64], r1: &mut Matrix, k: usize, trail: &mut MatrixV
             let c1 = cols.next().unwrap();
             let c2 = cols.next().unwrap();
             let c3 = cols.next().unwrap();
-            let mut w0 = r1.get(k, j);
-            let mut w1 = r1.get(k, j + 1);
-            let mut w2 = r1.get(k, j + 2);
-            let mut w3 = r1.get(k, j + 3);
-            for i in 0..rl {
-                let vi = v[i];
-                w0 += vi * c0[i];
-                w1 += vi * c1[i];
-                w2 += vi * c2[i];
-                w3 += vi * c3[i];
-            }
-            w0 *= tau;
-            w1 *= tau;
-            w2 *= tau;
-            w3 *= tau;
+            let d = simd::dot4(be, v, &c0[..rl], &c1[..rl], &c2[..rl], &c3[..rl]);
+            let w0 = tau * (r1.get(k, j) + d[0]);
+            let w1 = tau * (r1.get(k, j + 1) + d[1]);
+            let w2 = tau * (r1.get(k, j + 2) + d[2]);
+            let w3 = tau * (r1.get(k, j + 3) + d[3]);
             r1.set(k, j, r1.get(k, j) - w0);
             r1.set(k, j + 1, r1.get(k, j + 1) - w1);
             r1.set(k, j + 2, r1.get(k, j + 2) - w2);
             r1.set(k, j + 3, r1.get(k, j + 3) - w3);
-            for i in 0..rl {
-                let vi = v[i];
-                c0[i] -= vi * w0;
-                c1[i] -= vi * w1;
-                c2[i] -= vi * w2;
-                c3[i] -= vi * w3;
-            }
+            simd::axpy(be, &mut c0[..rl], -w0, v);
+            simd::axpy(be, &mut c1[..rl], -w1, v);
+            simd::axpy(be, &mut c2[..rl], -w2, v);
+            simd::axpy(be, &mut c3[..rl], -w3, v);
             jj += 4;
         } else {
             let c0 = cols.next().unwrap();
@@ -645,6 +624,17 @@ mod tests {
     use bidiag_matrix::checks::{orthogonality_error, relative_error};
     use bidiag_matrix::gen::random_gaussian;
 
+    /// Blocked and unblocked factorizations generate reflectors in the same
+    /// order, but the blocked panel sweep runs through the SIMD layer (fused
+    /// multiply-adds under AVX2), so taus agree to a tight relative
+    /// tolerance rather than bitwise.
+    fn taus_close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x - y).abs() <= 1e-13 * x.abs().max(y.abs()).max(1.0))
+    }
+
     #[test]
     fn geqrt_factors_square_tile() {
         let a0 = random_gaussian(8, 8, 1);
@@ -658,9 +648,11 @@ mod tests {
     }
 
     #[test]
-    fn blocked_geqrt_matches_unblocked_bitwise() {
-        // Same reflector generation in the same order: the factored tile and
-        // the tau scalars are identical, the T factor is extra information.
+    fn blocked_geqrt_matches_unblocked() {
+        // Same reflector generation in the same order, so the factored tile
+        // and tau scalars agree to the last few ulps (the blocked panel sweep
+        // runs through the SIMD layer, whose AVX2 lanes fuse multiply-adds);
+        // the T factor is extra information.
         for (m, n) in [(10, 4), (4, 10), (7, 7), (1, 5), (5, 1)] {
             let a0 = random_gaussian(m, n, (m * 100 + n) as u64);
             let mut ws = Workspace::new();
@@ -668,8 +660,16 @@ mod tests {
             let tf = geqrt(&mut ab, &mut ws);
             let mut au = a0.clone();
             let taus = geqrt_unblocked(&mut au);
-            assert_eq!(ab, au, "factored tile differs for {m}x{n}");
-            assert_eq!(tf.taus(), &taus[..], "taus differ for {m}x{n}");
+            assert!(
+                relative_error(&au, &ab) < 1e-13,
+                "factored tile differs for {m}x{n}"
+            );
+            assert!(
+                taus_close(tf.taus(), &taus),
+                "taus differ for {m}x{n}: {:?} vs {:?}",
+                tf.taus(),
+                taus
+            );
         }
     }
 

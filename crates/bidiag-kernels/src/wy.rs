@@ -33,14 +33,18 @@
 //!   trmm-style sweep of contiguous axpys and hands the dense remainder to
 //!   [`bidiag_matrix::gemm`], instead of densifying `V` into scratch.
 //!
-//! Every inner loop runs down a contiguous column slice, and the middle
-//! loops are unrolled four-wide so one pass over the shared operand feeds
-//! four independent accumulators (the same discipline as
-//! [`bidiag_matrix::gemm`]).
+//! Every inner loop runs down a contiguous column slice as a
+//! [`bidiag_matrix::simd`] `axpy`/`axpy4` (backend fetched once per kernel
+//! call, AVX2-FMA or the scalar fallback), so one pass over the shared
+//! operand feeds four independent accumulators — the same discipline as
+//! [`bidiag_matrix::gemm`].  The only dots kept on the order-exact scalar
+//! [`fdot`] are the `T`-application ones in `apply_t_left`: they are
+//! length `<= IB = 8`, below every vector step, where dispatch overhead
+//! costs more than it saves.
 
 use crate::qr::Trans;
 use bidiag_matrix::gemm::{dot as fdot, gemm_nt_scratch, gemm_tn_scratch, GemmScratch};
-use bidiag_matrix::{Matrix, MatrixView, MatrixViewMut};
+use bidiag_matrix::{simd, Matrix, MatrixView, MatrixViewMut};
 
 /// Inner blocking factor of the apply kernels (PLASMA's `ib`): reflectors
 /// are applied in chunks of `IB`, each through the corresponding diagonal
@@ -101,6 +105,7 @@ pub(crate) fn trap_ctv(
     }
     // W := W * V1 (V1 the ib x ib unit-lower-triangular top): ascending kk
     // reads only not-yet-updated columns i > kk.
+    let be = simd::backend();
     for kk in 0..ibp {
         let vcol = v.col(p + kk);
         let (mut head, tail) = w.split_cols_at_mut(kk + 1);
@@ -108,10 +113,7 @@ pub(crate) fn trap_ctv(
         for i in kk + 1..ibp {
             let s = vcol[p + i];
             if s != 0.0 {
-                let wi = tail.col(i - kk - 1);
-                for (x, &y) in wk.iter_mut().zip(wi) {
-                    *x += s * y;
-                }
+                simd::axpy(be, wk, s, tail.col(i - kk - 1));
             }
         }
     }
@@ -157,16 +159,14 @@ pub(crate) fn trap_cvwt(
         );
     }
     // W := W * V1^T: descending kk reads only original columns i < kk.
+    let be = simd::backend();
     for kk in (0..ibp).rev() {
         let (head, mut tail) = w.split_cols_at_mut(kk);
         let wk = tail.col_mut(0);
         for i in 0..kk {
             let s = v.get(p + kk, p + i);
             if s != 0.0 {
-                let wi = head.col(i);
-                for (x, &y) in wk.iter_mut().zip(wi) {
-                    *x += s * y;
-                }
+                simd::axpy(be, wk, s, head.col(i));
             }
         }
     }
@@ -222,6 +222,7 @@ pub(crate) fn tri_ctv(
                 strip[i * n + j] = ccol[rl0 + i];
             }
         }
+        let be = simd::backend();
         for kk in 0..ibp {
             let rl = (p + kk + 1).min(m2);
             let vcol = v2.col(p + kk);
@@ -229,10 +230,7 @@ pub(crate) fn tri_ctv(
             for i in rl0..rl {
                 let s = vcol[i];
                 if s != 0.0 {
-                    let row = &strip[(i - rl0) * n..(i - rl0) * n + n];
-                    for (x, &y) in wk.iter_mut().zip(row) {
-                        *x += s * y;
-                    }
+                    simd::axpy(be, wk, s, &strip[(i - rl0) * n..(i - rl0) * n + n]);
                 }
             }
         }
@@ -267,6 +265,7 @@ pub(crate) fn tri_cvwt(
         // strip row i accumulates the update of C2 row rl0 + i.
         let strip = grow(aux, nrows * n);
         strip[..nrows * n].fill(0.0);
+        let be = simd::backend();
         for kk in 0..ibp {
             let rl = (p + kk + 1).min(m2);
             let vcol = v2.col(p + kk);
@@ -274,10 +273,7 @@ pub(crate) fn tri_cvwt(
             for i in rl0..rl {
                 let s = vcol[i];
                 if s != 0.0 {
-                    let row = &mut strip[(i - rl0) * n..(i - rl0) * n + n];
-                    for (x, &y) in row.iter_mut().zip(wk) {
-                        *x += s * y;
-                    }
+                    simd::axpy(be, &mut strip[(i - rl0) * n..(i - rl0) * n + n], s, wk);
                 }
             }
         }
@@ -496,6 +492,7 @@ pub(crate) fn apply_t_left(
 pub(crate) fn apply_t_right(w: &mut MatrixViewMut<'_>, t: MatrixView<'_>, transpose_t: bool) {
     let k = t.rows();
     debug_assert_eq!(w.cols(), k);
+    let be = simd::backend();
     if !transpose_t {
         // (W T)[:, j] = sum_{l <= j} T[l, j] * W[:, l]: descending j.
         for j in (0..k).rev() {
@@ -508,10 +505,7 @@ pub(crate) fn apply_t_right(w: &mut MatrixViewMut<'_>, t: MatrixView<'_>, transp
             }
             for (l, &s) in tcol[..j].iter().enumerate() {
                 if s != 0.0 {
-                    let wl = left.col(l);
-                    for (x, &y) in wj.iter_mut().zip(wl) {
-                        *x += s * y;
-                    }
+                    simd::axpy(be, wj, s, left.col(l));
                 }
             }
         }
@@ -527,10 +521,7 @@ pub(crate) fn apply_t_right(w: &mut MatrixViewMut<'_>, t: MatrixView<'_>, transp
             for l in (j + 1)..k {
                 let s = t.get(j, l);
                 if s != 0.0 {
-                    let wl = right.col(l - j - 1);
-                    for i in 0..wj.len() {
-                        wj[i] += s * wl[i];
-                    }
+                    simd::axpy(be, wj, s, right.col(l - j - 1));
                 }
             }
         }
@@ -546,30 +537,32 @@ pub(crate) fn lq_cv(v: MatrixView<'_>, c: MatrixView<'_>, w: &mut MatrixViewMut<
     let k = w.cols();
     debug_assert_eq!(v.cols(), n);
     debug_assert!(v.rows() >= k && w.rows() == r);
+    let be = simd::backend();
     for (kk, wcol) in w.cols_mut().enumerate() {
         wcol.copy_from_slice(c.col(kk));
         let mut j = kk + 1;
         while j + 4 <= n {
-            let s0 = v.get(kk, j);
-            let s1 = v.get(kk, j + 1);
-            let s2 = v.get(kk, j + 2);
-            let s3 = v.get(kk, j + 3);
-            let c0 = c.col(j);
-            let c1 = c.col(j + 1);
-            let c2 = c.col(j + 2);
-            let c3 = c.col(j + 3);
-            for i in 0..r {
-                wcol[i] += c0[i] * s0 + c1[i] * s1 + c2[i] * s2 + c3[i] * s3;
-            }
+            let s = [
+                v.get(kk, j),
+                v.get(kk, j + 1),
+                v.get(kk, j + 2),
+                v.get(kk, j + 3),
+            ];
+            simd::axpy4(
+                be,
+                wcol,
+                s,
+                c.col(j),
+                c.col(j + 1),
+                c.col(j + 2),
+                c.col(j + 3),
+            );
             j += 4;
         }
         while j < n {
             let s = v.get(kk, j);
             if s != 0.0 {
-                let ccol = c.col(j);
-                for i in 0..r {
-                    wcol[i] += ccol[i] * s;
-                }
+                simd::axpy(be, wcol, s, c.col(j));
             }
             j += 1;
         }
@@ -584,34 +577,31 @@ pub(crate) fn lq_cwv(v: MatrixView<'_>, w: MatrixView<'_>, c: &mut MatrixViewMut
     let k = w.cols();
     debug_assert_eq!(v.cols(), n);
     debug_assert!(v.rows() >= k && w.rows() == r);
+    let be = simd::backend();
     for (j, ccol) in c.cols_mut().enumerate() {
         if j < k {
-            let wcol = w.col(j);
-            for i in 0..r {
-                ccol[i] -= wcol[i];
-            }
+            simd::axpy(be, ccol, -1.0, w.col(j));
         }
         let vcol = v.col(j);
         let kend = j.min(k);
         let mut kk = 0;
         while kk + 4 <= kend {
-            let (s0, s1, s2, s3) = (vcol[kk], vcol[kk + 1], vcol[kk + 2], vcol[kk + 3]);
-            let w0 = w.col(kk);
-            let w1 = w.col(kk + 1);
-            let w2 = w.col(kk + 2);
-            let w3 = w.col(kk + 3);
-            for i in 0..r {
-                ccol[i] -= w0[i] * s0 + w1[i] * s1 + w2[i] * s2 + w3[i] * s3;
-            }
+            let s = [-vcol[kk], -vcol[kk + 1], -vcol[kk + 2], -vcol[kk + 3]];
+            simd::axpy4(
+                be,
+                ccol,
+                s,
+                w.col(kk),
+                w.col(kk + 1),
+                w.col(kk + 2),
+                w.col(kk + 3),
+            );
             kk += 4;
         }
         while kk < kend {
             let s = vcol[kk];
             if s != 0.0 {
-                let wcol = w.col(kk);
-                for i in 0..r {
-                    ccol[i] -= wcol[i] * s;
-                }
+                simd::axpy(be, ccol, -s, w.col(kk));
             }
             kk += 1;
         }
@@ -632,30 +622,32 @@ pub(crate) fn lq_tri_cv(
     let r = c2.rows();
     let k = w.cols();
     debug_assert!(v2.rows() >= k && w.rows() == r);
+    let be = simd::backend();
     for (kk, wcol) in w.cols_mut().enumerate() {
         let rl = (off + kk + 1).min(n2);
         let mut j = 0;
         while j + 4 <= rl {
-            let s0 = v2.get(kk, j);
-            let s1 = v2.get(kk, j + 1);
-            let s2 = v2.get(kk, j + 2);
-            let s3 = v2.get(kk, j + 3);
-            let c0 = c2.col(j);
-            let c1 = c2.col(j + 1);
-            let c2c = c2.col(j + 2);
-            let c3 = c2.col(j + 3);
-            for i in 0..r {
-                wcol[i] += c0[i] * s0 + c1[i] * s1 + c2c[i] * s2 + c3[i] * s3;
-            }
+            let s = [
+                v2.get(kk, j),
+                v2.get(kk, j + 1),
+                v2.get(kk, j + 2),
+                v2.get(kk, j + 3),
+            ];
+            simd::axpy4(
+                be,
+                wcol,
+                s,
+                c2.col(j),
+                c2.col(j + 1),
+                c2.col(j + 2),
+                c2.col(j + 3),
+            );
             j += 4;
         }
         while j < rl {
             let s = v2.get(kk, j);
             if s != 0.0 {
-                let ccol = c2.col(j);
-                for i in 0..r {
-                    wcol[i] += ccol[i] * s;
-                }
+                simd::axpy(be, wcol, s, c2.col(j));
             }
             j += 1;
         }
@@ -673,6 +665,7 @@ pub(crate) fn lq_tri_cwv(
     let r = w.rows();
     let k = w.cols();
     debug_assert!(v2.rows() >= k && c2.rows() == r);
+    let be = simd::backend();
     for (j, ccol) in c2.cols_mut().enumerate() {
         let vcol = v2.col(j);
         // Row kk of the stored tile (global index off + kk) reaches column
@@ -680,10 +673,7 @@ pub(crate) fn lq_tri_cwv(
         let kk0 = j.saturating_sub(off);
         for (kk, &s) in vcol.iter().enumerate().take(k).skip(kk0) {
             if s != 0.0 {
-                let wcol = w.col(kk);
-                for i in 0..r {
-                    ccol[i] -= wcol[i] * s;
-                }
+                simd::axpy(be, ccol, -s, w.col(kk));
             }
         }
     }

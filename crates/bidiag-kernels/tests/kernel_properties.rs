@@ -38,6 +38,17 @@ const NBS: [usize; 7] = [1, 3, 5, 8, 9, 17, 64];
 /// Matching tolerance (relative) between blocked and unblocked results.
 const TOL: f64 = 1e-13;
 
+/// Blocked and unblocked factorizations generate reflectors in the same
+/// serial order, but the blocked panel sweeps run through the SIMD layer
+/// (fused multiply-adds under AVX2), so the tau scalars agree to a tight
+/// relative tolerance rather than bitwise.
+fn taus_close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= TOL * x.abs().max(y.abs()).max(1.0))
+}
+
 /// Square, tall, wide and ragged (last-tile-like, one dimension much
 /// smaller) shapes for a given tile size.
 fn shapes(nb: usize) -> Vec<(usize, usize)> {
@@ -65,7 +76,10 @@ fn blocked_geqrt_and_unmqr_match_unblocked() {
                 relative_error(&au, &ab) < TOL,
                 "GEQRT tile differs for {m}x{n}"
             );
-            assert_eq!(tf.taus(), &taus[..], "GEQRT taus differ for {m}x{n}");
+            assert!(
+                taus_close(tf.taus(), &taus),
+                "GEQRT taus differ for {m}x{n}"
+            );
 
             // Apply to square-ish and skinny C operands in both directions.
             for nc in [1usize, nb, nb + 3] {
@@ -108,7 +122,7 @@ fn blocked_tsqrt_and_tsmqr_match_unblocked() {
                 relative_error(&a2u, &a2b) < TOL,
                 "TSQRT V2, nb={nb} m2={m2}"
             );
-            assert_eq!(tf.taus(), &taus[..]);
+            assert!(taus_close(tf.taus(), &taus));
 
             for nc in [1usize, nb] {
                 let c1_0 = random_gaussian(nb, nc, 3);
@@ -152,7 +166,7 @@ fn blocked_ttqrt_and_ttmqr_match_unblocked() {
                 relative_error(&r2u, &r2b) < TOL,
                 "TTQRT V2, nb={nb} m2={m2}"
             );
-            assert_eq!(tf.taus(), &taus[..]);
+            assert!(taus_close(tf.taus(), &taus));
 
             for nc in [1usize, nb] {
                 let c1_0 = random_gaussian(nb, nc, 5);
@@ -186,7 +200,7 @@ fn blocked_lq_kernels_match_unblocked() {
             let mut au = a0.clone();
             let taus = gelqt_unblocked(&mut au);
             assert!(relative_error(&au, &ab) < TOL, "GELQT tile, {m}x{n}");
-            assert_eq!(tf.taus(), &taus[..]);
+            assert!(taus_close(tf.taus(), &taus));
 
             for rc in [1usize, nb] {
                 let c0 = random_gaussian(rc, n, (rc * 3 + n) as u64);
@@ -221,7 +235,7 @@ fn blocked_lq_kernels_match_unblocked() {
                 relative_error(&a2u, &a2b) < TOL,
                 "TSLQT V2, nb={nb} n2={n2}"
             );
-            assert_eq!(tf.taus(), &taus[..]);
+            assert!(taus_close(tf.taus(), &taus));
 
             for rc in [1usize, nb] {
                 let c1_0 = random_gaussian(rc, nb, 7);
@@ -255,7 +269,7 @@ fn blocked_lq_kernels_match_unblocked() {
                 relative_error(&t2u, &t2b) < TOL,
                 "TTLQT V2, nb={nb} n2={n2}"
             );
-            assert_eq!(tf.taus(), &taus[..]);
+            assert!(taus_close(tf.taus(), &taus));
 
             for rc in [1usize, nb] {
                 let c1_0 = random_gaussian(rc, nb, 9);
@@ -331,7 +345,7 @@ proptest! {
         let mut au = a0.clone();
         let taus = geqrt_unblocked(&mut au);
         prop_assert!(relative_error(&au, &ab) < 1e-13);
-        prop_assert_eq!(tf.taus(), &taus[..]);
+        prop_assert!(taus_close(tf.taus(), &taus));
 
         let c0 = random_gaussian(m, n, seed + 1);
         let mut c = c0.clone();

@@ -20,8 +20,9 @@
 //! * The **packed** path is the classic BLIS/GotoBLAS three-level blocked
 //!   algorithm: `KC x NC` panels of `op(B)` and `MC x KC` panels of `op(A)`
 //!   are packed into contiguous, microkernel-ordered buffers (reused across
-//!   calls via [`GemmScratch`]), and an `MR x NR` register microkernel with
-//!   a four-wide-unrolled rank-1 update runs over the packed panels.
+//!   calls via [`GemmScratch`]), and the `MR x NR` register microkernel from
+//!   [`crate::simd`] (broadcast-FMA on AVX2, rank-1 scalar fallback; backend
+//!   fetched once per call) runs over the packed panels.
 //!   Packing makes every microkernel read stride-1 regardless of the
 //!   transpose variant or the leading dimension, so the O(mnk) inner loop
 //!   never touches strided memory; the O(mk + kn) packing cost is amortized
@@ -35,12 +36,10 @@
 //! `nb = 64` — so only tiny products (where the pack setup dominates) take
 //! the unpacked path.
 
+use crate::simd::{self, SimdBackend};
 use crate::view::{MatrixView, MatrixViewMut};
 
-/// Microkernel register-block rows (output rows accumulated in registers).
-pub const MR: usize = 8;
-/// Microkernel register-block columns.
-pub const NR: usize = 4;
+pub use crate::simd::{MR, NR};
 /// Cache-block depth: `KC` packed rows of `op(B)` / columns of `op(A)`.
 const KC: usize = 256;
 /// Cache-block height of the packed `op(A)` panel (sized so one
@@ -531,25 +530,6 @@ fn pack_b_rows(
     }
 }
 
-/// The `MR x NR` register microkernel: rank-1 update per packed depth, all
-/// `MR * NR` accumulators live in registers across the `kc` loop.
-#[inline(always)]
-fn microkernel(kc: usize, ap: &[f64], bp: &[f64]) -> [[f64; MR]; NR] {
-    let mut acc = [[0.0f64; MR]; NR];
-    for (av, bv) in ap[..kc * MR]
-        .chunks_exact(MR)
-        .zip(bp[..kc * NR].chunks_exact(NR))
-    {
-        for j in 0..NR {
-            let bj = bv[j];
-            for i in 0..MR {
-                acc[j][i] += av[i] * bj;
-            }
-        }
-    }
-    acc
-}
-
 /// The three-level loop nest shared by the packed variants: NC columns of
 /// packed `op(B)`, KC depths, MC rows of packed `op(A)`, then the
 /// `MR x NR` macro-kernel sweep.  The two closures pack one cache block of
@@ -577,6 +557,9 @@ fn packed_loop(
     if scratch.bpack.len() < bpack_len {
         scratch.bpack.resize(bpack_len, 0.0);
     }
+    // One backend load per GEMM call; the microkernel sweep below never
+    // re-detects CPU features.
+    let be = simd::backend();
     let mut jc = 0;
     while jc < n {
         let nc = NC.min(n - jc);
@@ -588,7 +571,18 @@ fn packed_loop(
             while ic < m {
                 let mc = MC.min(m - ic);
                 pack_a(&mut scratch.apack, ic, pc, mc, kc);
-                macro_kernel(c, alpha, ic, jc, mc, nc, kc, &scratch.apack, &scratch.bpack);
+                macro_kernel(
+                    be,
+                    c,
+                    alpha,
+                    ic,
+                    jc,
+                    mc,
+                    nc,
+                    kc,
+                    &scratch.apack,
+                    &scratch.bpack,
+                );
                 ic += MC;
             }
             pc += KC;
@@ -601,6 +595,7 @@ fn packed_loop(
 /// into `C` (`C += alpha * acc`), handling the ragged edge panels.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    be: SimdBackend,
     c: &mut MatrixViewMut<'_>,
     alpha: f64,
     ic: usize,
@@ -621,7 +616,7 @@ fn macro_kernel(
             let i0 = pi * MR;
             let mr = MR.min(mc - i0);
             let ap = &apack[pi * MR * kc..];
-            let acc = microkernel(kc, ap, bp);
+            let acc = simd::microkernel_8x4(be, kc, ap, bp);
             for (jj, accj) in acc.iter().enumerate().take(nr) {
                 let ccol = c.col_mut(jc + j0 + jj);
                 let cc = &mut ccol[ic + i0..ic + i0 + mr];

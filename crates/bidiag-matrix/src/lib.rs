@@ -23,12 +23,14 @@
 //!   throughout the test suites.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod checks;
 pub mod dense;
 pub mod dist;
 pub mod gemm;
 pub mod gen;
+pub mod simd;
 pub mod tiled;
 pub mod view;
 
@@ -36,5 +38,6 @@ pub use dense::Matrix;
 pub use dist::BlockCyclic;
 pub use gemm::{dot as fast_dot, dot4 as fast_dot4};
 pub use gemm::{gemm_nn, gemm_nt, gemm_tn, GemmScratch};
+pub use simd::{backend as simd_backend, SimdBackend};
 pub use tiled::{TileCoord, TiledMatrix};
 pub use view::{MatrixView, MatrixViewMut};

@@ -1,0 +1,1094 @@
+//! Runtime-dispatched SIMD kernel layer.
+//!
+//! This module is the single home of every explicitly vectorized inner loop
+//! in the workspace. It follows the faer-rs pattern: each kernel is written
+//! **once** as a generic body over a [`SimdLane`] (a zero-sized token that
+//! knows how to load/store/FMA one register's worth of `f64`s), and the body
+//! is instantiated twice —
+//!
+//! * with [`ScalarLane`] (`LANES = 1`, plain `f64` arithmetic, no `unsafe`
+//!   ISA requirements) — this is the portable fallback and is exactly the
+//!   scalar code the kernels used before this layer existed, and
+//! * with [`Avx2Lane`] (`LANES = 4`, `__m256d` + FMA via `core::arch`)
+//!   inside a `#[target_feature(enable = "avx2,fma")]` shell so LLVM emits
+//!   256-bit FMA instructions for it.
+//!
+//! # Dispatch
+//!
+//! The backend is decided **once per process** (guarded by an atomic
+//! compare-exchange; see [`backend`]) from the `BIDIAG_SIMD` environment
+//! variable (`auto` | `scalar` | `avx2`) and `is_x86_feature_detected!`.
+//! After that, the hot path pays one relaxed atomic load + a predictable
+//! branch per kernel call — never a `cpuid`-backed feature test.
+//! [`selection_count`] exposes the number of detections so tests can pin
+//! the decided-exactly-once property.
+//!
+//! # Safety argument
+//!
+//! All `unsafe` here reduces to two obligations, discharged at the dispatch
+//! boundary:
+//!
+//! 1. **ISA availability** — [`Avx2Lane`] methods require AVX2+FMA. The only
+//!    paths that construct an [`Avx2Lane`] are the `#[target_feature]`
+//!    wrappers, and every public dispatcher asserts [`avx2_available`]
+//!    before calling one (so even a hand-constructed
+//!    [`SimdBackend::Avx2`] on a non-AVX2 host panics instead of executing
+//!    illegal instructions).
+//! 2. **Bounds** — lane `load`/`store` use unchecked indexing. Every public
+//!    dispatcher asserts the full slice-length contract up front, and the
+//!    generic bodies only touch indices below those lengths (plain
+//!    `debug_assert!`s re-state the per-access contract).
+//!
+//! # Numerical contract
+//!
+//! The scalar lane deliberately implements [`SimdLane::mul_add`] as an
+//! **unfused** `a * b + c`: the fallback must never lower to a libm `fma`
+//! call on hosts without the instruction, and it keeps the scalar backend
+//! bit-identical to the pre-SIMD kernels. The AVX2 lane fuses. The two
+//! backends therefore agree to ~1 ulp per operation, not bitwise; the
+//! forced-backend equivalence suite pins them to each other at `1e-15`
+//! relative error on remainder-straddling sizes.
+//!
+//! # Adding a kernel
+//!
+//! Write one `#[inline(always)] unsafe fn foo_body<S: SimdLane>(...)`
+//! using only lane ops plus a scalar tail, add a
+//! `#[target_feature(enable = "avx2,fma")] unsafe fn foo_avx2` shell that
+//! calls it with [`Avx2Lane`], and a safe `pub fn foo(be: SimdBackend, ...)`
+//! that asserts lengths and matches on the backend. Then extend the
+//! forced-backend equivalence tests with the new kernel.
+
+use core::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Rows of the packed-GEMM register microkernel (C tile height).
+pub const MR: usize = 8;
+/// Columns of the packed-GEMM register microkernel (C tile width).
+pub const NR: usize = 4;
+
+/// Which instruction-set backend the kernels in this module run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// Portable scalar fallback (the pre-SIMD kernel bodies, `LANES = 1`).
+    Scalar,
+    /// AVX2 + FMA (`__m256d`, 4 × f64 lanes, fused multiply-add).
+    Avx2,
+}
+
+impl SimdBackend {
+    /// Human-readable backend name (`"scalar"` / `"avx2"`), as accepted by
+    /// the `BIDIAG_SIMD` environment variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2 => "avx2",
+        }
+    }
+
+    /// f64 lanes per vector register on this backend.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdBackend::Scalar => 1,
+            SimdBackend::Avx2 => 4,
+        }
+    }
+}
+
+const STATE_UNDECIDED: u8 = 0;
+const STATE_SCALAR: u8 = 1;
+const STATE_AVX2: u8 = 2;
+
+/// Cached backend decision. `STATE_UNDECIDED` until the first [`backend`]
+/// call (or a [`with_forced_backend`] override) stores a decision.
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNDECIDED);
+/// Number of times the undecided→decided transition ran environment/CPU
+/// selection. Pinned to exactly 1 per process by the dispatch tests.
+static SELECTIONS: AtomicUsize = AtomicUsize::new(0);
+/// Serializes [`with_forced_backend`] scopes (tests in one binary run on
+/// multiple threads; a forced backend is process-global state).
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+fn encode(be: SimdBackend) -> u8 {
+    match be {
+        SimdBackend::Scalar => STATE_SCALAR,
+        SimdBackend::Avx2 => STATE_AVX2,
+    }
+}
+
+fn decode(state: u8) -> Option<SimdBackend> {
+    match state {
+        STATE_SCALAR => Some(SimdBackend::Scalar),
+        STATE_AVX2 => Some(SimdBackend::Avx2),
+        _ => None,
+    }
+}
+
+/// Does this CPU support the AVX2 backend (AVX2 and FMA)?
+///
+/// `is_x86_feature_detected!` caches the cpuid result internally, but the
+/// hot path never reaches this: [`backend`] consults it only on the single
+/// undecided→decided transition.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Pure backend-selection policy: combine the `BIDIAG_SIMD` override
+/// (`None` = unset) with CPU capability. Returns `Err` with a diagnostic for
+/// misconfigurations (unknown value, or `avx2` forced on a host without it).
+pub fn choose_backend(env: Option<&str>, avx2: bool) -> Result<SimdBackend, String> {
+    let trimmed = env.map(str::trim).filter(|s| !s.is_empty());
+    match trimmed.map(str::to_ascii_lowercase).as_deref() {
+        None | Some("auto") => Ok(if avx2 {
+            SimdBackend::Avx2
+        } else {
+            SimdBackend::Scalar
+        }),
+        Some("scalar") => Ok(SimdBackend::Scalar),
+        Some("avx2") => {
+            if avx2 {
+                Ok(SimdBackend::Avx2)
+            } else {
+                Err("BIDIAG_SIMD=avx2 but this CPU does not support AVX2+FMA".to_string())
+            }
+        }
+        Some(other) => Err(format!(
+            "BIDIAG_SIMD={other:?} is not recognized (expected auto, scalar, or avx2)"
+        )),
+    }
+}
+
+#[cold]
+fn select_backend() -> SimdBackend {
+    let env = std::env::var("BIDIAG_SIMD").ok();
+    let chosen = match choose_backend(env.as_deref(), avx2_available()) {
+        Ok(be) => be,
+        Err(msg) => panic!("{msg}"),
+    };
+    // Only the thread that wins the undecided->decided race records a
+    // selection; losers adopt whatever the winner stored.
+    match STATE.compare_exchange(
+        STATE_UNDECIDED,
+        encode(chosen),
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    ) {
+        Ok(_) => {
+            SELECTIONS.fetch_add(1, Ordering::Relaxed);
+            chosen
+        }
+        Err(existing) => decode(existing).unwrap_or(chosen),
+    }
+}
+
+/// The process-wide SIMD backend, decided once on first call.
+///
+/// Hot-path cost after the first call: one relaxed atomic load and a
+/// predictable branch. Override with `BIDIAG_SIMD={auto,scalar,avx2}` (read
+/// at decision time), or scoped in tests/benches via
+/// [`with_forced_backend`].
+#[inline]
+pub fn backend() -> SimdBackend {
+    match decode(STATE.load(Ordering::Relaxed)) {
+        Some(be) => be,
+        None => select_backend(),
+    }
+}
+
+/// How many times backend selection (env + CPU detection) has run in this
+/// process. The dispatch tests pin this to exactly 1: kernels must never
+/// re-detect per call.
+pub fn selection_count() -> usize {
+    SELECTIONS.load(Ordering::Relaxed)
+}
+
+/// Run `f` with the backend forced to `be`, restoring the previous decision
+/// state afterwards (even on panic). Scopes are serialized by a global lock
+/// so concurrent tests cannot observe each other's forced backend.
+///
+/// Forcing [`SimdBackend::Avx2`] on a host without AVX2+FMA panics.
+/// This is a test/bench hook; production code selects via [`backend`].
+pub fn with_forced_backend<R>(be: SimdBackend, f: impl FnOnce() -> R) -> R {
+    let _guard = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    if be == SimdBackend::Avx2 {
+        assert!(
+            avx2_available(),
+            "cannot force the AVX2 backend: this CPU lacks AVX2+FMA"
+        );
+    }
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            STATE.store(self.0, Ordering::Release);
+        }
+    }
+    let _restore = Restore(STATE.load(Ordering::Acquire));
+    STATE.store(encode(be), Ordering::Release);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Lane abstraction
+// ---------------------------------------------------------------------------
+
+/// One register's worth of `f64` arithmetic: the abstraction each generic
+/// kernel body is written against.
+///
+/// # Safety
+///
+/// Every method is `unsafe` under a single contract:
+///
+/// * the CPU supports the lane's instruction set (trivially true for
+///   [`ScalarLane`]; AVX2+FMA for [`Avx2Lane`] — guaranteed by constructing
+///   it only inside `#[target_feature(enable = "avx2,fma")]` wrappers), and
+/// * for `load`/`store`, `i + Self::LANES <= p.len()`.
+pub trait SimdLane: Copy {
+    /// Number of `f64` lanes per register.
+    const LANES: usize;
+    /// The register type.
+    type V: Copy;
+
+    /// Broadcast `x` into all lanes.
+    ///
+    /// # Safety
+    /// See the trait-level contract.
+    unsafe fn splat(self, x: f64) -> Self::V;
+    /// All-zero register.
+    ///
+    /// # Safety
+    /// See the trait-level contract.
+    unsafe fn zero(self) -> Self::V;
+    /// Load `LANES` values from `p[i..]`.
+    ///
+    /// # Safety
+    /// See the trait-level contract; requires `i + LANES <= p.len()`.
+    unsafe fn load(self, p: &[f64], i: usize) -> Self::V;
+    /// Store `LANES` values to `p[i..]`.
+    ///
+    /// # Safety
+    /// See the trait-level contract; requires `i + LANES <= p.len()`.
+    unsafe fn store(self, p: &mut [f64], i: usize, v: Self::V);
+    /// Lane-wise `a + b`.
+    ///
+    /// # Safety
+    /// See the trait-level contract.
+    unsafe fn add(self, a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise `a * b`.
+    ///
+    /// # Safety
+    /// See the trait-level contract.
+    unsafe fn mul(self, a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise `a * b + c` — **fused** on AVX2, **unfused** on scalar
+    /// (see the module-level numerical contract).
+    ///
+    /// # Safety
+    /// See the trait-level contract.
+    unsafe fn mul_add(self, a: Self::V, b: Self::V, c: Self::V) -> Self::V;
+    /// Horizontal sum of all lanes.
+    ///
+    /// # Safety
+    /// See the trait-level contract.
+    unsafe fn reduce_sum(self, a: Self::V) -> f64;
+}
+
+/// `LANES = 1` lane: plain `f64` arithmetic, no ISA requirements. The
+/// generic bodies instantiated with this lane are the portable fallback
+/// kernels (and match the pre-SIMD scalar code bit-for-bit).
+#[derive(Clone, Copy)]
+pub struct ScalarLane;
+
+impl SimdLane for ScalarLane {
+    const LANES: usize = 1;
+    type V = f64;
+
+    #[inline(always)]
+    unsafe fn splat(self, x: f64) -> f64 {
+        x
+    }
+    #[inline(always)]
+    unsafe fn zero(self) -> f64 {
+        0.0
+    }
+    #[inline(always)]
+    unsafe fn load(self, p: &[f64], i: usize) -> f64 {
+        debug_assert!(i < p.len());
+        // SAFETY: caller guarantees i + LANES (= 1) <= p.len().
+        unsafe { *p.get_unchecked(i) }
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: &mut [f64], i: usize, v: f64) {
+        debug_assert!(i < p.len());
+        // SAFETY: caller guarantees i + LANES (= 1) <= p.len().
+        unsafe {
+            *p.get_unchecked_mut(i) = v;
+        }
+    }
+    #[inline(always)]
+    unsafe fn add(self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    #[inline(always)]
+    unsafe fn mul(self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, a: f64, b: f64, c: f64) -> f64 {
+        // Deliberately unfused: keeps the fallback free of soft-float fma
+        // on hosts without the instruction, and bit-identical to the
+        // pre-SIMD kernel bodies.
+        a * b + c
+    }
+    #[inline(always)]
+    unsafe fn reduce_sum(self, a: f64) -> f64 {
+        a
+    }
+}
+
+/// AVX2+FMA lane: `__m256d`, 4 × f64.
+///
+/// Constructed only via [`Avx2Lane::new_unchecked`] inside
+/// `#[target_feature(enable = "avx2,fma")]` wrappers, so its methods always
+/// execute with the features they require.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+pub struct Avx2Lane(());
+
+#[cfg(target_arch = "x86_64")]
+impl Avx2Lane {
+    /// Construct the AVX2 lane token.
+    ///
+    /// # Safety
+    /// The caller must guarantee the CPU supports AVX2 and FMA (e.g. by
+    /// being inside a `#[target_feature(enable = "avx2,fma")]` function
+    /// reached through an [`avx2_available`] check).
+    #[inline(always)]
+    pub unsafe fn new_unchecked() -> Self {
+        Avx2Lane(())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl SimdLane for Avx2Lane {
+    const LANES: usize = 4;
+    type V = core::arch::x86_64::__m256d;
+
+    #[inline(always)]
+    unsafe fn splat(self, x: f64) -> Self::V {
+        // SAFETY: constructing an Avx2Lane asserts AVX2 support.
+        unsafe { core::arch::x86_64::_mm256_set1_pd(x) }
+    }
+    #[inline(always)]
+    unsafe fn zero(self) -> Self::V {
+        // SAFETY: constructing an Avx2Lane asserts AVX2 support.
+        unsafe { core::arch::x86_64::_mm256_setzero_pd() }
+    }
+    #[inline(always)]
+    unsafe fn load(self, p: &[f64], i: usize) -> Self::V {
+        debug_assert!(i + 4 <= p.len());
+        // SAFETY: caller guarantees i + LANES (= 4) <= p.len(); loadu has no
+        // alignment requirement; AVX2 support is asserted by the lane token.
+        unsafe { core::arch::x86_64::_mm256_loadu_pd(p.as_ptr().add(i)) }
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: &mut [f64], i: usize, v: Self::V) {
+        debug_assert!(i + 4 <= p.len());
+        // SAFETY: caller guarantees i + LANES (= 4) <= p.len(); storeu has no
+        // alignment requirement; AVX2 support is asserted by the lane token.
+        unsafe { core::arch::x86_64::_mm256_storeu_pd(p.as_mut_ptr().add(i), v) }
+    }
+    #[inline(always)]
+    unsafe fn add(self, a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: constructing an Avx2Lane asserts AVX2 support.
+        unsafe { core::arch::x86_64::_mm256_add_pd(a, b) }
+    }
+    #[inline(always)]
+    unsafe fn mul(self, a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: constructing an Avx2Lane asserts AVX2 support.
+        unsafe { core::arch::x86_64::_mm256_mul_pd(a, b) }
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, a: Self::V, b: Self::V, c: Self::V) -> Self::V {
+        // SAFETY: constructing an Avx2Lane asserts AVX2+FMA support.
+        unsafe { core::arch::x86_64::_mm256_fmadd_pd(a, b, c) }
+    }
+    #[inline(always)]
+    unsafe fn reduce_sum(self, a: Self::V) -> f64 {
+        use core::arch::x86_64::*;
+        // SAFETY: constructing an Avx2Lane asserts AVX2 support (the SSE2
+        // ops below are a strict subset).
+        unsafe {
+            let lo = _mm256_castpd256_pd128(a);
+            let hi = _mm256_extractf128_pd::<1>(a);
+            let s2 = _mm_add_pd(lo, hi);
+            let s1 = _mm_add_sd(s2, _mm_unpackhi_pd(s2, s2));
+            _mm_cvtsd_f64(s1)
+        }
+    }
+}
+
+/// Panic unless the AVX2 backend may legally run on this host. Called by
+/// every dispatcher (including downstream crates' own dispatch points,
+/// e.g. the dqds pass in `bidiag-svd`) before entering a
+/// `#[target_feature]` wrapper, which makes the safe dispatch API sound
+/// even against a hand-constructed [`SimdBackend::Avx2`].
+#[inline(always)]
+pub fn check_avx2() {
+    assert!(
+        avx2_available(),
+        "SimdBackend::Avx2 dispatched on a host without AVX2+FMA"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Generic kernel bodies (one body per kernel, instantiated per lane)
+// ---------------------------------------------------------------------------
+
+/// `y[i] += a * x[i]`. Contract: `x.len() >= y.len()`.
+#[inline(always)]
+unsafe fn axpy_body<S: SimdLane>(s: S, y: &mut [f64], a: f64, x: &[f64]) {
+    let n = y.len();
+    debug_assert!(x.len() >= n);
+    // SAFETY (whole body): caller upholds the lane's ISA contract and
+    // x.len() >= y.len() = n; every index below is < n.
+    unsafe {
+        let av = s.splat(a);
+        let mut i = 0;
+        while i + S::LANES <= n {
+            let yv = s.mul_add(s.load(x, i), av, s.load(y, i));
+            s.store(y, i, yv);
+            i += S::LANES;
+        }
+        while i < n {
+            y[i] += a * x[i];
+            i += 1;
+        }
+    }
+}
+
+/// `y[i] += s0*x0[i] + s1*x1[i] + s2*x2[i] + s3*x3[i]`.
+/// Contract: all `xk.len() >= y.len()`.
+#[inline(always)]
+unsafe fn axpy4_body<S: SimdLane>(
+    s: S,
+    y: &mut [f64],
+    c: [f64; 4],
+    x0: &[f64],
+    x1: &[f64],
+    x2: &[f64],
+    x3: &[f64],
+) {
+    let n = y.len();
+    debug_assert!(x0.len() >= n && x1.len() >= n && x2.len() >= n && x3.len() >= n);
+    // SAFETY (whole body): caller upholds the lane's ISA contract and
+    // xk.len() >= y.len() = n; every index below is < n.
+    unsafe {
+        let c0 = s.splat(c[0]);
+        let c1 = s.splat(c[1]);
+        let c2 = s.splat(c[2]);
+        let c3 = s.splat(c[3]);
+        let mut i = 0;
+        while i + S::LANES <= n {
+            let mut yv = s.load(y, i);
+            yv = s.mul_add(s.load(x0, i), c0, yv);
+            yv = s.mul_add(s.load(x1, i), c1, yv);
+            yv = s.mul_add(s.load(x2, i), c2, yv);
+            yv = s.mul_add(s.load(x3, i), c3, yv);
+            s.store(y, i, yv);
+            i += S::LANES;
+        }
+        while i < n {
+            y[i] += c[0] * x0[i] + c[1] * x1[i] + c[2] * x2[i] + c[3] * x3[i];
+            i += 1;
+        }
+    }
+}
+
+/// Dot product with 4 independent accumulators (ILP), reduced as
+/// `(a0 + a1) + (a2 + a3)` plus a sequential tail.
+/// Contract: `b.len() >= a.len()`.
+#[inline(always)]
+unsafe fn dot_body<S: SimdLane>(s: S, a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    debug_assert!(b.len() >= n);
+    // SAFETY (whole body): caller upholds the lane's ISA contract and
+    // b.len() >= a.len() = n; every index below is < n.
+    unsafe {
+        let mut acc0 = s.zero();
+        let mut acc1 = s.zero();
+        let mut acc2 = s.zero();
+        let mut acc3 = s.zero();
+        let step = 4 * S::LANES;
+        let mut i = 0;
+        while i + step <= n {
+            acc0 = s.mul_add(s.load(a, i), s.load(b, i), acc0);
+            acc1 = s.mul_add(s.load(a, i + S::LANES), s.load(b, i + S::LANES), acc1);
+            acc2 = s.mul_add(
+                s.load(a, i + 2 * S::LANES),
+                s.load(b, i + 2 * S::LANES),
+                acc2,
+            );
+            acc3 = s.mul_add(
+                s.load(a, i + 3 * S::LANES),
+                s.load(b, i + 3 * S::LANES),
+                acc3,
+            );
+            i += step;
+        }
+        let mut sum = s.reduce_sum(s.add(s.add(acc0, acc1), s.add(acc2, acc3)));
+        while i < n {
+            sum += a[i] * b[i];
+            i += 1;
+        }
+        sum
+    }
+}
+
+/// Four simultaneous dot products of `v` against `c0..c3` (one pass over
+/// `v`). Contract: all `ck.len() >= v.len()`.
+#[inline(always)]
+unsafe fn dot4_body<S: SimdLane>(
+    s: S,
+    v: &[f64],
+    c0: &[f64],
+    c1: &[f64],
+    c2: &[f64],
+    c3: &[f64],
+) -> [f64; 4] {
+    let n = v.len();
+    debug_assert!(c0.len() >= n && c1.len() >= n && c2.len() >= n && c3.len() >= n);
+    // SAFETY (whole body): caller upholds the lane's ISA contract and
+    // ck.len() >= v.len() = n; every index below is < n.
+    unsafe {
+        let mut a0 = s.zero();
+        let mut a1 = s.zero();
+        let mut a2 = s.zero();
+        let mut a3 = s.zero();
+        let mut i = 0;
+        while i + S::LANES <= n {
+            let vv = s.load(v, i);
+            a0 = s.mul_add(s.load(c0, i), vv, a0);
+            a1 = s.mul_add(s.load(c1, i), vv, a1);
+            a2 = s.mul_add(s.load(c2, i), vv, a2);
+            a3 = s.mul_add(s.load(c3, i), vv, a3);
+            i += S::LANES;
+        }
+        let mut out = [
+            s.reduce_sum(a0),
+            s.reduce_sum(a1),
+            s.reduce_sum(a2),
+            s.reduce_sum(a3),
+        ];
+        while i < n {
+            let vi = v[i];
+            out[0] += c0[i] * vi;
+            out[1] += c1[i] * vi;
+            out[2] += c2[i] * vi;
+            out[3] += c3[i] * vi;
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Fused Givens rotation over two equal-length strips:
+/// `xs[i], ys[i] <- c*xs[i] + sn*ys[i], c*ys[i] - sn*xs[i]`.
+/// Contract: `xs.len() == ys.len()`.
+#[inline(always)]
+unsafe fn rot_strips_body<S: SimdLane>(s: S, xs: &mut [f64], ys: &mut [f64], c: f64, sn: f64) {
+    let n = xs.len();
+    debug_assert_eq!(ys.len(), n);
+    // SAFETY (whole body): caller upholds the lane's ISA contract and
+    // xs.len() == ys.len() = n; every index below is < n.
+    unsafe {
+        let cv = s.splat(c);
+        let sv = s.splat(sn);
+        let nsv = s.splat(-sn);
+        let mut i = 0;
+        while i + S::LANES <= n {
+            let xv = s.load(xs, i);
+            let yv = s.load(ys, i);
+            s.store(xs, i, s.mul_add(xv, cv, s.mul(sv, yv)));
+            s.store(ys, i, s.mul_add(yv, cv, s.mul(nsv, xv)));
+            i += S::LANES;
+        }
+        while i < n {
+            let x = xs[i];
+            let y = ys[i];
+            xs[i] = c * x + sn * y;
+            ys[i] = c * y - sn * x;
+            i += 1;
+        }
+    }
+}
+
+/// The packed-GEMM register microkernel: `RV` registers of `S::LANES` rows
+/// cover the `MR`-row tile; `NR` broadcast-FMA columns. `RV * LANES == MR`.
+/// Contract: `ap.len() >= kc * MR`, `bp.len() >= kc * NR`.
+#[inline(always)]
+unsafe fn microkernel_body<S: SimdLane, const RV: usize>(
+    s: S,
+    kc: usize,
+    ap: &[f64],
+    bp: &[f64],
+) -> [[f64; MR]; NR] {
+    debug_assert_eq!(RV * S::LANES, MR);
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    // SAFETY (whole body): caller upholds the lane's ISA contract,
+    // ap.len() >= kc*MR and bp.len() >= kc*NR; loads read a-panel index
+    // l*MR + r*LANES + LANES <= kc*MR and b-panel index l*NR + j < kc*NR;
+    // stores write out[j][r*LANES..r*LANES+LANES] within MR.
+    unsafe {
+        let mut acc = [[s.zero(); RV]; NR];
+        for l in 0..kc {
+            let mut av = [s.zero(); RV];
+            for (r, avr) in av.iter_mut().enumerate() {
+                *avr = s.load(ap, l * MR + r * S::LANES);
+            }
+            for (j, accj) in acc.iter_mut().enumerate() {
+                let bj = s.splat(*bp.get_unchecked(l * NR + j));
+                for (r, accjr) in accj.iter_mut().enumerate() {
+                    *accjr = s.mul_add(av[r], bj, *accjr);
+                }
+            }
+        }
+        let mut out = [[0.0f64; MR]; NR];
+        for (outj, accj) in out.iter_mut().zip(&acc) {
+            for (r, accjr) in accj.iter().enumerate() {
+                s.store(outj, r * S::LANES, *accjr);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 target_feature shells
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2_shells {
+    use super::*;
+
+    /// # Safety
+    /// Caller must guarantee AVX2+FMA and `x.len() >= y.len()`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+        // SAFETY: inside this target_feature fn AVX2+FMA are enabled, so
+        // constructing the lane token is sound; slice contract forwarded.
+        unsafe { axpy_body(Avx2Lane::new_unchecked(), y, a, x) }
+    }
+
+    /// # Safety
+    /// Caller must guarantee AVX2+FMA and `xk.len() >= y.len()` for all k.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy4(
+        y: &mut [f64],
+        c: [f64; 4],
+        x0: &[f64],
+        x1: &[f64],
+        x2: &[f64],
+        x3: &[f64],
+    ) {
+        // SAFETY: as in `axpy`.
+        unsafe { axpy4_body(Avx2Lane::new_unchecked(), y, c, x0, x1, x2, x3) }
+    }
+
+    /// # Safety
+    /// Caller must guarantee AVX2+FMA and `b.len() >= a.len()`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        // SAFETY: as in `axpy`.
+        unsafe { dot_body(Avx2Lane::new_unchecked(), a, b) }
+    }
+
+    /// # Safety
+    /// Caller must guarantee AVX2+FMA and `ck.len() >= v.len()` for all k.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot4(v: &[f64], c0: &[f64], c1: &[f64], c2: &[f64], c3: &[f64]) -> [f64; 4] {
+        // SAFETY: as in `axpy`.
+        unsafe { dot4_body(Avx2Lane::new_unchecked(), v, c0, c1, c2, c3) }
+    }
+
+    /// # Safety
+    /// Caller must guarantee AVX2+FMA and `xs.len() == ys.len()`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn rot_strips(xs: &mut [f64], ys: &mut [f64], c: f64, sn: f64) {
+        // SAFETY: as in `axpy`.
+        unsafe { rot_strips_body(Avx2Lane::new_unchecked(), xs, ys, c, sn) }
+    }
+
+    /// # Safety
+    /// Caller must guarantee AVX2+FMA, `ap.len() >= kc*MR`, `bp.len() >= kc*NR`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn microkernel(kc: usize, ap: &[f64], bp: &[f64]) -> [[f64; MR]; NR] {
+        // SAFETY: as in `axpy`; MR = 8 = 2 registers * 4 lanes.
+        unsafe { microkernel_body::<Avx2Lane, 2>(Avx2Lane::new_unchecked(), kc, ap, bp) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Safe dispatchers
+// ---------------------------------------------------------------------------
+
+/// `y += a * x` over the dispatched backend. Panics unless
+/// `x.len() >= y.len()`.
+#[inline]
+pub fn axpy(be: SimdBackend, y: &mut [f64], a: f64, x: &[f64]) {
+    assert!(x.len() >= y.len());
+    match be {
+        // SAFETY: scalar lane has no ISA requirements; lengths checked above.
+        SimdBackend::Scalar => unsafe { axpy_body(ScalarLane, y, a, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_avx2 verifies AVX2+FMA; lengths checked above.
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unsafe { avx2_shells::axpy(y, a, x) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unreachable!()
+        }
+    }
+}
+
+/// `y += c[0]*x0 + c[1]*x1 + c[2]*x2 + c[3]*x3` over the dispatched backend.
+/// Panics unless every `xk.len() >= y.len()`.
+#[inline]
+pub fn axpy4(
+    be: SimdBackend,
+    y: &mut [f64],
+    c: [f64; 4],
+    x0: &[f64],
+    x1: &[f64],
+    x2: &[f64],
+    x3: &[f64],
+) {
+    let n = y.len();
+    assert!(x0.len() >= n && x1.len() >= n && x2.len() >= n && x3.len() >= n);
+    match be {
+        // SAFETY: scalar lane has no ISA requirements; lengths checked above.
+        SimdBackend::Scalar => unsafe { axpy4_body(ScalarLane, y, c, x0, x1, x2, x3) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_avx2 verifies AVX2+FMA; lengths checked above.
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unsafe { avx2_shells::axpy4(y, c, x0, x1, x2, x3) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unreachable!()
+        }
+    }
+}
+
+/// Dot product over the dispatched backend. Panics unless
+/// `b.len() >= a.len()`.
+#[inline]
+pub fn dot(be: SimdBackend, a: &[f64], b: &[f64]) -> f64 {
+    assert!(b.len() >= a.len());
+    match be {
+        // SAFETY: scalar lane has no ISA requirements; lengths checked above.
+        SimdBackend::Scalar => unsafe { dot_body(ScalarLane, a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_avx2 verifies AVX2+FMA; lengths checked above.
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unsafe { avx2_shells::dot(a, b) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unreachable!()
+        }
+    }
+}
+
+/// Four dot products of `v` against `c0..c3` in one pass over `v`.
+/// Panics unless every `ck.len() >= v.len()`.
+#[inline]
+pub fn dot4(
+    be: SimdBackend,
+    v: &[f64],
+    c0: &[f64],
+    c1: &[f64],
+    c2: &[f64],
+    c3: &[f64],
+) -> [f64; 4] {
+    let n = v.len();
+    assert!(c0.len() >= n && c1.len() >= n && c2.len() >= n && c3.len() >= n);
+    match be {
+        // SAFETY: scalar lane has no ISA requirements; lengths checked above.
+        SimdBackend::Scalar => unsafe { dot4_body(ScalarLane, v, c0, c1, c2, c3) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_avx2 verifies AVX2+FMA; lengths checked above.
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unsafe { avx2_shells::dot4(v, c0, c1, c2, c3) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unreachable!()
+        }
+    }
+}
+
+/// Apply a Givens rotation `(c, sn)` across two equal-length contiguous
+/// strips. Panics unless `xs.len() == ys.len()`.
+#[inline]
+pub fn rot_strips(be: SimdBackend, xs: &mut [f64], ys: &mut [f64], c: f64, sn: f64) {
+    assert_eq!(xs.len(), ys.len());
+    // Short strips (narrow bands) cannot fill a vector step; skip the
+    // dispatch + target_feature call overhead entirely.
+    if xs.len() < 4 || be == SimdBackend::Scalar {
+        // SAFETY: scalar lane has no ISA requirements; lengths checked above.
+        unsafe { rot_strips_body(ScalarLane, xs, ys, c, sn) };
+        return;
+    }
+    match be {
+        SimdBackend::Scalar => unreachable!(),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_avx2 verifies AVX2+FMA; lengths checked above.
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unsafe { avx2_shells::rot_strips(xs, ys, c, sn) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unreachable!()
+        }
+    }
+}
+
+/// The `MR x NR` packed-GEMM register microkernel:
+/// `out[j][i] = sum_l ap[l*MR + i] * bp[l*NR + j]` (a rank-1 update per
+/// depth step, broadcast-FMA on AVX2). Panics unless `ap.len() >= kc*MR`
+/// and `bp.len() >= kc*NR`.
+#[inline]
+pub fn microkernel_8x4(be: SimdBackend, kc: usize, ap: &[f64], bp: &[f64]) -> [[f64; MR]; NR] {
+    assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    match be {
+        // SAFETY: scalar lane has no ISA requirements; lengths checked
+        // above; MR = 8 = 8 registers * 1 lane.
+        SimdBackend::Scalar => unsafe { microkernel_body::<ScalarLane, 8>(ScalarLane, kc, ap, bp) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_avx2 verifies AVX2+FMA; lengths checked above.
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unsafe { avx2_shells::microkernel(kc, ap, bp) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdBackend::Avx2 => {
+            check_avx2();
+            unreachable!()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs().max(1.0)
+    }
+
+    /// Backend-equivalence tolerance for length-`n` accumulations: the two
+    /// backends differ by ~1 ulp per fused-vs-unfused multiply-add, so the
+    /// normwise gap grows like sqrt(n) * 1e-15 (element-wise kernels with no
+    /// accumulation are pinned at a flat 1e-15).
+    fn acc_tol(n: usize) -> f64 {
+        1e-15 * (n as f64).sqrt().max(1.0)
+    }
+
+    #[test]
+    fn choose_backend_policy() {
+        use SimdBackend::*;
+        // auto / unset follow CPU capability
+        assert_eq!(choose_backend(None, true), Ok(Avx2));
+        assert_eq!(choose_backend(None, false), Ok(Scalar));
+        assert_eq!(choose_backend(Some("auto"), true), Ok(Avx2));
+        assert_eq!(choose_backend(Some("auto"), false), Ok(Scalar));
+        assert_eq!(choose_backend(Some(""), true), Ok(Avx2));
+        // explicit scalar always honored
+        assert_eq!(choose_backend(Some("scalar"), true), Ok(Scalar));
+        assert_eq!(choose_backend(Some("scalar"), false), Ok(Scalar));
+        // case/whitespace insensitive
+        assert_eq!(choose_backend(Some(" AVX2 "), true), Ok(Avx2));
+        assert_eq!(choose_backend(Some("Scalar"), true), Ok(Scalar));
+        // avx2 forced on an incapable host is an error, not a silent fallback
+        assert!(choose_backend(Some("avx2"), false).is_err());
+        // garbage is an error
+        assert!(choose_backend(Some("sse9"), true).is_err());
+    }
+
+    #[test]
+    fn backend_decided_exactly_once() {
+        // Hammer backend() from several threads; selection must run once
+        // per process no matter who wins the race (other tests in this
+        // binary may already have decided it — still exactly once).
+        let first = backend();
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| (0..1000).map(|_| backend()).next_back().unwrap()))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), first);
+        }
+        assert_eq!(
+            selection_count(),
+            1,
+            "backend selection must run exactly once"
+        );
+        for _ in 0..1000 {
+            let _ = backend();
+        }
+        assert_eq!(
+            selection_count(),
+            1,
+            "backend() must not re-detect per call"
+        );
+    }
+
+    #[test]
+    fn forced_backend_is_scoped_and_restored() {
+        let before = backend();
+        let inside = with_forced_backend(SimdBackend::Scalar, backend);
+        assert_eq!(inside, SimdBackend::Scalar);
+        assert_eq!(backend(), before);
+        if avx2_available() {
+            let inside = with_forced_backend(SimdBackend::Avx2, backend);
+            assert_eq!(inside, SimdBackend::Avx2);
+            assert_eq!(backend(), before);
+        }
+    }
+
+    fn test_vec(n: usize, seed: u64) -> Vec<f64> {
+        // Small deterministic LCG; values in [-1, 1).
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Remainder-straddling lengths around the 4-lane and 16-element steps.
+    const SIZES: [usize; 13] = [1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 97];
+
+    #[test]
+    fn primitives_scalar_matches_naive() {
+        for &n in &SIZES {
+            let x = test_vec(n, 1);
+            let y0 = test_vec(n, 2);
+            let mut y = y0.clone();
+            axpy(SimdBackend::Scalar, &mut y, 0.37, &x);
+            for i in 0..n {
+                assert_eq!(y[i], y0[i] + 0.37 * x[i]);
+            }
+            let naive: f64 = x.iter().zip(&y0).map(|(a, b)| a * b).sum();
+            assert!(rel(dot(SimdBackend::Scalar, &x, &y0), naive) < 1e-13);
+        }
+    }
+
+    #[test]
+    fn primitives_avx2_match_scalar() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2+FMA on this host");
+            return;
+        }
+        use SimdBackend::{Avx2, Scalar};
+        for &n in &SIZES {
+            let x = test_vec(n, 3);
+            let x1 = test_vec(n, 4);
+            let x2 = test_vec(n, 5);
+            let x3 = test_vec(n, 6);
+            let y0 = test_vec(n, 7);
+
+            let mut ys = y0.clone();
+            let mut yv = y0.clone();
+            axpy(Scalar, &mut ys, 0.73, &x);
+            axpy(Avx2, &mut yv, 0.73, &x);
+            for i in 0..n {
+                assert!(rel(yv[i], ys[i]) < 1e-15, "axpy n={n} i={i}");
+            }
+
+            let c = [0.11, -0.23, 0.51, -0.77];
+            let mut ys = y0.clone();
+            let mut yv = y0.clone();
+            axpy4(Scalar, &mut ys, c, &x, &x1, &x2, &x3);
+            axpy4(Avx2, &mut yv, c, &x, &x1, &x2, &x3);
+            for i in 0..n {
+                assert!(rel(yv[i], ys[i]) < 1e-15, "axpy4 n={n} i={i}");
+            }
+
+            assert!(
+                rel(dot(Avx2, &x, &y0), dot(Scalar, &x, &y0)) < acc_tol(n),
+                "dot n={n}"
+            );
+
+            let ds = dot4(Scalar, &y0, &x, &x1, &x2, &x3);
+            let dv = dot4(Avx2, &y0, &x, &x1, &x2, &x3);
+            for k in 0..4 {
+                assert!(rel(dv[k], ds[k]) < acc_tol(n), "dot4 n={n} k={k}");
+            }
+
+            let (gc, gs) = (0.8, 0.6);
+            let mut xs_s = x.clone();
+            let mut ys_s = y0.clone();
+            let mut xs_v = x.clone();
+            let mut ys_v = y0.clone();
+            rot_strips(Scalar, &mut xs_s, &mut ys_s, gc, gs);
+            rot_strips(Avx2, &mut xs_v, &mut ys_v, gc, gs);
+            for i in 0..n {
+                assert!(rel(xs_v[i], xs_s[i]) < 1e-15, "rot xs n={n} i={i}");
+                assert!(rel(ys_v[i], ys_s[i]) < 1e-15, "rot ys n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn microkernel_avx2_matches_scalar() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2+FMA on this host");
+            return;
+        }
+        for &kc in &SIZES {
+            let ap = test_vec(kc * MR, 8);
+            let bp = test_vec(kc * NR, 9);
+            let cs = microkernel_8x4(SimdBackend::Scalar, kc, &ap, &bp);
+            let cv = microkernel_8x4(SimdBackend::Avx2, kc, &ap, &bp);
+            for j in 0..NR {
+                for i in 0..MR {
+                    assert!(rel(cv[j][i], cs[j][i]) < acc_tol(kc), "kc={kc} i={i} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn microkernel_scalar_matches_naive() {
+        for &kc in &SIZES {
+            let ap = test_vec(kc * MR, 10);
+            let bp = test_vec(kc * NR, 11);
+            let c = microkernel_8x4(SimdBackend::Scalar, kc, &ap, &bp);
+            for j in 0..NR {
+                for i in 0..MR {
+                    let naive: f64 = (0..kc).map(|l| ap[l * MR + i] * bp[l * NR + j]).sum();
+                    assert!(rel(c[j][i], naive) < 1e-13, "kc={kc} i={i} j={j}");
+                }
+            }
+        }
+    }
+}

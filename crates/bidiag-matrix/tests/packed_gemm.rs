@@ -18,9 +18,17 @@ use bidiag_matrix::Matrix;
 const SIZES: [usize; 6] = [1, 3, 7, 31, 64, 97];
 const TOL: f64 = 1e-13;
 
-fn rel_err(a: &Matrix, b: &Matrix) -> f64 {
-    let denom = a.norm_fro().max(f64::EPSILON);
-    a.sub(b).norm_fro() / denom
+/// Normwise error against the scale of the *operands*, not just the result:
+/// `||want - got|| / max(||want||, |alpha| ||A|| ||B||)`.  A cancellation in
+/// the product must not amplify a ~ulp rounding difference (the SIMD
+/// microkernel fuses multiply-adds; the triple-loop reference does not) into
+/// a spurious relative-error failure.
+fn rel_err(want: &Matrix, got: &Matrix, alpha: f64, a: &Matrix, b: &Matrix) -> f64 {
+    let scale = want
+        .norm_fro()
+        .max(alpha.abs() * a.norm_fro() * b.norm_fro())
+        .max(f64::EPSILON);
+    want.sub(got).norm_fro() / scale
 }
 
 /// Reference `C += alpha * op(A) * op(B)` built from the naive triple loop.
@@ -43,11 +51,17 @@ fn gemm_nn_matches_triple_loop_on_ragged_shapes() {
 
                 let mut c = c0.clone();
                 gemm_nn(&mut c.as_view_mut(), 1.5, a.as_view(), b.as_view());
-                assert!(rel_err(&want, &c) < TOL, "nn dispatch {m}x{n}x{k}");
+                assert!(
+                    rel_err(&want, &c, 1.5, &a, &b) < TOL,
+                    "nn dispatch {m}x{n}x{k}"
+                );
 
                 let mut c = c0.clone();
                 gemm_nn_unpacked(&mut c.as_view_mut(), 1.5, a.as_view(), b.as_view());
-                assert!(rel_err(&want, &c) < TOL, "nn unpacked {m}x{n}x{k}");
+                assert!(
+                    rel_err(&want, &c, 1.5, &a, &b) < TOL,
+                    "nn unpacked {m}x{n}x{k}"
+                );
 
                 let mut c = c0.clone();
                 gemm_nn_packed(
@@ -57,7 +71,10 @@ fn gemm_nn_matches_triple_loop_on_ragged_shapes() {
                     b.as_view(),
                     &mut scratch,
                 );
-                assert!(rel_err(&want, &c) < TOL, "nn packed {m}x{n}x{k}");
+                assert!(
+                    rel_err(&want, &c, 1.5, &a, &b) < TOL,
+                    "nn packed {m}x{n}x{k}"
+                );
             }
         }
     }
@@ -77,11 +94,17 @@ fn gemm_tn_matches_triple_loop_on_ragged_shapes() {
 
                 let mut c = c0.clone();
                 gemm_tn(&mut c.as_view_mut(), -0.75, a.as_view(), b.as_view());
-                assert!(rel_err(&want, &c) < TOL, "tn dispatch {m}x{n}x{k}");
+                assert!(
+                    rel_err(&want, &c, 0.75, &a, &b) < TOL,
+                    "tn dispatch {m}x{n}x{k}"
+                );
 
                 let mut c = c0.clone();
                 gemm_tn_unpacked(&mut c.as_view_mut(), -0.75, a.as_view(), b.as_view());
-                assert!(rel_err(&want, &c) < TOL, "tn unpacked {m}x{n}x{k}");
+                assert!(
+                    rel_err(&want, &c, 0.75, &a, &b) < TOL,
+                    "tn unpacked {m}x{n}x{k}"
+                );
 
                 let mut c = c0.clone();
                 gemm_tn_packed(
@@ -91,7 +114,10 @@ fn gemm_tn_matches_triple_loop_on_ragged_shapes() {
                     b.as_view(),
                     &mut scratch,
                 );
-                assert!(rel_err(&want, &c) < TOL, "tn packed {m}x{n}x{k}");
+                assert!(
+                    rel_err(&want, &c, 0.75, &a, &b) < TOL,
+                    "tn packed {m}x{n}x{k}"
+                );
             }
         }
     }
@@ -111,11 +137,17 @@ fn gemm_nt_matches_triple_loop_on_ragged_shapes() {
 
                 let mut c = c0.clone();
                 gemm_nt(&mut c.as_view_mut(), 2.0, a.as_view(), b.as_view());
-                assert!(rel_err(&want, &c) < TOL, "nt dispatch {m}x{n}x{k}");
+                assert!(
+                    rel_err(&want, &c, 2.0, &a, &b) < TOL,
+                    "nt dispatch {m}x{n}x{k}"
+                );
 
                 let mut c = c0.clone();
                 gemm_nt_unpacked(&mut c.as_view_mut(), 2.0, a.as_view(), b.as_view());
-                assert!(rel_err(&want, &c) < TOL, "nt unpacked {m}x{n}x{k}");
+                assert!(
+                    rel_err(&want, &c, 2.0, &a, &b) < TOL,
+                    "nt unpacked {m}x{n}x{k}"
+                );
 
                 let mut c = c0.clone();
                 gemm_nt_packed(
@@ -125,7 +157,10 @@ fn gemm_nt_matches_triple_loop_on_ragged_shapes() {
                     b.as_view(),
                     &mut scratch,
                 );
-                assert!(rel_err(&want, &c) < TOL, "nt packed {m}x{n}x{k}");
+                assert!(
+                    rel_err(&want, &c, 2.0, &a, &b) < TOL,
+                    "nt packed {m}x{n}x{k}"
+                );
             }
         }
     }
@@ -152,5 +187,5 @@ fn packed_gemm_on_subviews_respects_leading_dimension() {
         big_b.as_view().submatrix(2, 19, k, n),
         &mut scratch,
     );
-    assert!(rel_err(&want, &c) < TOL);
+    assert!(rel_err(&want, &c, 1.0, &a, &b) < TOL);
 }

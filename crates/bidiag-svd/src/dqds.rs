@@ -32,6 +32,7 @@
 //! of per-value bisection with its ~50 full Sturm passes per value.
 
 use crate::sturm::GkBisection;
+use bidiag_matrix::simd;
 
 /// Aggressive-deflation threshold: `tol2 = (100 eps)^2`, the square of
 /// LAPACK `dlasq`'s `TOL`, because we deflate in the squared (qd) world —
@@ -269,7 +270,31 @@ fn solve_segment(
 /// One dqds transform: reads `(q, e)`, writes `(qh, eh)` (only the first
 /// `m` / `m-1` entries), returns the running minimum of the `d` values —
 /// non-negative iff the shift was admissible.
+///
+/// Dispatches on [`bidiag_matrix::simd::backend`] like the other hot
+/// loops, but the recurrence is a serial `d`-chain (each `d_{i+1}` needs
+/// the division from step `i`), so the AVX2 shell only recompiles the
+/// same body under `target_feature` — no reassociation, no fusion.  Both
+/// backends therefore produce **bitwise-identical** output; the dispatch
+/// exists so the forced-backend equivalence suite covers this kernel and
+/// so a future vectorized variant (e.g. a speculative two-pass scheme)
+/// has its slot ready.
 fn dqds_pass(q: &[f64], e: &[f64], s: f64, qh: &mut [f64], eh: &mut [f64]) -> f64 {
+    match simd::backend() {
+        #[cfg(target_arch = "x86_64")]
+        simd::SimdBackend::Avx2 => {
+            simd::check_avx2();
+            // SAFETY: `check_avx2` above verified AVX2+FMA are available
+            // on this CPU, which is the only precondition of the shell.
+            unsafe { dqds_pass_avx2(q, e, s, qh, eh) }
+        }
+        _ => dqds_pass_body(q, e, s, qh, eh),
+    }
+}
+
+/// The dqds recurrence itself, shared verbatim by both backends.
+#[inline(always)]
+fn dqds_pass_body(q: &[f64], e: &[f64], s: f64, qh: &mut [f64], eh: &mut [f64]) -> f64 {
     let m = q.len();
     let mut d = q[0] - s;
     let mut dmin = d;
@@ -287,6 +312,18 @@ fn dqds_pass(q: &[f64], e: &[f64], s: f64, qh: &mut [f64], eh: &mut [f64]) -> f6
         return f64::NAN;
     }
     dmin
+}
+
+/// [`dqds_pass_body`] compiled with AVX2+FMA enabled (VEX encodings,
+/// vector min for the `dmin` reduction where LLVM finds one legal).
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dqds_pass_avx2(q: &[f64], e: &[f64], s: f64, qh: &mut [f64], eh: &mut [f64]) -> f64 {
+    dqds_pass_body(q, e, s, qh, eh)
 }
 
 /// Eigenvalues of the order-2 qd segment `(q0, q1, e0)` — i.e. of the

@@ -1,0 +1,60 @@
+//! Full-pipeline forced-backend equivalence: GE2VAL (GE2BND bulge-chased to
+//! bidiagonal, then BD2VAL) run end-to-end under the scalar and AVX2 SIMD
+//! backends must recover the same spectrum.
+//!
+//! Two pins per case:
+//!
+//! * both backends match the *prescribed* LATMS spectrum to `1e-10` (the
+//!   pipeline's own accuracy contract — a backend must not merely be
+//!   self-consistent, it must be right), and
+//! * the two backends match *each other* to `1e-12`: tighter than the
+//!   accuracy bound, because the only divergence is fused-vs-unfused
+//!   multiply-adds propagated through orthogonal transforms, which are
+//!   norm-preserving and cannot amplify the gap.
+
+use bidiag_matrix::simd::{self, SimdBackend};
+use bidiag_repro::prelude::*;
+
+fn under_both(f: impl Fn() -> Vec<f64>) -> Option<(Vec<f64>, Vec<f64>)> {
+    if !simd::avx2_available() {
+        eprintln!("skipping cross-backend test: AVX2+FMA not available");
+        return None;
+    }
+    Some((
+        simd::with_forced_backend(SimdBackend::Scalar, &f),
+        simd::with_forced_backend(SimdBackend::Avx2, &f),
+    ))
+}
+
+#[test]
+fn ge2val_spectra_agree_across_backends() {
+    for (m, n, nb, cond, seed) in [
+        (48usize, 32usize, 8usize, 1.0e3, 1u64),
+        (60, 24, 6, 1.0e4, 7),
+        (33, 33, 5, 1.0e2, 11),
+    ] {
+        let (a, sigma) = latms(m, n, &SpectrumKind::Geometric { cond }, seed);
+        for alg in [AlgorithmChoice::Bidiag, AlgorithmChoice::RBidiag] {
+            let Some((s, v)) =
+                under_both(|| ge2val(&a, &Ge2Options::new(nb).with_algorithm(alg)).singular_values)
+            else {
+                return;
+            };
+            assert!(
+                singular_values_match(&s, &sigma, 1.0e-10),
+                "{alg:?} scalar backend lost the spectrum: {:e}",
+                singular_value_error(&s, &sigma)
+            );
+            assert!(
+                singular_values_match(&v, &sigma, 1.0e-10),
+                "{alg:?} avx2 backend lost the spectrum: {:e}",
+                singular_value_error(&v, &sigma)
+            );
+            assert!(
+                singular_values_match(&s, &v, 1.0e-12),
+                "{alg:?} backends diverged: {:e} ({m}x{n} nb={nb})",
+                singular_value_error(&s, &v)
+            );
+        }
+    }
+}
