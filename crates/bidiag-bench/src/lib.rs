@@ -546,6 +546,125 @@ pub fn measure_bnd2bd(m: usize, n: usize, nb: usize, samples: usize) -> Bnd2BdTi
     }
 }
 
+/// Best-of-`samples` wall times (seconds) of one batched-throughput size
+/// point: a stream of `batch` problems of order `n` pushed through a
+/// persistent [`bidiag_core::batch::SvdSession`] versus calling
+/// [`bidiag_core::pipeline::ge2val`] once per problem.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchThroughputPoint {
+    /// Problem order (the problems are `n x n`).
+    pub n: usize,
+    /// Number of problems pushed through each path.
+    pub batch: usize,
+    /// Worker threads of the session (the per-call path gets the same).
+    pub threads: usize,
+    /// Best-of-samples seconds for the whole batch through the session.
+    pub session_seconds: f64,
+    /// Best-of-samples seconds for the whole batch through per-call ge2val.
+    pub per_call_seconds: f64,
+}
+
+impl BatchThroughputPoint {
+    /// Problems per second through the persistent session.
+    pub fn session_problems_per_sec(&self) -> f64 {
+        self.batch as f64 / self.session_seconds.max(1e-12)
+    }
+
+    /// Problems per second through per-call `ge2val`.
+    pub fn per_call_problems_per_sec(&self) -> f64 {
+        self.batch as f64 / self.per_call_seconds.max(1e-12)
+    }
+
+    /// Session throughput over per-call throughput.
+    pub fn speedup(&self) -> f64 {
+        self.per_call_seconds / self.session_seconds.max(1e-12)
+    }
+}
+
+/// Measure batched-SVD throughput at one size: `batch` Gaussian `n x n`
+/// problems (16 distinct matrices cycled, so the generator cost stays out
+/// of the loop) pushed through one persistent
+/// [`SvdSession`](bidiag_core::batch::SvdSession) — submitted in bounded
+/// windows so thousands of problems never sit in flight at once — against
+/// the per-call baseline, [`ge2val`](bidiag_core::pipeline::ge2val) once
+/// per problem with the small-size crossover disabled (the pre-session
+/// production path: fresh executor and scratch per call).  Both paths use
+/// `threads` workers and `nb = 64`.  Before any timing, the session's
+/// spectra are cross-checked against the per-call path on every distinct
+/// problem (1e-10 relative on sigma_max) so the fast path can never "win"
+/// by being wrong.
+pub fn measure_batch_throughput(
+    n: usize,
+    batch: usize,
+    threads: usize,
+    samples: usize,
+) -> BatchThroughputPoint {
+    use bidiag_core::batch::SvdSession;
+    use bidiag_core::pipeline::{ge2val, Ge2Options};
+    use bidiag_matrix::checks::singular_values_match;
+    use std::time::Instant;
+
+    let distinct = 16.min(batch.max(1));
+    let problems: Vec<bidiag_matrix::Matrix> = (0..distinct)
+        .map(|i| bidiag_matrix::gen::random_gaussian(n, n, 900 + i as u64))
+        .collect();
+    let per_call_opts = Ge2Options::new(64).with_threads(threads);
+    let session = SvdSession::new(threads);
+
+    // Correctness cross-check before any timing.
+    for (i, a) in problems.iter().enumerate() {
+        let sv_session = session.submit(a).wait();
+        let sv_per_call = ge2val(a, &per_call_opts).singular_values;
+        assert!(
+            singular_values_match(&sv_session, &sv_per_call, 1.0e-10),
+            "session spectrum disagrees with per-call ge2val on problem {i} (n = {n})"
+        );
+    }
+
+    // Keep a bounded window of problems in flight: enough to saturate the
+    // pool and overlap independent DAGs, without materialising `batch`
+    // task graphs at once.
+    let window = (4 * threads).clamp(16, batch.max(1));
+    let run_session = || {
+        let mut jobs = Vec::with_capacity(window);
+        let mut done = 0usize;
+        let start = Instant::now();
+        while done < batch {
+            let take = window.min(batch - done);
+            for j in 0..take {
+                jobs.push(session.submit(&problems[(done + j) % distinct]));
+            }
+            for job in jobs.drain(..) {
+                assert_eq!(job.wait().len(), n);
+            }
+            done += take;
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let run_per_call = || {
+        let start = Instant::now();
+        for i in 0..batch {
+            let r = ge2val(&problems[i % distinct], &per_call_opts);
+            assert_eq!(r.singular_values.len(), n);
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    let mut session_seconds = f64::INFINITY;
+    let mut per_call_seconds = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        session_seconds = session_seconds.min(run_session());
+        per_call_seconds = per_call_seconds.min(run_per_call());
+    }
+    BatchThroughputPoint {
+        n,
+        batch,
+        threads,
+        session_seconds,
+        per_call_seconds,
+    }
+}
+
 /// Print a measured thread-scaling sweep as a TSV table.
 pub fn print_scaling_table(title: &str, points: &[ScalingPoint]) {
     let rows: Vec<Vec<String>> = points

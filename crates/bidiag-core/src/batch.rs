@@ -1,0 +1,553 @@
+//! The batched SVD runtime service: one persistent pool, many problems.
+//!
+//! [`crate::pipeline::ge2val`] is shaped for one large factorization — it
+//! spins up a thread team, allocates fresh kernel scratch, runs one DAG,
+//! and tears everything down.  The ROADMAP's serving scenario (millions of
+//! small/medium spectra: per-user embedding blocks, per-request
+//! covariances) inverts the cost profile: the matrices are tiny and the
+//! per-call setup dominates.  [`SvdSession`] amortizes all of it:
+//!
+//! * **One pool for the session's lifetime.**  A
+//!   [`TaskPool`] of workers spawned once;
+//!   between submissions they park on the runtime's condition-variable
+//!   idle gate (zero CPU), and independent problem DAGs interleave on the
+//!   same work-stealing deques — workers never idle while *any* submitted
+//!   problem has ready tasks.
+//! * **Per-worker, per-lifetime scratch arenas.**  Each worker owns one
+//!   [`SessionScratch`] (blocked-kernel workspace + direct-path arena)
+//!   created at spawn and lent to every task body it ever runs; buffer
+//!   capacities grow to the high-water mark across problems and stay
+//!   there, so steady-state submissions do no hot-path allocation.
+//! * **Small-size crossover.**  Problems whose larger dimension is at most
+//!   [`Ge2Options::direct_crossover`] skip the tiled machinery entirely —
+//!   no tiling, no T-factors, no band stage — and run the scalar `gebd2`
+//!   direct path straight into the dqds solver, reusing the worker's
+//!   arena.  [`SvdSession::new`] arms the bench-picked
+//!   [`DIRECT_CROSSOVER`]; [`SvdSession::with_options`] honours whatever
+//!   the caller set (including disabled), so a session reproduces
+//!   per-call [`ge2val`](crate::pipeline::ge2val) under the same options **bitwise**.
+//!
+//! ```
+//! use bidiag_core::batch::SvdSession;
+//! use bidiag_matrix::gen::{latms, SpectrumKind};
+//!
+//! let session = SvdSession::new(4);
+//! let (a, _) = latms(32, 32, &SpectrumKind::Geometric { cond: 100.0 }, 7);
+//! let (b, _) = latms(64, 40, &SpectrumKind::Geometric { cond: 10.0 }, 8);
+//! let jobs = session.submit_batch(&[a, b]);
+//! for job in jobs {
+//!     let sv = job.wait();
+//!     assert!(!sv.is_empty());
+//! }
+//! ```
+
+use crate::drivers::GenConfig;
+use crate::exec::build_graph;
+use crate::ops::{KernelScratch, TauTable};
+use crate::pipeline::{Ge2Options, DIRECT_CROSSOVER};
+use bidiag_kernels::band::BandMatrix;
+use bidiag_kernels::gebd2::{gebd2_with, Bidiagonal};
+use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
+use bidiag_runtime::{AccessMode, JobHandle, TaskBodyWith, TaskGraph, TaskPool};
+use bidiag_svd::{
+    dqds_singular_values_into, singular_values_with, Bd2ValOptions, DqdsScratch, SvdSolver,
+};
+use parking_lot::Mutex;
+use std::sync::{Arc, OnceLock};
+
+/// Default tile size of [`SvdSession::new`] (the workspace-wide `nb = 64`
+/// sweet spot of the blocked path; small problems never see it because the
+/// crossover routes them to the direct path).
+const DEFAULT_NB: usize = 64;
+
+/// Arena of the scalar direct path: every buffer the
+/// `gebd2 -> dqds` chain needs, owned per worker (and pooled for inline
+/// [`SvdSession::compute_into`] callers), reused across problems.
+#[derive(Debug)]
+struct DirectScratch {
+    /// Working copy of the input (transposed when the problem is wide).
+    work: Matrix,
+    /// Householder reflector tail shared by every column/row of `gebd2`.
+    tail: Vec<f64>,
+    /// The bidiagonal factor, cleared and refilled per problem.
+    bidiag: Bidiagonal,
+    /// Buffer pool of the dqds solver.
+    dqds: DqdsScratch,
+}
+
+impl DirectScratch {
+    fn new() -> Self {
+        DirectScratch {
+            work: Matrix::zeros(0, 0),
+            tail: Vec::new(),
+            bidiag: Bidiagonal {
+                diag: Vec::new(),
+                superdiag: Vec::new(),
+            },
+            dqds: DqdsScratch::new(),
+        }
+    }
+
+    /// Arena pre-sized for problems up to `dim x dim`, so even a worker's
+    /// first direct problem allocates nothing (beyond the result vector).
+    fn for_dim(dim: usize) -> Self {
+        DirectScratch {
+            work: Matrix::zeros(dim, dim),
+            tail: Vec::with_capacity(dim.saturating_sub(1)),
+            bidiag: Bidiagonal {
+                diag: Vec::with_capacity(dim),
+                superdiag: Vec::with_capacity(dim.saturating_sub(1)),
+            },
+            dqds: DqdsScratch::for_len(dim),
+        }
+    }
+}
+
+/// Per-worker scratch of the session pool: the blocked-kernel workspace
+/// (compact-WY panels, GEMM pack buffers, operand snapshots) plus the
+/// direct-path arena, both living as long as the worker does.
+#[derive(Debug)]
+pub struct SessionScratch {
+    kernel: KernelScratch,
+    direct: DirectScratch,
+}
+
+/// Singular values of `a` through the scalar direct path, written into
+/// `out` using only `scratch`'s buffers.
+///
+/// The chain is `copy -> gebd2_with -> dqds_singular_values_into`, each
+/// link bitwise-identical to its allocating twin, so the result equals the
+/// [`ge2val`](crate::pipeline::ge2val) direct path bit for bit.  With the default
+/// [`SvdSolver::Dqds`] the steady-state call performs **zero heap
+/// allocations**; the other solvers go through their allocating entry
+/// points (they exist for cross-checking, not for throughput).
+fn direct_spectrum(
+    a: &Matrix,
+    bd2val: &Bd2ValOptions,
+    scratch: &mut DirectScratch,
+    out: &mut Vec<f64>,
+) {
+    if a.rows() >= a.cols() {
+        scratch.work.copy_from(a);
+    } else {
+        scratch.work.copy_transposed_from(a);
+    }
+    gebd2_with(&mut scratch.work, &mut scratch.tail, &mut scratch.bidiag);
+    let b = &scratch.bidiag;
+    match bd2val.solver {
+        SvdSolver::Dqds => {
+            // Already sorted non-increasing by the solver — ge2val's extra
+            // stable sort is an identity on this output.
+            dqds_singular_values_into(&b.diag, &b.superdiag, &mut scratch.dqds, out);
+        }
+        _ => {
+            out.clear();
+            out.extend(singular_values_with(&b.diag, &b.superdiag, bd2val));
+            out.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        }
+    }
+}
+
+/// Completion handle of one submitted problem: [`wait`](SvdJob::wait)
+/// yields the singular values in non-increasing order.
+#[must_use = "wait() on the job to obtain the singular values"]
+pub struct SvdJob {
+    /// `None` for problems resolved at submit time (empty inputs).
+    handle: Option<JobHandle<SessionScratch>>,
+    result: Arc<OnceLock<Vec<f64>>>,
+}
+
+impl SvdJob {
+    /// Block until the problem is solved and return its singular values in
+    /// non-increasing order.  Re-throws the panic of any failed kernel.
+    pub fn wait(self) -> Vec<f64> {
+        if let Some(handle) = self.handle {
+            handle.wait();
+        }
+        match Arc::try_unwrap(self.result) {
+            Ok(cell) => cell.into_inner().expect("job finished without a result"),
+            Err(shared) => shared.get().expect("job finished without a result").clone(),
+        }
+    }
+
+    fn finished(sv: Vec<f64>) -> Self {
+        let result = Arc::new(OnceLock::new());
+        result.set(sv).expect("fresh OnceLock");
+        SvdJob {
+            handle: None,
+            result,
+        }
+    }
+}
+
+/// A persistent batched-SVD service — see the [module docs](self).
+///
+/// Cheap problems run as a single direct-path task; larger ones submit
+/// their full tile DAG (plus a band/solve sink task).  Either way, tasks of
+/// all in-flight problems share the same work-stealing deques and the same
+/// per-worker scratch arenas.  Dropping the session parks nothing halfway:
+/// the pool drains every submitted problem before its threads exit.
+pub struct SvdSession {
+    pool: TaskPool<SessionScratch>,
+    opts: Ge2Options,
+    /// Arena pool for inline [`compute_into`](SvdSession::compute_into)
+    /// callers (which run on *caller* threads, not pool workers).
+    caller_scratch: Mutex<Vec<DirectScratch>>,
+}
+
+impl SvdSession {
+    /// Session with `threads` workers and the recommended batched
+    /// defaults: `nb = 64`, the bench-picked [`DIRECT_CROSSOVER`], dqds.
+    pub fn new(threads: usize) -> Self {
+        Self::with_options(
+            Ge2Options::new(DEFAULT_NB)
+                .with_threads(threads)
+                .with_direct_crossover(DIRECT_CROSSOVER),
+        )
+    }
+
+    /// Session honouring `opts` verbatim (`opts.threads` workers): every
+    /// submitted problem yields **bitwise** the spectrum per-call
+    /// [`ge2val`](crate::pipeline::ge2val) produces under the same options — including
+    /// `opts.direct_crossover = 0`, which forces the blocked pipeline at
+    /// every size.
+    pub fn with_options(opts: Ge2Options) -> Self {
+        let nb = opts.nb;
+        let direct_dim = opts.direct_crossover;
+        let pool = TaskPool::new(opts.threads, move || SessionScratch {
+            kernel: KernelScratch::for_tile(nb),
+            direct: DirectScratch::for_dim(direct_dim),
+        });
+        SvdSession {
+            pool,
+            opts,
+            caller_scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of pool worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The options every submission runs under.
+    pub fn options(&self) -> &Ge2Options {
+        &self.opts
+    }
+
+    /// Submit one problem; returns immediately with a [`SvdJob`] handle.
+    ///
+    /// The input is snapshot (one clone) so the caller may reuse `a` right
+    /// away; everything downstream draws from the worker arenas.
+    pub fn submit(&self, a: &Matrix) -> SvdJob {
+        if a.rows().min(a.cols()) == 0 {
+            return SvdJob::finished(Vec::new());
+        }
+        if self.opts.takes_direct_path(a.rows(), a.cols()) {
+            self.submit_direct(a.clone())
+        } else {
+            self.submit_blocked(a)
+        }
+    }
+
+    /// Submit a whole batch; the problems' DAGs interleave on the pool.
+    pub fn submit_batch(&self, problems: &[Matrix]) -> Vec<SvdJob> {
+        problems.iter().map(|a| self.submit(a)).collect()
+    }
+
+    /// Solve `a` *inline on the calling thread* when it is below the
+    /// crossover, writing the spectrum into `out` (cleared first); larger
+    /// problems are submitted to the pool and waited on.
+    ///
+    /// This is the steady-state zero-allocation entry point: direct-path
+    /// calls draw a pooled arena, so with the default dqds solver a warm
+    /// session performs no heap allocation here at all (the allocation
+    /// counter test pins this).
+    pub fn compute_into(&self, a: &Matrix, out: &mut Vec<f64>) {
+        if a.rows().min(a.cols()) == 0 {
+            out.clear();
+            return;
+        }
+        if self.opts.takes_direct_path(a.rows(), a.cols()) {
+            let mut scratch = self
+                .caller_scratch
+                .lock()
+                .pop()
+                .unwrap_or_else(DirectScratch::new);
+            direct_spectrum(a, &self.opts.bd2val, &mut scratch, out);
+            self.caller_scratch.lock().push(scratch);
+        } else {
+            let sv = self.submit(a).wait();
+            out.clear();
+            out.extend_from_slice(&sv);
+        }
+    }
+
+    /// Direct path as a single pool task using the worker's arena.
+    fn submit_direct(&self, a: Matrix) -> SvdJob {
+        let bd2val = self.opts.bd2val;
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(0, AccessMode::Write)]);
+        let result: Arc<OnceLock<Vec<f64>>> = Arc::new(OnceLock::new());
+        let slot = Arc::clone(&result);
+        let k = a.rows().min(a.cols());
+        let bodies: Vec<TaskBodyWith<SessionScratch>> =
+            vec![Box::new(move |s: &mut SessionScratch| {
+                let mut sv = Vec::with_capacity(k);
+                direct_spectrum(&a, &bd2val, &mut s.direct, &mut sv);
+                slot.set(sv).expect("direct task ran twice");
+            })];
+        SvdJob {
+            handle: Some(self.pool.submit(g, bodies)),
+            result,
+        }
+    }
+
+    /// Blocked path: the GE2BND tile DAG plus one *sink* task running the
+    /// band extraction, BND2BD and BD2VAL stages (sequentially — with many
+    /// problems in flight, inter-problem parallelism keeps the workers
+    /// busier than intra-problem stage fan-out would).
+    fn submit_blocked(&self, a: &Matrix) -> SvdJob {
+        let a_owned = if a.rows() >= a.cols() {
+            a.clone()
+        } else {
+            a.transpose()
+        };
+        let (m, n) = (a_owned.rows(), a_owned.cols());
+        let nb = self.opts.nb;
+        let algorithm = self.opts.resolve_algorithm(m, n);
+        let mut tiled = TiledMatrix::from_dense(&a_owned, nb);
+        drop(a_owned);
+        let (p, q) = (tiled.tile_rows(), tiled.tile_cols());
+        let cfg = GenConfig::shared(self.opts.tree);
+        let ops = crate::drivers::ge2bnd_ops(p, q, algorithm, &cfg);
+
+        // Move the tiles into shared per-tile locks (row-major i * q + j),
+        // leaving the TiledMatrix shell to be refilled by the sink.
+        let mut shared: Vec<parking_lot::RwLock<Matrix>> = Vec::with_capacity(p * q);
+        for i in 0..p {
+            for j in 0..q {
+                shared.push(parking_lot::RwLock::new(std::mem::replace(
+                    tiled.tile_mut(i, j),
+                    Matrix::zeros(0, 0),
+                )));
+            }
+        }
+        let shared = Arc::new(shared);
+        let taus = Arc::new(TauTable::for_ops(&ops));
+
+        let mut graph = build_graph(&ops, q, &BlockCyclic::single_node());
+        // The sink declares a write on every data key any op touches, so
+        // it depends (transitively) on the completion of the whole DAG.
+        let mut keys: Vec<u64> = ops
+            .iter()
+            .flat_map(|op| op.accesses(q).into_iter().map(|(k, _)| k))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let sink_accesses: Vec<(u64, AccessMode)> =
+            keys.into_iter().map(|k| (k, AccessMode::Write)).collect();
+        graph.add_task(1.0, 0, 0, &sink_accesses);
+
+        let result: Arc<OnceLock<Vec<f64>>> = Arc::new(OnceLock::new());
+        let mut bodies: Vec<TaskBodyWith<SessionScratch>> = ops
+            .iter()
+            .enumerate()
+            .map(|(op_id, &op)| {
+                let shared = Arc::clone(&shared);
+                let taus = Arc::clone(&taus);
+                Box::new(move |s: &mut SessionScratch| {
+                    op.execute_shared(op_id, &shared, q, &taus, &mut s.kernel);
+                }) as TaskBodyWith<SessionScratch>
+            })
+            .collect();
+        {
+            let shared = Arc::clone(&shared);
+            let slot = Arc::clone(&result);
+            let bd2val = self.opts.bd2val;
+            let mut tiled = tiled;
+            bodies.push(Box::new(move |_s: &mut SessionScratch| {
+                for i in 0..p {
+                    for j in 0..q {
+                        *tiled.tile_mut(i, j) =
+                            std::mem::replace(&mut *shared[i * q + j].write(), Matrix::zeros(0, 0));
+                    }
+                }
+                // Identical to ge2bnd + the sequential BND2BD / BD2VAL
+                // stages of ge2val — same arithmetic, same sort.
+                let bw = nb.min(n.saturating_sub(1)).max(1);
+                let mut band = BandMatrix::from_dense(&tiled.extract_upper_band(bw), bw);
+                let bidiag = band.reduce_to_bidiagonal();
+                let mut sv = singular_values_with(&bidiag.diag, &bidiag.superdiag, &bd2val);
+                sv.sort_by(|x, y| y.partial_cmp(x).unwrap());
+                slot.set(sv).expect("sink ran twice");
+            }) as TaskBodyWith<SessionScratch>);
+        }
+        SvdJob {
+            handle: Some(self.pool.submit(graph, bodies)),
+            result,
+        }
+    }
+}
+
+/// Solve a batch of independent problems on one temporary session and
+/// return their spectra in input order — per-call [`ge2val`](crate::pipeline::ge2val) semantics
+/// (each spectrum is **bitwise** what `ge2val(&problems[i], opts)` returns
+/// under the same options) with batched-runtime performance.
+///
+/// Long-running services should hold a [`SvdSession`] instead, so the pool
+/// and the scratch arenas persist across batches.
+pub fn ge2val_batch(problems: &[Matrix], opts: &Ge2Options) -> Vec<Vec<f64>> {
+    let session = SvdSession::with_options(*opts);
+    let jobs = session.submit_batch(problems);
+    jobs.into_iter().map(SvdJob::wait).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ge2val;
+    use bidiag_matrix::gen::{latms, random_gaussian, SpectrumKind};
+
+    /// Sizes straddling the crossover, as the issue prescribes.
+    const SIZES: [usize; 6] = [8, 31, 32, 33, 64, 97];
+
+    #[test]
+    fn batched_spectra_are_bitwise_equal_to_per_call_ge2val() {
+        // One session, default batched options (crossover armed): every
+        // result must equal per-call ge2val under the same options, bit
+        // for bit — across the direct/blocked boundary.
+        let opts = Ge2Options::new(16)
+            .with_threads(4)
+            .with_direct_crossover(DIRECT_CROSSOVER);
+        let session = SvdSession::with_options(opts);
+        let problems: Vec<Matrix> = SIZES
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| random_gaussian(n + 3, n, 100 + i as u64))
+            .collect();
+        let jobs = session.submit_batch(&problems);
+        for ((a, job), &n) in problems.iter().zip(jobs).zip(&SIZES) {
+            let reference = ge2val(a, &opts);
+            assert_eq!(
+                reference.singular_values,
+                job.wait(),
+                "n={n}: session diverged from per-call ge2val"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_only_session_matches_blocked_ge2val() {
+        // Crossover disabled: every size runs the full tile DAG on the
+        // pool and must still be bitwise per-call ge2val.
+        let opts = Ge2Options::new(16).with_threads(3);
+        let session = SvdSession::with_options(opts);
+        for (i, &n) in SIZES.iter().enumerate() {
+            let (a, _) = latms(
+                n + 5,
+                n,
+                &SpectrumKind::Geometric { cond: 1e4 },
+                200 + i as u64,
+            );
+            let reference = ge2val(&a, &opts);
+            assert_eq!(
+                reference.singular_values,
+                session.submit(&a).wait(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_into_matches_submit() {
+        let session = SvdSession::new(2);
+        let mut out = Vec::new();
+        for (i, &n) in SIZES.iter().enumerate() {
+            let a = random_gaussian(n, n, 300 + i as u64);
+            let via_submit = session.submit(&a).wait();
+            session.compute_into(&a, &mut out);
+            assert_eq!(via_submit, out, "n={n}");
+        }
+    }
+
+    #[test]
+    fn wide_problems_match_their_transpose() {
+        let session = SvdSession::new(2);
+        for n in [16usize, 80] {
+            let a = random_gaussian(n, 2 * n, 42);
+            let wide = session.submit(&a).wait();
+            let tall = session.submit(&a.transpose()).wait();
+            assert_eq!(wide, tall, "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_problems_resolve_immediately() {
+        let session = SvdSession::new(2);
+        assert!(session.submit(&Matrix::zeros(0, 0)).wait().is_empty());
+        assert!(session.submit(&Matrix::zeros(5, 0)).wait().is_empty());
+        let mut out = vec![1.0];
+        session.compute_into(&Matrix::zeros(0, 3), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_submissions_from_many_threads() {
+        // More submitting threads than workers, mixed sizes, every result
+        // checked against per-call ge2val — the stress test of the issue.
+        let session = Arc::new(SvdSession::new(2));
+        std::thread::scope(|scope| {
+            for t in 0..6u64 {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    for r in 0..4u64 {
+                        let n = [8usize, 33, 72][(t + r) as usize % 3];
+                        let a = random_gaussian(n, n, 1000 + t * 10 + r);
+                        let expect = ge2val(&a, session.options());
+                        assert_eq!(expect.singular_values, session.submit(&a).wait());
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn ge2val_batch_returns_spectra_in_input_order() {
+        let problems: Vec<Matrix> = (0..8u64)
+            .map(|i| random_gaussian(24 + i as usize, 20, i))
+            .collect();
+        let opts = Ge2Options::new(8)
+            .with_threads(4)
+            .with_direct_crossover(DIRECT_CROSSOVER);
+        let batched = ge2val_batch(&problems, &opts);
+        for (a, sv) in problems.iter().zip(&batched) {
+            assert_eq!(&ge2val(a, &opts).singular_values, sv);
+        }
+    }
+
+    #[test]
+    fn session_drop_and_recreate_does_not_leak_threads() {
+        fn thread_count() -> usize {
+            let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+            status
+                .lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("Threads: line")
+        }
+        let before = thread_count();
+        for round in 0..5u64 {
+            let session = SvdSession::new(3);
+            let a = random_gaussian(40, 30, round);
+            let _ = session.submit(&a).wait();
+            drop(session);
+        }
+        // Every pool joined its workers on drop: back to the baseline.
+        assert_eq!(
+            thread_count(),
+            before,
+            "worker threads leaked across session lifetimes"
+        );
+    }
+}

@@ -12,7 +12,10 @@
 //!   construction,
 //! * [`cp`] — critical-path formulas (Section IV) and DAG measurements,
 //! * [`flops`] — operation counts and the Chan/Elemental crossover rules,
-//! * [`pipeline`] — user-facing `GE2BND` and `GE2VAL` entry points.
+//! * [`pipeline`] — user-facing `GE2BND` and `GE2VAL` entry points,
+//! * [`batch`] — the persistent batched runtime service ([`SvdSession`]):
+//!   one long-lived work-stealing pool serving a stream of independent
+//!   problems with per-worker scratch arenas and a small-size crossover.
 //!
 //! ## Quick start
 //!
@@ -27,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cp;
 pub mod drivers;
 pub mod exec;
@@ -34,6 +38,7 @@ pub mod flops;
 pub mod ops;
 pub mod pipeline;
 
+pub use batch::{ge2val_batch, SessionScratch, SvdJob, SvdSession};
 pub use drivers::{
     bidiag_ops, ge2bnd_ops, qr_factorization_ops, rbidiag_ops, Algorithm, GenConfig,
 };
@@ -42,7 +47,9 @@ pub use exec::{
     execute_sequential,
 };
 pub use ops::{ops_flops, KernelScratch, TauTable, TileOp};
-pub use pipeline::{ge2bnd, ge2val, AlgorithmChoice, Ge2BndResult, Ge2Options, Ge2ValResult};
+pub use pipeline::{
+    ge2bnd, ge2val, AlgorithmChoice, Ge2BndResult, Ge2Options, Ge2ValResult, DIRECT_CROSSOVER,
+};
 // The BD2VAL solver options the pipeline threads through, re-exported so
 // downstream callers need not depend on `bidiag-svd` directly.
 pub use bidiag_svd::{Bd2ValOptions, SvdSolver};

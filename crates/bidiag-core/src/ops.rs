@@ -252,7 +252,13 @@ impl TauTable {
         let mut write_slot = vec![None; ops.len()];
         let mut read_slot = vec![None; ops.len()];
         let mut nslots = 0u32;
-        let mut last_producer: HashMap<u64, u32> = HashMap::new();
+        // One-shot sizing: count the producers up front so the binding map
+        // never rehashes mid-scan (ge2val_batch calls this per problem).
+        let producers = ops
+            .iter()
+            .filter(|op| matches!(op.tau_role(), Some(TauRole::Produce)))
+            .count();
+        let mut last_producer: HashMap<u64, u32> = HashMap::with_capacity(producers);
         for (t, op) in ops.iter().enumerate() {
             match op.tau_role() {
                 Some(TauRole::Produce) => {

@@ -25,9 +25,27 @@ use crate::exec::{bd2val_on_runtime, bnd2bd_on_runtime, execute_parallel, execut
 use crate::flops;
 use crate::ops::ops_flops;
 use bidiag_kernels::band::BandMatrix;
+use bidiag_kernels::gebd2::gebd2;
 use bidiag_matrix::{Matrix, TiledMatrix};
 use bidiag_svd::{singular_values_with, Bd2ValOptions, SvdSolver};
 use bidiag_trees::NamedTree;
+
+/// Default small-size crossover of the *batched* drivers (`SvdSession`,
+/// `ge2val_batch`): problems whose larger dimension is at most this run the
+/// scalar `gebd2` direct path instead of the tiled three-stage pipeline.
+///
+/// Below this size the blocked machinery (tiling, T-factors, band
+/// extraction, bulge chasing) costs more than it saves.  The sweep that
+/// picked the value (`crossover_sweep_direct_vs_blocked`, run with
+/// `--ignored --nocapture`) measures, single-threaded on the reference
+/// container: direct wins 2.5x at n = 32, 2.1x at n = 64, 1.8x at n = 96,
+/// and breaks even near n = 128.  64 is the conservative choice because the
+/// direct path is strictly sequential while the blocked DAG can occupy
+/// several workers from n ~ 2nb up.  Plain [`ge2val`] keeps the crossover
+/// *disabled* by default (`direct_crossover = 0`) so existing callers
+/// exercise the blocked pipeline at every size; opt in with
+/// [`Ge2Options::with_direct_crossover`].
+pub const DIRECT_CROSSOVER: usize = 64;
 
 /// How the GE2BND algorithm is chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,6 +72,11 @@ pub struct Ge2Options {
     /// BD2VAL stage options: singular-value solver choice and tolerances
     /// (defaults to the dqds fast path).
     pub bd2val: Bd2ValOptions,
+    /// Small-size crossover: when `max(m, n) <= direct_crossover`,
+    /// [`ge2val`] skips the tiled pipeline entirely and runs the scalar
+    /// `gebd2` + BD2VAL direct path (`0` disables, the default here; the
+    /// batched session enables [`DIRECT_CROSSOVER`]).
+    pub direct_crossover: usize,
 }
 
 impl Ge2Options {
@@ -66,6 +89,7 @@ impl Ge2Options {
             algorithm: AlgorithmChoice::Auto,
             threads: 1,
             bd2val: Bd2ValOptions::default(),
+            direct_crossover: 0,
         }
     }
 
@@ -99,7 +123,21 @@ impl Ge2Options {
         self
     }
 
-    fn resolve_algorithm(&self, m: usize, n: usize) -> Algorithm {
+    /// Builder-style: set the small-size direct-path crossover (`0`
+    /// disables; [`DIRECT_CROSSOVER`] is the bench-picked default of the
+    /// batched session).
+    pub fn with_direct_crossover(mut self, direct_crossover: usize) -> Self {
+        self.direct_crossover = direct_crossover;
+        self
+    }
+
+    /// True when a problem of the given dimensions takes the scalar direct
+    /// path under these options.
+    pub fn takes_direct_path(&self, m: usize, n: usize) -> bool {
+        self.direct_crossover > 0 && m.max(n) <= self.direct_crossover
+    }
+
+    pub(crate) fn resolve_algorithm(&self, m: usize, n: usize) -> Algorithm {
         match self.algorithm {
             AlgorithmChoice::Bidiag => Algorithm::Bidiag,
             AlgorithmChoice::RBidiag => Algorithm::RBidiag,
@@ -155,8 +193,9 @@ pub fn ge2bnd(a: &Matrix, opts: &Ge2Options) -> Ge2BndResult {
 pub struct Ge2ValResult {
     /// Singular values in non-increasing order.
     pub singular_values: Vec<f64>,
-    /// The GE2BND stage output.
-    pub ge2bnd: Ge2BndResult,
+    /// The GE2BND stage output — `None` when the small-size crossover
+    /// took the scalar direct path (no tiling, no band stage ran).
+    pub ge2bnd: Option<Ge2BndResult>,
 }
 
 /// Compute all singular values of a dense matrix through the three-stage
@@ -195,6 +234,18 @@ pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
         work = a.transpose();
         &work
     };
+    if opts.takes_direct_path(a.rows(), a.cols()) {
+        // Small-size crossover: scalar Golub–Kahan bidiagonalization
+        // straight to BD2VAL — no tiling, no T-factors, no band stage.
+        let mut w = a_ref.clone();
+        let bidiag = gebd2(&mut w);
+        let mut sv = singular_values_with(&bidiag.diag, &bidiag.superdiag, &opts.bd2val);
+        sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        return Ge2ValResult {
+            singular_values: sv,
+            ge2bnd: None,
+        };
+    }
     let stage1 = ge2bnd(a_ref, opts);
     // BND2BD: pipelined bulge chasing on the band (one runtime task per
     // wavefront when threaded; same wavefront schedule either way).
@@ -215,7 +266,7 @@ pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
     sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
     Ge2ValResult {
         singular_values: sv,
-        ge2bnd: stage1,
+        ge2bnd: Some(stage1),
     }
 }
 
@@ -261,7 +312,8 @@ mod tests {
             &a,
             &Ge2Options::new(4).with_algorithm(AlgorithmChoice::RBidiag),
         );
-        assert_eq!(r.ge2bnd.algorithm, Algorithm::RBidiag);
+        let stage1 = r.ge2bnd.as_ref().expect("blocked path ran");
+        assert_eq!(stage1.algorithm, Algorithm::RBidiag);
         assert!(singular_values_match(&r.singular_values, &sigma, 1e-10));
     }
 
@@ -349,6 +401,84 @@ mod tests {
             assert!(
                 singular_values_match(&seq.singular_values, &sigma, 1e-10),
                 "{solver:?} missed the spectrum"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_crossover_path_matches_the_blocked_pipeline() {
+        // Sizes straddling the default crossover; the direct path must
+        // reproduce the blocked spectra to full pipeline accuracy.
+        for (m, n, seed) in [
+            (8usize, 8usize, 1u64),
+            (31, 20, 2),
+            (32, 32, 3),
+            (33, 33, 4),
+            (64, 40, 5),
+            (20, 64, 6), // wide: the direct path transposes too
+        ] {
+            let (a, _) = latms(m, n, &SpectrumKind::Geometric { cond: 1e4 }, seed);
+            let blocked = ge2val(&a, &Ge2Options::new(16));
+            let direct = ge2val(
+                &a,
+                &Ge2Options::new(16).with_direct_crossover(DIRECT_CROSSOVER),
+            );
+            assert!(blocked.ge2bnd.is_some(), "{m}x{n}: blocked path skipped");
+            assert!(direct.ge2bnd.is_none(), "{m}x{n}: direct path skipped");
+            assert!(
+                singular_values_match(&blocked.singular_values, &direct.singular_values, 1e-13),
+                "{m}x{n}: direct path diverged from the blocked pipeline"
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_disabled_and_above_threshold_stay_blocked() {
+        let (a, _) = latms(97, 60, &spectrum(60), 9);
+        // 97 > 64: even with the crossover armed, the blocked path runs.
+        let r = ge2val(
+            &a,
+            &Ge2Options::new(16).with_direct_crossover(DIRECT_CROSSOVER),
+        );
+        assert!(r.ge2bnd.is_some());
+        // Default options never take the direct path, at any size.
+        let opts = Ge2Options::new(4);
+        assert!(!opts.takes_direct_path(8, 8));
+        assert!(Ge2Options::new(4)
+            .with_direct_crossover(64)
+            .takes_direct_path(64, 64));
+    }
+
+    /// The sweep that picked [`DIRECT_CROSSOVER`].  Ignored by default
+    /// (it is a timing run, not a correctness test); re-run it with
+    /// `cargo test -p bidiag-core --release crossover_sweep -- --ignored
+    /// --nocapture` when the kernels change and update the constant's doc
+    /// numbers if the break-even moves.
+    #[test]
+    #[ignore = "timing sweep; run manually with --release --nocapture"]
+    fn crossover_sweep_direct_vs_blocked() {
+        for n in [16usize, 32, 48, 64, 96, 128] {
+            let a = bidiag_matrix::gen::random_gaussian(n, n, 900);
+            let blocked_opts = Ge2Options::new(64).with_threads(1);
+            let direct_opts = blocked_opts.with_direct_crossover(n);
+            let time = |opts: &Ge2Options| {
+                let _ = ge2val(&a, opts); // warm
+                let mut best = f64::INFINITY;
+                for _ in 0..5 {
+                    let t0 = std::time::Instant::now();
+                    let r = ge2val(&a, opts);
+                    best = best.min(t0.elapsed().as_secs_f64());
+                    assert_eq!(r.singular_values.len(), n);
+                }
+                best
+            };
+            let blocked = time(&blocked_opts);
+            let direct = time(&direct_opts);
+            println!(
+                "n={n}\tblocked {:.1} us\tdirect {:.1} us\tdirect speedup {:.2}x",
+                blocked * 1.0e6,
+                direct * 1.0e6,
+                blocked / direct
             );
         }
     }

@@ -1,0 +1,76 @@
+//! Steady-state allocation accounting for the batched session: after
+//! warm-up, inline direct-path calls through [`SvdSession::compute_into`]
+//! must perform **zero** heap allocations — the gebd2 work/tail buffers,
+//! the dqds qd-array pool and the output vector are all reused from the
+//! session's caller arena.
+//!
+//! The counting allocator makes this binary single-purpose; keep it to one
+//! test so no concurrent test thread pollutes the counter.
+//!
+//! [`SvdSession::compute_into`]: bidiag_core::batch::SvdSession::compute_into
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_direct_path_calls_allocate_nothing() {
+    use bidiag_core::batch::SvdSession;
+    use bidiag_matrix::gen::random_gaussian;
+
+    let session = SvdSession::new(1);
+    let problems: Vec<_> = (0..4).map(|i| random_gaussian(32, 32, 40 + i)).collect();
+    let wide = random_gaussian(24, 48, 99); // exercises the transposed copy
+    let mut out = Vec::new();
+
+    // Warm-up: the first calls grow the caller arena (work matrix, gebd2
+    // tail, dqds pair pool) and `out` to their steady-state capacities.
+    // The inputs are deterministic and repeated below, so every buffer the
+    // measured loop needs exists after this.
+    for _ in 0..3 {
+        for a in &problems {
+            session.compute_into(a, &mut out);
+            assert_eq!(out.len(), 32);
+        }
+        session.compute_into(&wide, &mut out);
+        assert_eq!(out.len(), 24);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..50 {
+        for a in &problems {
+            session.compute_into(a, &mut out);
+        }
+        session.compute_into(&wide, &mut out);
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "warm compute_into made {delta} heap allocations over 250 calls; \
+         the direct path must run entirely from the pooled arenas"
+    );
+}

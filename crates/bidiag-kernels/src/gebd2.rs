@@ -61,17 +61,38 @@ impl Bidiagonal {
 /// the bidiagonal entries on its diagonal / superdiagonal, following the
 /// LAPACK `xGEBD2` storage convention.
 pub fn gebd2(a: &mut Matrix) -> Bidiagonal {
+    let mut b = Bidiagonal {
+        diag: Vec::with_capacity(a.cols()),
+        superdiag: Vec::with_capacity(a.cols().saturating_sub(1)),
+    };
+    let mut tail = Vec::with_capacity(a.rows().saturating_sub(1));
+    gebd2_with(a, &mut tail, &mut b);
+    b
+}
+
+/// [`gebd2`] writing into caller-owned buffers: `tail` is the reflector
+/// scratch (grown once, reused every column/row) and `out` receives the
+/// bidiagonal factor (its vectors are cleared and refilled, keeping their
+/// capacity).  Arithmetic is identical to [`gebd2`] — same reflectors in
+/// the same order — so the results are bitwise equal; the only difference
+/// is that steady-state calls with same-or-smaller problems allocate
+/// nothing.  This is the small-size direct path of the batched SVD
+/// session.
+pub fn gebd2_with(a: &mut Matrix, tail: &mut Vec<f64>, out: &mut Bidiagonal) {
     let m = a.rows();
     let n = a.cols();
     assert!(m >= n, "gebd2 expects m >= n (use the transpose otherwise)");
-    let mut diag = Vec::with_capacity(n);
-    let mut superdiag = Vec::with_capacity(n.saturating_sub(1));
+    let diag = &mut out.diag;
+    let superdiag = &mut out.superdiag;
+    diag.clear();
+    superdiag.clear();
 
     for k in 0..n {
         // --- Column reflector: zero A[k+1..m, k].
         let alpha = a.get(k, k);
-        let mut tail: Vec<f64> = (k + 1..m).map(|i| a.get(i, k)).collect();
-        let refl = larfg(alpha, &mut tail);
+        tail.clear();
+        tail.extend((k + 1..m).map(|i| a.get(i, k)));
+        let refl = larfg(alpha, tail);
         a.set(k, k, refl.beta);
         for (idx, i) in (k + 1..m).enumerate() {
             a.set(i, k, tail[idx]);
@@ -94,8 +115,9 @@ pub fn gebd2(a: &mut Matrix) -> Bidiagonal {
         // --- Row reflector: zero A[k, k+2..n].
         if k + 1 < n {
             let alpha = a.get(k, k + 1);
-            let mut tail: Vec<f64> = (k + 2..n).map(|j| a.get(k, j)).collect();
-            let refl = larfg(alpha, &mut tail);
+            tail.clear();
+            tail.extend((k + 2..n).map(|j| a.get(k, j)));
+            let refl = larfg(alpha, tail);
             a.set(k, k + 1, refl.beta);
             for (idx, j) in (k + 2..n).enumerate() {
                 a.set(k, j, tail[idx]);
@@ -116,8 +138,6 @@ pub fn gebd2(a: &mut Matrix) -> Bidiagonal {
             superdiag.push(a.get(k, k + 1));
         }
     }
-
-    Bidiagonal { diag, superdiag }
 }
 
 /// Flop count of the scalar bidiagonalization of an `m x n` matrix
@@ -181,6 +201,27 @@ mod tests {
         let bidiag = 4.0 * n * n * (m - n / 3.0);
         let rbidiag = 2.0 * n * n * (m + n);
         assert!((bidiag - rbidiag).abs() < 1e-6 * bidiag);
+    }
+
+    #[test]
+    fn gebd2_with_reused_buffers_is_bitwise_identical() {
+        // One long-lived scratch set across problems of different shapes:
+        // every result must equal the allocating entry point bit for bit.
+        let mut tail = Vec::new();
+        let mut out = Bidiagonal {
+            diag: Vec::new(),
+            superdiag: Vec::new(),
+        };
+        for (m, n, seed) in [(12usize, 8usize, 5u64), (6, 6, 9), (20, 3, 1), (9, 7, 3)] {
+            let a0 = random_gaussian(m, n, seed);
+            let mut a1 = a0.clone();
+            let mut a2 = a0.clone();
+            let reference = gebd2(&mut a1);
+            gebd2_with(&mut a2, &mut tail, &mut out);
+            assert_eq!(reference.diag, out.diag, "{m}x{n}");
+            assert_eq!(reference.superdiag, out.superdiag, "{m}x{n}");
+            assert_eq!(a1, a2, "{m}x{n}: reflector storage diverged");
+        }
     }
 
     #[test]

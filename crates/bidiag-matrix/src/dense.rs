@@ -128,6 +128,32 @@ impl Matrix {
         self.data.extend_from_slice(&other.data);
     }
 
+    /// Copy the transpose of `other` into `self`, adopting the transposed
+    /// shape and reusing the existing allocation when it is large enough.
+    /// Produces exactly the values of [`Matrix::transpose`] without the
+    /// fresh allocation — the batched-session direct path uses this to
+    /// orient wide problems into a long-lived work buffer.
+    pub fn copy_transposed_from(&mut self, other: &Matrix) {
+        self.rows = other.cols;
+        self.cols = other.rows;
+        self.data.clear();
+        self.data.resize(other.data.len(), 0.0);
+        const BS: usize = 32;
+        let (m, n) = (other.rows, other.cols);
+        for jb in (0..n).step_by(BS) {
+            let jend = (jb + BS).min(n);
+            for ib in (0..m).step_by(BS) {
+                let iend = (ib + BS).min(m);
+                for j in jb..jend {
+                    let src = &other.data[j * m + ib..j * m + iend];
+                    for (di, &x) in src.iter().enumerate() {
+                        self.data[(ib + di) * n + j] = x;
+                    }
+                }
+            }
+        }
+    }
+
     /// Borrow the whole matrix as an immutable column-major view.
     #[inline]
     pub fn as_view(&self) -> MatrixView<'_> {

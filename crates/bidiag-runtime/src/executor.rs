@@ -82,14 +82,14 @@ pub type TaskBodyWith<S> = Box<dyn FnOnce(&mut S) + Send>;
 /// Once-cell storage of the task bodies: each slot is written once before
 /// the workers start and taken exactly once by the worker that claimed the
 /// task (see the module docs for the exclusivity argument).
-struct BodySlots<S>(Vec<UnsafeCell<Option<TaskBodyWith<S>>>>);
+pub(crate) struct BodySlots<S>(Vec<UnsafeCell<Option<TaskBodyWith<S>>>>);
 
 // SAFETY: slots are only accessed through `take`, whose per-id exclusivity
 // is guaranteed by the ready/claim protocol described in the module docs.
 unsafe impl<S> Sync for BodySlots<S> {}
 
 impl<S> BodySlots<S> {
-    fn new(bodies: Vec<TaskBodyWith<S>>) -> Self {
+    pub(crate) fn new(bodies: Vec<TaskBodyWith<S>>) -> Self {
         BodySlots(
             bodies
                 .into_iter()
@@ -103,7 +103,7 @@ impl<S> BodySlots<S> {
     /// SAFETY contract (upheld by the scheduler): `take(id)` is called at
     /// most once per id, and the call happens after the constructor's write
     /// with a synchronization edge in between (deque mutex or thread spawn).
-    fn take(&self, id: TaskId) -> TaskBodyWith<S> {
+    pub(crate) fn take(&self, id: TaskId) -> TaskBodyWith<S> {
         unsafe { (*self.0[id].get()).take().expect("task executed twice") }
     }
 }
@@ -113,7 +113,7 @@ impl<S> BodySlots<S> {
 /// countdown.  Workers park on the condition variable when a full scan of
 /// all deques found nothing and the generation has not moved since the scan
 /// started — so a publication between scan and park is never lost.
-struct IdleGate {
+pub(crate) struct IdleGate {
     state: Mutex<GateState>,
     cv: Condvar,
 }
@@ -125,7 +125,7 @@ struct GateState {
 }
 
 impl IdleGate {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         IdleGate {
             state: Mutex::new(GateState {
                 generation: 0,
@@ -137,7 +137,7 @@ impl IdleGate {
     }
 
     /// Announce that new tasks were pushed on some deque.
-    fn publish(&self) {
+    pub(crate) fn publish(&self) {
         let mut st = self.state.lock();
         st.generation += 1;
         if st.sleepers > 0 {
@@ -145,8 +145,9 @@ impl IdleGate {
         }
     }
 
-    /// Announce that every task has completed.
-    fn finish(&self) {
+    /// Announce that every task has completed (executor) or that the pool
+    /// is shutting down ([`crate::pool::TaskPool`]).
+    pub(crate) fn finish(&self) {
         let mut st = self.state.lock();
         st.done = true;
         self.cv.notify_all();
@@ -155,7 +156,7 @@ impl IdleGate {
     /// Park until something changes.  `seen` is the generation the caller's
     /// last (fruitless) scan started from; returns `true` when the caller
     /// should rescan for work and `false` when the graph has drained.
-    fn park(&self, seen: &mut u64) -> bool {
+    pub(crate) fn park(&self, seen: &mut u64) -> bool {
         let mut st = self.state.lock();
         loop {
             if st.done {
@@ -280,7 +281,7 @@ impl<S> Scheduler<'_, S> {
 }
 
 #[inline]
-fn xorshift(state: &mut u64) -> u64 {
+pub(crate) fn xorshift(state: &mut u64) -> u64 {
     let mut x = *state;
     x ^= x << 13;
     x ^= x >> 7;

@@ -9,6 +9,10 @@
 //!   graph on the local machine (shared-memory experiments): per-worker
 //!   LIFO deques with random stealing, bottom-level priorities, and a
 //!   condition-variable idle protocol with no timed polling,
+//! * [`pool::TaskPool`] — the same scheduler made persistent: long-lived
+//!   workers serving a *stream* of independent task graphs (the batched
+//!   SVD session of `bidiag-core` is built on it), parked on the idle
+//!   gate between submissions,
 //! * [`sim`] — a deterministic list-scheduling simulator with per-node core
 //!   pools and an `alpha/beta` communication model, used for critical-path
 //!   measurements and for the distributed-memory experiments that the paper
@@ -31,10 +35,12 @@
 
 pub mod executor;
 pub mod graph;
+pub mod pool;
 pub mod sim;
 
 pub use executor::{
     execute_parallel, execute_parallel_with, execute_sequential, TaskBody, TaskBodyWith,
 };
 pub use graph::{AccessMode, DataKey, TaskGraph, TaskId, TaskNode};
+pub use pool::{JobHandle, TaskPool};
 pub use sim::{critical_path_via_sim, simulate, MachineModel, SimResult};

@@ -1,0 +1,556 @@
+//! A *persistent* work-stealing pool: the executor's scheduler re-armed for
+//! a stream of independent task graphs instead of one graph per thread team.
+//!
+//! [`crate::execute_parallel_with`] spawns its workers, runs one graph, and
+//! joins — the right shape for one big factorization, but pure overhead when
+//! serving millions of small problems (the batched-SVD scenario of the
+//! ROADMAP).  [`TaskPool`] keeps the same scheduling protocol — per-worker
+//! LIFO deques, random stealing, bottom-level priorities, work-first
+//! handoff, and the condition-variable [`IdleGate`](crate::executor) — but
+//! makes the workers long-lived:
+//!
+//! * **Submissions, not teams.**  [`TaskPool::submit`] packages a
+//!   [`TaskGraph`] plus its bodies into an [`Arc`]'d submission and seeds
+//!   its source tasks into a shared injector queue.  Deque items are
+//!   `(submission, task id)` pairs, so tasks of *different* submissions
+//!   interleave freely on the same deques — workers never idle while any
+//!   submitted problem has ready tasks (inter-problem parallelism).
+//! * **Per-worker, per-lifetime scratch.**  Each worker owns one scratch
+//!   value created by the pool's `init` closure at spawn time and lends it
+//!   to every body it ever runs, across all submissions — allocation reuse
+//!   spans the pool's lifetime, not a single graph.
+//! * **Idle = parked.**  Between submissions every worker blocks on the
+//!   idle gate; a parked pool consumes no CPU until the next `submit`
+//!   publishes work.
+//! * **Per-submission completion.**  Each submission counts down its own
+//!   remaining tasks and signals its own condition variable;
+//!   [`JobHandle::wait`] blocks on that, not on the pool.  A body panic is
+//!   caught, the submission is flagged failed (remaining bodies of *that*
+//!   submission are skipped, its graph still drains so counters stay
+//!   consistent), and the panic payload is re-thrown from `wait` — other
+//!   submissions and the pool itself are unaffected.
+//!
+//! The once-cell body-slot soundness argument of the executor carries over
+//! verbatim: a task id of a given submission becomes ready exactly once,
+//! is claimed exactly once (deque and injector ends are mutually
+//! exclusive), and the claim is ordered after the slot write by the
+//! injector/deque mutex.
+//!
+//! Dropping the pool closes the gate; each worker drains every task it can
+//! still find (its own deque, the injector, every victim) and exits, so no
+//! submitted work is abandoned — the work-first handoff guarantees the
+//! chain a worker is executing stays its own, and anything it releases
+//! lands on its own deque, which it drains before exiting.
+
+use crate::executor::{BodySlots, IdleGate, TaskBodyWith};
+use crate::graph::{TaskGraph, TaskId};
+use crossbeam::deque::{Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One submitted task graph with all the scheduler state it travels with.
+struct Submission<S> {
+    graph: TaskGraph,
+    /// Bottom levels, the intra-submission scheduling priority.
+    priority: Vec<f64>,
+    /// Remaining-predecessor counters; the worker that drops one to zero
+    /// owns the publication of that task.
+    remaining_preds: Vec<AtomicUsize>,
+    /// Countdown of unfinished tasks of this submission.
+    remaining_tasks: AtomicUsize,
+    slots: BodySlots<S>,
+    /// Set when a body of this submission panicked: the remaining bodies
+    /// of the submission are skipped (its graph still drains).
+    failed: AtomicBool,
+    done: Mutex<JobState>,
+    done_cv: Condvar,
+}
+
+struct JobState {
+    finished: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// A deque/injector item: one ready task of one submission.
+type PoolItem<S> = (Arc<Submission<S>>, TaskId);
+
+/// Completion handle of one [`TaskPool::submit`] call.
+///
+/// Detaching (dropping without [`wait`](JobHandle::wait)) is allowed: the
+/// submission keeps itself alive through the `Arc`s on the deques and runs
+/// to completion regardless.
+#[must_use = "dropping the handle detaches the job; call wait() to block on completion"]
+pub struct JobHandle<S> {
+    sub: Arc<Submission<S>>,
+}
+
+impl<S> JobHandle<S> {
+    /// Block until every task of the submission has completed.
+    ///
+    /// If a task body panicked, the first panic payload is re-thrown here
+    /// (mirroring what `thread::scope` does for the one-shot executor).
+    pub fn wait(self) {
+        let mut st = self.sub.done.lock();
+        while !st.finished {
+            self.sub.done_cv.wait(&mut st);
+        }
+        let panic = st.panic.take();
+        drop(st);
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// True once every task of the submission has completed (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.sub.done.lock().finished
+    }
+}
+
+/// State shared by every worker of the pool.
+struct PoolShared<S> {
+    /// Overflow/entry queue: `submit` seeds source tasks here (callers do
+    /// not own a deque); workers pull from it when their deque drains.
+    injector: Mutex<VecDeque<PoolItem<S>>>,
+    stealers: Vec<Stealer<PoolItem<S>>>,
+    gate: IdleGate,
+}
+
+impl<S> PoolShared<S> {
+    /// Run `id` of `sub`, release its successors, and return the
+    /// highest-priority newly-ready successor for direct execution
+    /// (work-first handoff) — the pool twin of the executor's `run_task`.
+    fn run_item(
+        &self,
+        sub: &Arc<Submission<S>>,
+        id: TaskId,
+        local: &Worker<PoolItem<S>>,
+        scratch: &mut S,
+    ) -> Option<TaskId> {
+        if !sub.failed.load(Ordering::Acquire) {
+            let body = sub.slots.take(id);
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(scratch))) {
+                sub.failed.store(true, Ordering::Release);
+                let mut st = sub.done.lock();
+                if st.panic.is_none() {
+                    st.panic = Some(p);
+                }
+            }
+        }
+
+        let mut ready: Vec<TaskId> = Vec::new();
+        for &succ in sub.graph.successors(id) {
+            if sub.remaining_preds[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ready.push(succ);
+            }
+        }
+        ready.sort_by(|&a, &b| {
+            sub.priority[a]
+                .partial_cmp(&sub.priority[b])
+                .expect("bottom levels are finite")
+        });
+        let next = ready.pop();
+        if !ready.is_empty() {
+            for t in ready {
+                local.push((Arc::clone(sub), t));
+            }
+            self.gate.publish();
+        }
+
+        if sub.remaining_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut st = sub.done.lock();
+            st.finished = true;
+            sub.done_cv.notify_all();
+        }
+        next
+    }
+
+    /// One full scan: local deque, then the injector, then every victim in
+    /// a pseudo-random order.
+    fn find_item(
+        &self,
+        me: usize,
+        local: &Worker<PoolItem<S>>,
+        rng: &mut u64,
+    ) -> Option<PoolItem<S>> {
+        if let Some(item) = local.pop() {
+            return Some(item);
+        }
+        if let Some(item) = self.injector.lock().pop_front() {
+            return Some(item);
+        }
+        let n = self.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = (crate::executor::xorshift(rng) as usize) % n;
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == me {
+                continue;
+            }
+            loop {
+                match self.stealers[victim].steal() {
+                    Steal::Success(item) => return Some(item),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self, me: usize, local: Worker<PoolItem<S>>, scratch: &mut S) {
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((me as u64 + 1) << 17);
+        let mut seen = 0u64;
+        loop {
+            while let Some((sub, id)) = self.find_item(me, &local, &mut rng) {
+                let mut current = id;
+                while let Some(next) = self.run_item(&sub, current, &local, scratch) {
+                    current = next;
+                }
+            }
+            if !self.gate.park(&mut seen) {
+                break;
+            }
+        }
+        // Shutdown drain: the gate is closed, but submissions may still
+        // have runnable tasks.  Keep executing everything findable; chains
+        // this worker releases land on its own deque and are drained here
+        // too, so no submission is left incomplete.
+        while let Some((sub, id)) = self.find_item(me, &local, &mut rng) {
+            let mut current = id;
+            while let Some(next) = self.run_item(&sub, current, &local, scratch) {
+                current = next;
+            }
+        }
+    }
+}
+
+/// A persistent work-stealing thread pool executing a stream of
+/// [`TaskGraph`] submissions — see the [module docs](self).
+///
+/// `S` is the per-worker scratch type: one value per worker thread, created
+/// once at spawn time and lent to every task body the worker ever runs.
+///
+/// # Examples
+///
+/// ```
+/// use bidiag_runtime::{AccessMode, TaskBodyWith, TaskGraph, TaskPool};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool: TaskPool<()> = TaskPool::new(4, || ());
+/// let acc = Arc::new(AtomicU64::new(0));
+/// let handles: Vec<_> = (0..8u64)
+///     .map(|p| {
+///         let mut g = TaskGraph::new();
+///         g.add_task(1.0, 0, 0, &[(p, AccessMode::Write)]);
+///         g.add_task(1.0, 0, 0, &[(p, AccessMode::Write)]);
+///         let bodies: Vec<TaskBodyWith<()>> = (0..2)
+///             .map(|_| {
+///                 let acc = Arc::clone(&acc);
+///                 Box::new(move |_: &mut ()| {
+///                     acc.fetch_add(1, Ordering::SeqCst);
+///                 }) as TaskBodyWith<()>
+///             })
+///             .collect();
+///         pool.submit(g, bodies)
+///     })
+///     .collect();
+/// for h in handles {
+///     h.wait();
+/// }
+/// assert_eq!(acc.load(Ordering::SeqCst), 16);
+/// ```
+pub struct TaskPool<S: 'static> {
+    shared: Arc<PoolShared<S>>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<S: Send + 'static> TaskPool<S> {
+    /// Spawn a pool of `threads` workers (at least one), each owning one
+    /// scratch value created by `init` on that worker's thread.
+    pub fn new(threads: usize, init: impl Fn() -> S + Send + Sync + 'static) -> Self {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<PoolItem<S>>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Mutex::new(VecDeque::new()),
+            stealers: workers.iter().map(Worker::stealer).collect(),
+            gate: IdleGate::new(),
+        });
+        let init = Arc::new(init);
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let shared = Arc::clone(&shared);
+                let init = Arc::clone(&init);
+                std::thread::spawn(move || {
+                    let mut scratch = init();
+                    shared.worker_loop(me, local, &mut scratch);
+                })
+            })
+            .collect();
+        TaskPool {
+            shared,
+            threads,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submit one task graph for execution; `bodies[i]` runs exactly once
+    /// for task `i`, on some worker, with that worker's scratch.
+    ///
+    /// Returns immediately; block on the returned handle's
+    /// [`wait`](JobHandle::wait) for completion.  Panics if
+    /// `bodies.len() != graph.len()`.
+    pub fn submit(&self, graph: TaskGraph, bodies: Vec<TaskBodyWith<S>>) -> JobHandle<S> {
+        let n = graph.len();
+        assert_eq!(bodies.len(), n, "one body per task is required");
+        let sub = Arc::new(Submission {
+            priority: graph.bottom_levels(),
+            remaining_preds: (0..n)
+                .map(|i| AtomicUsize::new(graph.predecessors(i).len()))
+                .collect(),
+            remaining_tasks: AtomicUsize::new(n),
+            slots: BodySlots::new(bodies),
+            failed: AtomicBool::new(false),
+            done: Mutex::new(JobState {
+                finished: n == 0,
+                panic: None,
+            }),
+            done_cv: Condvar::new(),
+            graph,
+        });
+
+        if n > 0 {
+            // Seed the sources highest bottom level first: the injector is
+            // FIFO, so workers pull the most critical source first.
+            let mut sources: Vec<TaskId> = (0..n)
+                .filter(|&i| sub.graph.predecessors(i).is_empty())
+                .collect();
+            sources.sort_by(|&a, &b| {
+                sub.priority[b]
+                    .partial_cmp(&sub.priority[a])
+                    .expect("bottom levels are finite")
+            });
+            let mut inj = self.shared.injector.lock();
+            for id in sources {
+                inj.push_back((Arc::clone(&sub), id));
+            }
+            drop(inj);
+            self.shared.gate.publish();
+        }
+        JobHandle { sub }
+    }
+}
+
+impl<S: 'static> Drop for TaskPool<S> {
+    fn drop(&mut self) {
+        self.shared.gate.finish();
+        for h in self.handles.drain(..) {
+            // A worker thread can only panic through a scheduler bug (body
+            // panics are caught per submission); surface it.
+            if let Err(p) = h.join() {
+                if !std::thread::panicking() {
+                    resume_unwind(p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::AccessMode::{Read, Write};
+    use std::sync::atomic::AtomicU64;
+
+    fn counting_bodies(n: usize, acc: &Arc<AtomicU64>) -> Vec<TaskBodyWith<u64>> {
+        (0..n)
+            .map(|_| {
+                let acc = Arc::clone(acc);
+                Box::new(move |s: &mut u64| {
+                    *s += 1; // exercise the per-worker scratch
+                    acc.fetch_add(1, Ordering::SeqCst);
+                }) as TaskBodyWith<u64>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn submissions_respect_dependencies() {
+        let pool: TaskPool<u64> = TaskPool::new(4, || 0);
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(9, Write)]);
+        for c in 0..3u64 {
+            for s in 0..20u64 {
+                if s == 0 {
+                    g.add_task(1.0, 0, 0, &[(9, Read), (c, Write)]);
+                } else {
+                    g.add_task(1.0, 0, 0, &[(c, Write)]);
+                }
+            }
+        }
+        let n = g.len();
+        let stamp = Arc::new(AtomicU64::new(1));
+        let order: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let bodies: Vec<TaskBodyWith<u64>> = (0..n)
+            .map(|i| {
+                let stamp = Arc::clone(&stamp);
+                let order = Arc::clone(&order);
+                Box::new(move |_: &mut u64| {
+                    order[i].store(stamp.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                }) as TaskBodyWith<u64>
+            })
+            .collect();
+        let graph = g.clone();
+        pool.submit(g, bodies).wait();
+        for id in 0..n {
+            let t = order[id].load(Ordering::SeqCst);
+            assert!(t > 0, "task {id} never ran");
+            for &p in graph.predecessors(id) {
+                assert!(
+                    order[p].load(Ordering::SeqCst) < t,
+                    "task {id} ran before its predecessor {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn many_interleaved_submissions_all_complete() {
+        let pool: TaskPool<u64> = TaskPool::new(4, || 0);
+        let acc = Arc::new(AtomicU64::new(0));
+        let mut expected = 0u64;
+        let handles: Vec<JobHandle<u64>> = (0..50u64)
+            .map(|p| {
+                let len = 1 + (p % 7) as usize;
+                expected += len as u64;
+                let mut g = TaskGraph::new();
+                for _ in 0..len {
+                    g.add_task(1.0, 0, 0, &[(p, Write)]);
+                }
+                pool.submit(g, counting_bodies(len, &acc))
+            })
+            .collect();
+        for h in handles {
+            h.wait();
+        }
+        assert_eq!(acc.load(Ordering::SeqCst), expected);
+    }
+
+    #[test]
+    fn empty_submission_finishes_immediately() {
+        let pool: TaskPool<u64> = TaskPool::new(2, || 0);
+        let h = pool.submit(TaskGraph::new(), Vec::new());
+        assert!(h.is_finished());
+        h.wait();
+    }
+
+    #[test]
+    fn panic_in_one_submission_does_not_poison_the_pool() {
+        let pool: TaskPool<u64> = TaskPool::new(4, || 0);
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(1, Write)]);
+        g.add_task(1.0, 0, 0, &[(1, Write)]); // skipped after the panic
+        let bodies: Vec<TaskBodyWith<u64>> = (0..2)
+            .map(|i| {
+                Box::new(move |_: &mut u64| {
+                    if i == 0 {
+                        panic!("kernel failure");
+                    }
+                }) as TaskBodyWith<u64>
+            })
+            .collect();
+        let bad = pool.submit(g, bodies);
+        let err = catch_unwind(AssertUnwindSafe(|| bad.wait()));
+        assert!(err.is_err(), "the body panic must reach wait()");
+
+        // The pool still serves fresh submissions afterwards.
+        let acc = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        for _ in 0..10 {
+            g.add_task(1.0, 0, 0, &[(2, Write)]);
+        }
+        pool.submit(g, counting_bodies(10, &acc)).wait();
+        assert_eq!(acc.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn submit_from_many_threads_is_safe() {
+        let pool: Arc<TaskPool<u64>> = Arc::new(TaskPool::new(3, || 0));
+        let acc = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let pool = Arc::clone(&pool);
+                let acc = Arc::clone(&acc);
+                scope.spawn(move || {
+                    for p in 0..20u64 {
+                        let mut g = TaskGraph::new();
+                        g.add_task(1.0, 0, 0, &[(p, Write)]);
+                        g.add_task(1.0, 0, 0, &[(p, Read)]);
+                        g.add_task(1.0, 0, 0, &[(p, Read)]);
+                        pool.submit(g, counting_bodies(3, &acc)).wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(acc.load(Ordering::SeqCst), 8 * 20 * 3);
+    }
+
+    #[test]
+    fn detached_submissions_finish_before_drop_returns() {
+        let acc = Arc::new(AtomicU64::new(0));
+        {
+            let pool: TaskPool<u64> = TaskPool::new(2, || 0);
+            for p in 0..10u64 {
+                let mut g = TaskGraph::new();
+                for _ in 0..5 {
+                    g.add_task(1.0, 0, 0, &[(p, Write)]);
+                }
+                let _detached = pool.submit(g, counting_bodies(5, &acc));
+            }
+            // Drop without waiting: the shutdown drain must run them all.
+        }
+        assert_eq!(acc.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn worker_scratch_persists_across_submissions() {
+        // Each worker counts the tasks it ran in its scratch; the total
+        // across workers must equal the total submitted, proving scratch
+        // values survive from one submission to the next.
+        let total = Arc::new(AtomicU64::new(0));
+        {
+            let total = Arc::clone(&total);
+            let pool: TaskPool<Tally> = TaskPool::new(3, move || Tally(0, Arc::clone(&total)));
+            for p in 0..30u64 {
+                let mut g = TaskGraph::new();
+                g.add_task(1.0, 0, 0, &[(p, Write)]);
+                let bodies: Vec<TaskBodyWith<Tally>> =
+                    vec![Box::new(move |s: &mut Tally| s.0 += 1)];
+                pool.submit(g, bodies).wait();
+            }
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 30);
+    }
+
+    struct Tally(u64, Arc<AtomicU64>);
+    impl Drop for Tally {
+        fn drop(&mut self) {
+            self.1.fetch_add(self.0, Ordering::SeqCst);
+        }
+    }
+}

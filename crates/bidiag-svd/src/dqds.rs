@@ -71,11 +71,69 @@ struct Segment {
     sigma: f64,
 }
 
+/// Reusable scratch of the dqds driver: a pool of recycled `(q, e)` buffer
+/// pairs (the qd arrays, the ping-pong buffers and any split-off
+/// sub-segments all draw from and return to it), the segment stack, and
+/// the eigenvalue accumulator.
+///
+/// After a warm-up call, [`dqds_singular_values_into`] with the same (or a
+/// smaller) problem size performs **zero heap allocations** outside the
+/// rare bisection-fallback path — buffer capacities grow to the
+/// high-water mark and stay there.  One scratch per long-lived worker is
+/// the intended usage (the batched SVD session owns one per worker).
+#[derive(Debug, Default)]
+pub struct DqdsScratch {
+    /// Recycled buffer pairs; `take_pair` pops (or creates) a cleared pair,
+    /// and every retired segment / ping-pong pair is pushed back.
+    free: Vec<(Vec<f64>, Vec<f64>)>,
+    stack: Vec<Segment>,
+    lambdas: Vec<f64>,
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment")
+            .field("len", &self.q.len())
+            .field("sigma", &self.sigma)
+            .finish()
+    }
+}
+
+impl DqdsScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for bidiagonals of order up to `n`, so even the
+    /// first solve is allocation-free: three buffer pairs (live arrays,
+    /// ping-pong, one split) of capacity `n` each.
+    pub fn for_len(n: usize) -> Self {
+        DqdsScratch {
+            free: (0..3)
+                .map(|_| (Vec::with_capacity(n), Vec::with_capacity(n)))
+                .collect(),
+            stack: Vec::with_capacity(4),
+            lambdas: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Pop a recycled buffer pair (or create an empty one), cleared and ready
+/// to be filled.
+fn take_pair(free: &mut Vec<(Vec<f64>, Vec<f64>)>) -> (Vec<f64>, Vec<f64>) {
+    let (mut q, mut e) = free.pop().unwrap_or_default();
+    q.clear();
+    e.clear();
+    (q, e)
+}
+
 /// Singular values of the bidiagonal matrix with main diagonal `d` and
 /// superdiagonal `e`, in non-increasing order, via dqds.
 ///
 /// See [`dqds_singular_values_with_stats`] for the variant that also
-/// reports iteration/fallback counters.
+/// reports iteration/fallback counters and [`dqds_singular_values_into`]
+/// for the allocation-free variant with caller-owned scratch.
 pub fn dqds_singular_values(d: &[f64], e: &[f64]) -> Vec<f64> {
     dqds_singular_values_with_stats(d, e).0
 }
@@ -83,10 +141,32 @@ pub fn dqds_singular_values(d: &[f64], e: &[f64]) -> Vec<f64> {
 /// [`dqds_singular_values`] plus the [`DqdsStats`] counters (used by the
 /// benches and the property tests to confirm the fast path actually ran).
 pub fn dqds_singular_values_with_stats(d: &[f64], e: &[f64]) -> (Vec<f64>, DqdsStats) {
+    let mut scratch = DqdsScratch::new();
+    let mut out = Vec::with_capacity(d.len());
+    let stats = dqds_singular_values_into(d, e, &mut scratch, &mut out);
+    (out, stats)
+}
+
+/// [`dqds_singular_values`] writing into caller-owned scratch and output
+/// buffers: `out` is cleared and refilled with the singular values in
+/// non-increasing order.
+///
+/// The arithmetic is identical to the allocating entry points — the
+/// recycled buffers receive exactly the values the fresh allocations
+/// would — so the results are **bitwise equal**; in steady state (same
+/// problem size, warm scratch) the call performs no heap allocation unless
+/// a segment falls back to bisection (see [`DqdsScratch`]).
+pub fn dqds_singular_values_into(
+    d: &[f64],
+    e: &[f64],
+    scratch: &mut DqdsScratch,
+    out: &mut Vec<f64>,
+) -> DqdsStats {
     let n = d.len();
     let mut stats = DqdsStats::default();
+    out.clear();
     if n == 0 {
-        return (Vec::new(), stats);
+        return stats;
     }
     assert_eq!(e.len(), n - 1, "superdiagonal must have length n-1");
 
@@ -97,70 +177,109 @@ pub fn dqds_singular_values_with_stats(d: &[f64], e: &[f64]) -> (Vec<f64>, DqdsS
         .chain(e.iter())
         .fold(0.0_f64, |acc, &v| acc.max(v.abs()));
     if amax == 0.0 {
-        return (vec![0.0; n], stats);
+        out.resize(n, 0.0);
+        return stats;
     }
     let scale = (-amax.log2().ceil()) as i32;
     let s2 = 2.0_f64.powi(scale);
     let unscale = 2.0_f64.powi(-scale);
 
+    let DqdsScratch {
+        free,
+        stack,
+        lambdas,
+    } = scratch;
+    debug_assert!(stack.is_empty());
+    lambdas.clear();
+
     // The squared, scaled qd arrays. Squaring underflows only for entries
     // below ~1e-154 * amax, and an underflowed e^2 == 0 simply becomes a
     // split point (a relative perturbation far below eps on any sigma).
-    let q0: Vec<f64> = d.iter().map(|&v| (v * s2) * (v * s2)).collect();
-    let e0: Vec<f64> = e.iter().map(|&v| (v * s2) * (v * s2)).collect();
+    let (mut q0, mut e0) = take_pair(free);
+    q0.extend(d.iter().map(|&v| (v * s2) * (v * s2)));
+    e0.extend(e.iter().map(|&v| (v * s2) * (v * s2)));
 
     // Split into unreduced segments at exact zeros of e^2.
-    let mut stack: Vec<Segment> = Vec::new();
     let mut start = 0usize;
     for i in 0..n {
         if i + 1 == n || e0[i] == 0.0 {
+            let (mut qs, mut es) = take_pair(free);
+            qs.extend_from_slice(&q0[start..=i]);
+            es.extend_from_slice(&e0[start..i]);
             stack.push(Segment {
-                q: q0[start..=i].to_vec(),
-                e: e0[start..i].to_vec(),
+                q: qs,
+                e: es,
                 sigma: 0.0,
             });
             start = i + 1;
         }
     }
+    free.push((q0, e0));
 
     // Shared pass budget: dqds needs a handful of passes per eigenvalue;
     // anything beyond this bound is pathological and goes to bisection.
     let mut budget = 30 * n + 100;
-    let mut lambdas: Vec<f64> = Vec::with_capacity(n);
     while let Some(seg) = stack.pop() {
-        solve_segment(seg, &mut stack, &mut lambdas, &mut budget, &mut stats);
+        solve_segment(seg, stack, free, lambdas, &mut budget, &mut stats);
     }
     debug_assert_eq!(lambdas.len(), n);
 
-    let mut sv: Vec<f64> = lambdas
-        .into_iter()
-        .map(|l| l.max(0.0).sqrt() * unscale)
-        .collect();
-    sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    (sv, stats)
+    out.extend(lambdas.iter().map(|&l| l.max(0.0).sqrt() * unscale));
+    // In-place unstable sort: elements comparing equal here are bitwise
+    // identical (all outputs are non-negative with +0.0 zeros), so the
+    // result is byte-for-byte the same as a stable sort — without the
+    // stable sort's temporary allocation.
+    out.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    stats
 }
 
 /// Iterate one segment to completion, pushing eigenvalues (of the squared
 /// problem, original scaling minus nothing — `lambda = qd eigenvalue +
 /// sigma`) into `lambdas` and any split-off sub-segments onto `stack`.
+/// The segment's buffers (and the ping-pong pair drawn from `free`) are
+/// returned to `free` when the segment retires, so steady-state solves
+/// recycle instead of allocating.
 fn solve_segment(
     seg: Segment,
     stack: &mut Vec<Segment>,
+    free: &mut Vec<(Vec<f64>, Vec<f64>)>,
     lambdas: &mut Vec<f64>,
     budget: &mut usize,
     stats: &mut DqdsStats,
 ) {
     let Segment { q, e, sigma } = seg;
-    let mut m = q.len();
-    if m == 0 {
-        return;
-    }
+    let m = q.len();
 
     // Ping-pong buffers: `cur` holds the live arrays, `alt` receives the
     // next pass; a rejected shift simply never swaps, so retrying with a
     // smaller shift re-reads intact data.
     let mut cur = (q, e);
-    let mut alt = (vec![0.0; m], vec![0.0; m.saturating_sub(1)]);
+    let mut alt = take_pair(free);
+    alt.0.resize(m, 0.0);
+    alt.1.resize(m.saturating_sub(1), 0.0);
+    if m > 0 {
+        iterate_segment(
+            &mut cur, &mut alt, sigma, stack, free, lambdas, budget, stats,
+        );
+    }
+    free.push(cur);
+    free.push(alt);
+}
+
+/// The iteration loop of [`solve_segment`], separated so every exit path
+/// funnels through one place that recycles the ping-pong buffers.
+#[allow(clippy::too_many_arguments)]
+fn iterate_segment(
+    cur: &mut (Vec<f64>, Vec<f64>),
+    alt: &mut (Vec<f64>, Vec<f64>),
+    sigma: f64,
+    stack: &mut Vec<Segment>,
+    free: &mut Vec<(Vec<f64>, Vec<f64>)>,
+    lambdas: &mut Vec<f64>,
+    budget: &mut usize,
+    stats: &mut DqdsStats,
+) {
+    let mut m = cur.0.len();
     let mut sigma = sigma;
     let mut dmin_est = f64::INFINITY; // no estimate before the first pass
     let mut shift = 0.0_f64; // first pass is a pure (safe) dqd
@@ -195,14 +314,20 @@ fn solve_segment(
         // --- split at interior zeros (can appear as the iteration drives
         //     individual e's to underflow) ---------------------------------
         if let Some(i) = (0..m - 1).find(|&i| e[i] == 0.0) {
+            let (mut q1, mut e1) = take_pair(free);
+            q1.extend_from_slice(&q[..=i]);
+            e1.extend_from_slice(&e[..i]);
             stack.push(Segment {
-                q: q[..=i].to_vec(),
-                e: e[..i].to_vec(),
+                q: q1,
+                e: e1,
                 sigma,
             });
+            let (mut q2, mut e2) = take_pair(free);
+            q2.extend_from_slice(&q[i + 1..m]);
+            e2.extend_from_slice(&e[i + 1..m - 1]);
             stack.push(Segment {
-                q: q[i + 1..m].to_vec(),
-                e: e[i + 1..m - 1].to_vec(),
+                q: q2,
+                e: e2,
                 sigma,
             });
             return;
@@ -241,7 +366,7 @@ fn solve_segment(
             if dmin >= 0.0 && dmin.is_finite() {
                 sigma += shift;
                 dmin_est = dmin;
-                std::mem::swap(&mut cur, &mut alt);
+                std::mem::swap(cur, alt);
                 break;
             }
             if shift == 0.0 {
@@ -426,6 +551,33 @@ mod tests {
         assert_eq!(sv, vec![0.0, 0.0]);
         let sv = dqds_singular_values(&[1.0, 0.0, 2.0], &[0.0, 0.0]);
         assert_close(&sv, &[2.0, 1.0, 0.0], 1e-15);
+    }
+
+    #[test]
+    fn reused_scratch_is_bitwise_identical_to_fresh_calls() {
+        // One warm scratch across a mixed-size stream (including splits via
+        // zero superdiagonal entries): every result must equal the
+        // allocating entry point bit for bit.
+        let mut scratch = DqdsScratch::for_len(8);
+        let mut out = Vec::new();
+        let problems: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![3.0, -1.0, 2.0], vec![0.0, 0.0]),
+            (vec![1.0, 1.0], vec![1.0]),
+            (
+                (1..=33).map(|i| ((i * 7) % 13) as f64 - 6.0).collect(),
+                (1..33).map(|i| ((i * 5) % 11) as f64 / 11.0).collect(),
+            ),
+            (vec![4.0, 3.0, 2.0, 1.0, 0.5], vec![0.6, 0.0, 0.4, 0.2]),
+            (vec![], vec![]),
+            (vec![0.0, 0.0], vec![0.0]),
+        ];
+        for _ in 0..3 {
+            for (d, e) in &problems {
+                let reference = dqds_singular_values(d, e);
+                dqds_singular_values_into(d, e, &mut scratch, &mut out);
+                assert_eq!(reference, out, "n={}", d.len());
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod dqds;
 pub mod slice;
 pub mod sturm;
 
-pub use dqds::{dqds_singular_values, dqds_singular_values_with_stats, DqdsStats};
+pub use dqds::{
+    dqds_singular_values, dqds_singular_values_into, dqds_singular_values_with_stats, DqdsScratch,
+    DqdsStats,
+};
 pub use slice::{slice_spectrum, sliced_singular_values, solve_slice, SpectrumSlice};
 pub use sturm::{GkBisection, GkSturm};
 

@@ -1,0 +1,73 @@
+//! A miniature "embedding service": one long-lived [`SvdSession`] serving a
+//! stream of small SVD requests of mixed sizes, the workload the persistent
+//! batched runtime was built for.  Tiny problems (here up to 64) take the
+//! in-session direct path; larger ones run their tile DAG on the same
+//! worker pool, and independent requests interleave on the same deques.
+//!
+//! Prints per-request latency percentiles (p50/p99) and the sustained
+//! throughput in problems per second.
+//!
+//! Run with: `cargo run --release --example embedding_service`
+
+use bidiag_repro::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let session = SvdSession::new(threads);
+
+    // The request mix: covariance/Gram-sized problems a feature service
+    // would see — mostly small, a few above the direct-path crossover.
+    let sizes = [16usize, 24, 32, 48, 64, 96];
+    let pool: Vec<Matrix> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| random_gaussian(n, n, 7 + i as u64))
+        .collect();
+    let requests = 2_000usize;
+    println!(
+        "serving {requests} requests of sizes {sizes:?} on one SvdSession ({threads} thread(s), crossover at {DIRECT_CROSSOVER})"
+    );
+
+    // Warm the arenas so the measured stream is steady-state.
+    for a in &pool {
+        assert!(!session.submit(a).wait().is_empty());
+    }
+
+    // Keep a bounded number of requests in flight, like a service with a
+    // small admission window: submit, then harvest in order.
+    let window = (4 * threads).max(8);
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(requests);
+    let mut inflight: Vec<(Instant, SvdJob)> = Vec::with_capacity(window);
+    let t0 = Instant::now();
+    for r in 0..requests {
+        let a = &pool[r % pool.len()];
+        inflight.push((Instant::now(), session.submit(a)));
+        if inflight.len() == window {
+            for (submitted, job) in inflight.drain(..) {
+                let sv = job.wait();
+                latencies_us.push(submitted.elapsed().as_secs_f64() * 1.0e6);
+                assert!(sv[0] >= *sv.last().unwrap());
+            }
+        }
+    }
+    for (submitted, job) in inflight.drain(..) {
+        job.wait();
+        latencies_us.push(submitted.elapsed().as_secs_f64() * 1.0e6);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+    println!(
+        "latency: p50 {:.0} us, p99 {:.0} us, max {:.0} us (window of {window} in flight)",
+        pct(0.50),
+        pct(0.99),
+        latencies_us.last().unwrap()
+    );
+    println!(
+        "throughput: {:.0} problems/s ({requests} requests in {:.2} s)",
+        requests as f64 / elapsed,
+        elapsed
+    );
+}

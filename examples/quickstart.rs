@@ -20,11 +20,9 @@ fn main() {
         .with_threads(4);
     let result = ge2val(&a, &opts);
 
-    println!(
-        "algorithm selected by Chan's rule: {:?}",
-        result.ge2bnd.algorithm
-    );
-    println!("tile tasks executed: {}", result.ge2bnd.num_tasks);
+    let stage1 = result.ge2bnd.as_ref().expect("blocked pipeline ran");
+    println!("algorithm selected by Chan's rule: {:?}", stage1.algorithm);
+    println!("tile tasks executed: {}", stage1.num_tasks);
     println!(
         "largest singular values: {:?}",
         &result.singular_values[..5.min(n)]

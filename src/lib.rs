@@ -36,10 +36,13 @@ pub use bidiag_trees as trees;
 
 /// Convenient glob import for examples and quick experiments.
 pub mod prelude {
+    pub use bidiag_core::batch::{ge2val_batch, SvdJob, SvdSession};
     pub use bidiag_core::cp;
     pub use bidiag_core::drivers::{bidiag_ops, ge2bnd_ops, rbidiag_ops, Algorithm, GenConfig};
     pub use bidiag_core::flops;
-    pub use bidiag_core::pipeline::{ge2bnd, ge2val, AlgorithmChoice, Ge2Options};
+    pub use bidiag_core::pipeline::{
+        ge2bnd, ge2val, AlgorithmChoice, Ge2Options, DIRECT_CROSSOVER,
+    };
     pub use bidiag_kernels::svd::bidiagonal_singular_values;
     pub use bidiag_kernels::{BandMatrix, Bidiagonal, KernelKind};
     pub use bidiag_matrix::checks::{singular_value_error, singular_values_match};
