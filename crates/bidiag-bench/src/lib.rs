@@ -611,9 +611,11 @@ pub fn measure_batch_throughput(
     let per_call_opts = Ge2Options::new(64).with_threads(threads);
     let session = SvdSession::new(threads);
 
-    // Correctness cross-check before any timing.
+    // Correctness cross-check before any timing.  The session runs the
+    // hardened defaults (bounded blocking admission, input validation), so
+    // the timed loop below measures the production service path.
     for (i, a) in problems.iter().enumerate() {
-        let sv_session = session.submit(a).wait();
+        let sv_session = session.submit(a).unwrap().wait().unwrap();
         let sv_per_call = ge2val(a, &per_call_opts).singular_values;
         assert!(
             singular_values_match(&sv_session, &sv_per_call, 1.0e-10),
@@ -632,10 +634,10 @@ pub fn measure_batch_throughput(
         while done < batch {
             let take = window.min(batch - done);
             for j in 0..take {
-                jobs.push(session.submit(&problems[(done + j) % distinct]));
+                jobs.push(session.submit(&problems[(done + j) % distinct]).unwrap());
             }
             for job in jobs.drain(..) {
-                assert_eq!(job.wait().len(), n);
+                assert_eq!(job.wait().unwrap().len(), n);
             }
             done += take;
         }

@@ -27,6 +27,27 @@
 //!   the caller set (including disabled), so a session reproduces
 //!   per-call [`ge2val`](crate::pipeline::ge2val) under the same options **bitwise**.
 //!
+//! ## The hardened service plane
+//!
+//! A session is built to be held by a long-running service, so every
+//! failure mode is a *value*, never a panic, a hang, or a dead pool:
+//!
+//! * **Typed errors.**  Submission validates the input (finiteness) before
+//!   it touches the pool; [`SvdJob::wait`] returns
+//!   `Result<Vec<f64>, `[`SvdError`]`>` — a kernel panic arrives as
+//!   [`SvdError::SolverFailure`] carrying the payload message, and the
+//!   pool keeps serving (subsequent submissions are bitwise what a fresh
+//!   session computes).
+//! * **Bounded admission.**  [`SessionConfig`] caps the submissions in
+//!   flight; [`AdmissionPolicy::Block`] parks the submitting thread until
+//!   a slot frees (backpressure), [`AdmissionPolicy::Reject`] — or
+//!   [`SvdSession::try_submit`] under either policy — sheds load with
+//!   [`SvdError::QueueFull`].  A million-problem burst therefore never
+//!   holds more than `max_in_flight` live job graphs.
+//! * **Cancellation and deadlines.**  [`SvdJob::cancel`] drains a job's
+//!   remaining work as no-ops; [`SvdJob::wait_timeout`] bounds the wait
+//!   and cancels on expiry ([`SvdError::TimedOut`]).
+//!
 //! ```
 //! use bidiag_core::batch::SvdSession;
 //! use bidiag_matrix::gen::{latms, SpectrumKind};
@@ -34,31 +55,92 @@
 //! let session = SvdSession::new(4);
 //! let (a, _) = latms(32, 32, &SpectrumKind::Geometric { cond: 100.0 }, 7);
 //! let (b, _) = latms(64, 40, &SpectrumKind::Geometric { cond: 10.0 }, 8);
-//! let jobs = session.submit_batch(&[a, b]);
+//! let jobs = session.submit_batch(&[a, b]).expect("inputs are finite");
 //! for job in jobs {
-//!     let sv = job.wait();
+//!     let sv = job.wait().expect("no kernel failed");
 //!     assert!(!sv.is_empty());
 //! }
 //! ```
 
 use crate::drivers::GenConfig;
+use crate::error::{validate_finite, SvdError};
 use crate::exec::build_graph;
 use crate::ops::{KernelScratch, TauTable};
 use crate::pipeline::{Ge2Options, DIRECT_CROSSOVER};
 use bidiag_kernels::band::BandMatrix;
 use bidiag_kernels::gebd2::{gebd2_with, Bidiagonal};
 use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
-use bidiag_runtime::{AccessMode, JobHandle, TaskBodyWith, TaskGraph, TaskPool};
+use bidiag_runtime::{
+    AccessMode, JobError, JobHandle, PoolConfig, SubmitError, TaskBodyWith, TaskGraph, TaskPool,
+};
 use bidiag_svd::{
     dqds_singular_values_into, singular_values_with, Bd2ValOptions, DqdsScratch, SvdSolver,
 };
 use parking_lot::Mutex;
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Default tile size of [`SvdSession::new`] (the workspace-wide `nb = 64`
 /// sweet spot of the blocked path; small problems never see it because the
 /// crossover routes them to the direct path).
 const DEFAULT_NB: usize = 64;
+
+/// Default in-flight cap of [`SessionConfig::default`]: generous enough to
+/// keep every worker saturated with inter-problem parallelism, small
+/// enough that a runaway burst of submissions holds a bounded number of
+/// live job graphs (each pinning its input snapshot).
+const DEFAULT_MAX_IN_FLIGHT: usize = 256;
+
+/// What a full session does with the next submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Backpressure: [`SvdSession::submit`] parks the calling thread until
+    /// an in-flight slot frees.
+    Block,
+    /// Load shedding: [`SvdSession::submit`] returns
+    /// [`SvdError::QueueFull`] immediately.
+    Reject,
+}
+
+/// Admission configuration of a [`SvdSession`].
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Maximum number of submissions in flight (submitted, not yet
+    /// finished).  `0` disables the bound (the pre-backpressure
+    /// behaviour).
+    pub max_in_flight: usize,
+    /// What [`SvdSession::submit`] does when the cap is reached.
+    /// [`SvdSession::try_submit`] always sheds, regardless of this policy.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for SessionConfig {
+    /// Bounded (256 in flight), blocking admission —
+    /// the hardened defaults every session runs under unless configured
+    /// otherwise.
+    fn default() -> Self {
+        SessionConfig {
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            admission: AdmissionPolicy::Block,
+        }
+    }
+}
+
+/// Map a runtime admission verdict into the service taxonomy.
+fn submit_error(e: SubmitError) -> SvdError {
+    match e {
+        SubmitError::QueueFull { max_in_flight } => SvdError::QueueFull { max_in_flight },
+        SubmitError::Shutdown => SvdError::PoolShutdown,
+    }
+}
+
+/// Map a runtime job outcome into the service taxonomy.
+fn job_error(e: JobError) -> SvdError {
+    match e {
+        JobError::Panicked(msg) => SvdError::SolverFailure(msg),
+        JobError::Cancelled => SvdError::Cancelled,
+    }
+}
 
 /// Arena of the scalar direct path: every buffer the
 /// `gebd2 -> dqds` chain needs, owned per worker (and pooled for inline
@@ -143,13 +225,17 @@ fn direct_spectrum(
         _ => {
             out.clear();
             out.extend(singular_values_with(&b.diag, &b.superdiag, bd2val));
-            out.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            // total_cmp: bitwise-identical to partial_cmp on the
+            // non-negative finite values the solvers emit, but a poisoned
+            // (injected-NaN) spectrum sorts instead of panicking.
+            out.sort_by(|x, y| y.total_cmp(x));
         }
     }
 }
 
 /// Completion handle of one submitted problem: [`wait`](SvdJob::wait)
-/// yields the singular values in non-increasing order.
+/// yields the singular values in non-increasing order or the job's typed
+/// failure.
 #[must_use = "wait() on the job to obtain the singular values"]
 pub struct SvdJob {
     /// `None` for problems resolved at submit time (empty inputs).
@@ -159,15 +245,66 @@ pub struct SvdJob {
 
 impl SvdJob {
     /// Block until the problem is solved and return its singular values in
-    /// non-increasing order.  Re-throws the panic of any failed kernel.
-    pub fn wait(self) -> Vec<f64> {
+    /// non-increasing order.
+    ///
+    /// A panicked kernel body arrives as [`SvdError::SolverFailure`]
+    /// carrying the panic message (nothing is re-thrown — the pool and
+    /// every other in-flight job are unaffected); a cancelled job reports
+    /// [`SvdError::Cancelled`]; non-finite solver output (unreachable from
+    /// validated input, but injectable) is [`SvdError::SolverFailure`].
+    pub fn wait(self) -> Result<Vec<f64>, SvdError> {
         if let Some(handle) = self.handle {
-            handle.wait();
+            handle.wait().map_err(job_error)?;
         }
-        match Arc::try_unwrap(self.result) {
+        Self::extract(self.result)
+    }
+
+    /// Like [`wait`](SvdJob::wait), but give up at the deadline: a job
+    /// still running after `timeout` is cancelled and reported as
+    /// [`SvdError::TimedOut`] — the per-request deadline of a service
+    /// loop.  (The cancelled job still drains as no-ops in the background;
+    /// its admission slot frees when it does.)
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<f64>, SvdError> {
+        if let Some(handle) = &self.handle {
+            match handle.wait_timeout(timeout) {
+                None => {
+                    handle.cancel();
+                    return Err(SvdError::TimedOut);
+                }
+                Some(outcome) => outcome.map_err(job_error)?,
+            }
+        }
+        Self::extract(self.result)
+    }
+
+    /// Request cooperative cancellation: kernel bodies that have not
+    /// started are skipped (the job's graph still drains, so counters and
+    /// the admission slot are released normally) and
+    /// [`wait`](SvdJob::wait) reports [`SvdError::Cancelled`].
+    /// Best-effort and idempotent; a job that already finished is
+    /// unaffected.
+    pub fn cancel(&self) {
+        if let Some(handle) = &self.handle {
+            handle.cancel();
+        }
+    }
+
+    /// True once the job has completed (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.handle.as_ref().is_none_or(JobHandle::is_finished)
+    }
+
+    fn extract(result: Arc<OnceLock<Vec<f64>>>) -> Result<Vec<f64>, SvdError> {
+        let sv = match Arc::try_unwrap(result) {
             Ok(cell) => cell.into_inner().expect("job finished without a result"),
             Err(shared) => shared.get().expect("job finished without a result").clone(),
+        };
+        if let Some(&bad) = sv.iter().find(|v| !v.is_finite()) {
+            return Err(SvdError::SolverFailure(format!(
+                "solver produced non-finite singular value {bad}"
+            )));
         }
+        Ok(sv)
     }
 
     fn finished(sv: Vec<f64>) -> Self {
@@ -190,6 +327,7 @@ impl SvdJob {
 pub struct SvdSession {
     pool: TaskPool<SessionScratch>,
     opts: Ge2Options,
+    admission: AdmissionPolicy,
     /// Arena pool for inline [`compute_into`](SvdSession::compute_into)
     /// callers (which run on *caller* threads, not pool workers).
     caller_scratch: Mutex<Vec<DirectScratch>>,
@@ -197,7 +335,8 @@ pub struct SvdSession {
 
 impl SvdSession {
     /// Session with `threads` workers and the recommended batched
-    /// defaults: `nb = 64`, the bench-picked [`DIRECT_CROSSOVER`], dqds.
+    /// defaults: `nb = 64`, the bench-picked [`DIRECT_CROSSOVER`], dqds,
+    /// bounded blocking admission ([`SessionConfig::default`]).
     pub fn new(threads: usize) -> Self {
         Self::with_options(
             Ge2Options::new(DEFAULT_NB)
@@ -206,21 +345,36 @@ impl SvdSession {
         )
     }
 
-    /// Session honouring `opts` verbatim (`opts.threads` workers): every
-    /// submitted problem yields **bitwise** the spectrum per-call
-    /// [`ge2val`](crate::pipeline::ge2val) produces under the same options — including
-    /// `opts.direct_crossover = 0`, which forces the blocked pipeline at
-    /// every size.
+    /// Session honouring `opts` verbatim (`opts.threads` workers) under the
+    /// default [`SessionConfig`]: every submitted problem yields **bitwise**
+    /// the spectrum per-call [`ge2val`](crate::pipeline::ge2val) produces
+    /// under the same options — including `opts.direct_crossover = 0`,
+    /// which forces the blocked pipeline at every size.
     pub fn with_options(opts: Ge2Options) -> Self {
+        Self::with_config(opts, SessionConfig::default())
+    }
+
+    /// Session with explicit admission configuration — see
+    /// [`SessionConfig`].  Admission never changes the arithmetic: it only
+    /// decides *when* (Block) or *whether* (Reject) a problem enters the
+    /// pool.
+    pub fn with_config(opts: Ge2Options, config: SessionConfig) -> Self {
         let nb = opts.nb;
         let direct_dim = opts.direct_crossover;
-        let pool = TaskPool::new(opts.threads, move || SessionScratch {
-            kernel: KernelScratch::for_tile(nb),
-            direct: DirectScratch::for_dim(direct_dim),
-        });
+        let pool = TaskPool::with_config(
+            opts.threads,
+            PoolConfig {
+                max_in_flight: config.max_in_flight,
+            },
+            move || SessionScratch {
+                kernel: KernelScratch::for_tile(nb),
+                direct: DirectScratch::for_dim(direct_dim),
+            },
+        );
         SvdSession {
             pool,
             opts,
+            admission: config.admission,
             caller_scratch: Mutex::new(Vec::new()),
         }
     }
@@ -235,23 +389,64 @@ impl SvdSession {
         &self.opts
     }
 
-    /// Submit one problem; returns immediately with a [`SvdJob`] handle.
+    /// The in-flight submission cap (`0` = unbounded).
+    pub fn max_in_flight(&self) -> usize {
+        self.pool.max_in_flight()
+    }
+
+    /// High-water mark of concurrently in-flight submissions over the
+    /// session's lifetime; never exceeds
+    /// [`max_in_flight`](SvdSession::max_in_flight) on a bounded session.
+    pub fn in_flight_peak(&self) -> usize {
+        self.pool.in_flight_peak()
+    }
+
+    /// Close admission: every subsequent submission (and every caller
+    /// parked in a blocking [`submit`](SvdSession::submit)) gets
+    /// [`SvdError::PoolShutdown`]; jobs already admitted still complete.
+    /// Idempotent; dropping the session closes it too.
+    pub fn close(&self) {
+        self.pool.close();
+    }
+
+    /// Submit one problem; returns a [`SvdJob`] handle.
+    ///
+    /// The input is validated (finiteness) *before* admission, so a
+    /// poisoned request is rejected with [`SvdError::NonFiniteInput`]
+    /// without consuming a slot or touching the pool.  When the session is
+    /// full, the configured [`AdmissionPolicy`] decides between parking
+    /// this thread and [`SvdError::QueueFull`].
     ///
     /// The input is snapshot (one clone) so the caller may reuse `a` right
     /// away; everything downstream draws from the worker arenas.
-    pub fn submit(&self, a: &Matrix) -> SvdJob {
+    pub fn submit(&self, a: &Matrix) -> Result<SvdJob, SvdError> {
+        self.submit_with(a, self.admission == AdmissionPolicy::Block)
+    }
+
+    /// Non-blocking twin of [`submit`](SvdSession::submit): always sheds
+    /// with [`SvdError::QueueFull`] when the session is full, regardless
+    /// of the configured policy — the entry point of load-shedding
+    /// service loops.
+    pub fn try_submit(&self, a: &Matrix) -> Result<SvdJob, SvdError> {
+        self.submit_with(a, false)
+    }
+
+    fn submit_with(&self, a: &Matrix, block: bool) -> Result<SvdJob, SvdError> {
+        validate_finite(a)?;
         if a.rows().min(a.cols()) == 0 {
-            return SvdJob::finished(Vec::new());
+            return Ok(SvdJob::finished(Vec::new()));
         }
         if self.opts.takes_direct_path(a.rows(), a.cols()) {
-            self.submit_direct(a.clone())
+            self.submit_direct(a.clone(), block)
         } else {
-            self.submit_blocked(a)
+            self.submit_blocked(a, block)
         }
     }
 
     /// Submit a whole batch; the problems' DAGs interleave on the pool.
-    pub fn submit_batch(&self, problems: &[Matrix]) -> Vec<SvdJob> {
+    /// Fails fast on the first rejected input (problems already submitted
+    /// keep running to completion detached).
+    pub fn submit_batch(&self, problems: &[Matrix]) -> Result<Vec<SvdJob>, SvdError> {
         problems.iter().map(|a| self.submit(a)).collect()
     }
 
@@ -262,11 +457,13 @@ impl SvdSession {
     /// This is the steady-state zero-allocation entry point: direct-path
     /// calls draw a pooled arena, so with the default dqds solver a warm
     /// session performs no heap allocation here at all (the allocation
-    /// counter test pins this).
-    pub fn compute_into(&self, a: &Matrix, out: &mut Vec<f64>) {
+    /// counter test pins this).  Inline solves bypass admission — they
+    /// consume the *caller's* CPU, not a pool slot.
+    pub fn compute_into(&self, a: &Matrix, out: &mut Vec<f64>) -> Result<(), SvdError> {
+        validate_finite(a)?;
         if a.rows().min(a.cols()) == 0 {
             out.clear();
-            return;
+            return Ok(());
         }
         if self.opts.takes_direct_path(a.rows(), a.cols()) {
             let mut scratch = self
@@ -276,15 +473,22 @@ impl SvdSession {
                 .unwrap_or_else(DirectScratch::new);
             direct_spectrum(a, &self.opts.bd2val, &mut scratch, out);
             self.caller_scratch.lock().push(scratch);
+            if let Some(&bad) = out.iter().find(|v| !v.is_finite()) {
+                return Err(SvdError::SolverFailure(format!(
+                    "solver produced non-finite singular value {bad}"
+                )));
+            }
+            Ok(())
         } else {
-            let sv = self.submit(a).wait();
+            let sv = self.submit(a)?.wait()?;
             out.clear();
             out.extend_from_slice(&sv);
+            Ok(())
         }
     }
 
     /// Direct path as a single pool task using the worker's arena.
-    fn submit_direct(&self, a: Matrix) -> SvdJob {
+    fn submit_direct(&self, a: Matrix, block: bool) -> Result<SvdJob, SvdError> {
         let bd2val = self.opts.bd2val;
         let mut g = TaskGraph::new();
         g.add_task(1.0, 0, 0, &[(0, AccessMode::Write)]);
@@ -297,17 +501,23 @@ impl SvdSession {
                 direct_spectrum(&a, &bd2val, &mut s.direct, &mut sv);
                 slot.set(sv).expect("direct task ran twice");
             })];
-        SvdJob {
-            handle: Some(self.pool.submit(g, bodies)),
-            result,
+        let handle = if block {
+            self.pool.submit(g, bodies)
+        } else {
+            self.pool.try_submit(g, bodies)
         }
+        .map_err(submit_error)?;
+        Ok(SvdJob {
+            handle: Some(handle),
+            result,
+        })
     }
 
     /// Blocked path: the GE2BND tile DAG plus one *sink* task running the
     /// band extraction, BND2BD and BD2VAL stages (sequentially — with many
     /// problems in flight, inter-problem parallelism keeps the workers
     /// busier than intra-problem stage fan-out would).
-    fn submit_blocked(&self, a: &Matrix) -> SvdJob {
+    fn submit_blocked(&self, a: &Matrix, block: bool) -> Result<SvdJob, SvdError> {
         let a_owned = if a.rows() >= a.cols() {
             a.clone()
         } else {
@@ -379,14 +589,23 @@ impl SvdSession {
                 let mut band = BandMatrix::from_dense(&tiled.extract_upper_band(bw), bw);
                 let bidiag = band.reduce_to_bidiagonal();
                 let mut sv = singular_values_with(&bidiag.diag, &bidiag.superdiag, &bd2val);
-                sv.sort_by(|x, y| y.partial_cmp(x).unwrap());
+                // total_cmp: identical order on finite spectra, no panic on
+                // an injected-NaN one (which wait() then reports as a
+                // SolverFailure instead of a dead job).
+                sv.sort_by(|x, y| y.total_cmp(x));
                 slot.set(sv).expect("sink ran twice");
             }) as TaskBodyWith<SessionScratch>);
         }
-        SvdJob {
-            handle: Some(self.pool.submit(graph, bodies)),
-            result,
+        let handle = if block {
+            self.pool.submit(graph, bodies)
+        } else {
+            self.pool.try_submit(graph, bodies)
         }
+        .map_err(submit_error)?;
+        Ok(SvdJob {
+            handle: Some(handle),
+            result,
+        })
     }
 }
 
@@ -395,11 +614,13 @@ impl SvdSession {
 /// (each spectrum is **bitwise** what `ge2val(&problems[i], opts)` returns
 /// under the same options) with batched-runtime performance.
 ///
-/// Long-running services should hold a [`SvdSession`] instead, so the pool
-/// and the scratch arenas persist across batches.
-pub fn ge2val_batch(problems: &[Matrix], opts: &Ge2Options) -> Vec<Vec<f64>> {
+/// Fails on the first invalid input or failed job (remaining admitted jobs
+/// drain on session drop).  Long-running services should hold a
+/// [`SvdSession`] instead, so the pool and the scratch arenas persist
+/// across batches.
+pub fn ge2val_batch(problems: &[Matrix], opts: &Ge2Options) -> Result<Vec<Vec<f64>>, SvdError> {
     let session = SvdSession::with_options(*opts);
-    let jobs = session.submit_batch(problems);
+    let jobs = session.submit_batch(problems)?;
     jobs.into_iter().map(SvdJob::wait).collect()
 }
 
@@ -426,12 +647,12 @@ mod tests {
             .enumerate()
             .map(|(i, &n)| random_gaussian(n + 3, n, 100 + i as u64))
             .collect();
-        let jobs = session.submit_batch(&problems);
+        let jobs = session.submit_batch(&problems).unwrap();
         for ((a, job), &n) in problems.iter().zip(jobs).zip(&SIZES) {
             let reference = ge2val(a, &opts);
             assert_eq!(
                 reference.singular_values,
-                job.wait(),
+                job.wait().unwrap(),
                 "n={n}: session diverged from per-call ge2val"
             );
         }
@@ -453,7 +674,7 @@ mod tests {
             let reference = ge2val(&a, &opts);
             assert_eq!(
                 reference.singular_values,
-                session.submit(&a).wait(),
+                session.submit(&a).unwrap().wait().unwrap(),
                 "n={n}"
             );
         }
@@ -465,8 +686,8 @@ mod tests {
         let mut out = Vec::new();
         for (i, &n) in SIZES.iter().enumerate() {
             let a = random_gaussian(n, n, 300 + i as u64);
-            let via_submit = session.submit(&a).wait();
-            session.compute_into(&a, &mut out);
+            let via_submit = session.submit(&a).unwrap().wait().unwrap();
+            session.compute_into(&a, &mut out).unwrap();
             assert_eq!(via_submit, out, "n={n}");
         }
     }
@@ -476,8 +697,8 @@ mod tests {
         let session = SvdSession::new(2);
         for n in [16usize, 80] {
             let a = random_gaussian(n, 2 * n, 42);
-            let wide = session.submit(&a).wait();
-            let tall = session.submit(&a.transpose()).wait();
+            let wide = session.submit(&a).unwrap().wait().unwrap();
+            let tall = session.submit(&a.transpose()).unwrap().wait().unwrap();
             assert_eq!(wide, tall, "n={n}");
         }
     }
@@ -485,10 +706,22 @@ mod tests {
     #[test]
     fn empty_problems_resolve_immediately() {
         let session = SvdSession::new(2);
-        assert!(session.submit(&Matrix::zeros(0, 0)).wait().is_empty());
-        assert!(session.submit(&Matrix::zeros(5, 0)).wait().is_empty());
+        let sv = session
+            .submit(&Matrix::zeros(0, 0))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(sv.is_empty());
+        let sv = session
+            .submit(&Matrix::zeros(5, 0))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(sv.is_empty());
         let mut out = vec![1.0];
-        session.compute_into(&Matrix::zeros(0, 3), &mut out);
+        session
+            .compute_into(&Matrix::zeros(0, 3), &mut out)
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -505,7 +738,10 @@ mod tests {
                         let n = [8usize, 33, 72][(t + r) as usize % 3];
                         let a = random_gaussian(n, n, 1000 + t * 10 + r);
                         let expect = ge2val(&a, session.options());
-                        assert_eq!(expect.singular_values, session.submit(&a).wait());
+                        assert_eq!(
+                            expect.singular_values,
+                            session.submit(&a).unwrap().wait().unwrap()
+                        );
                     }
                 });
             }
@@ -520,7 +756,7 @@ mod tests {
         let opts = Ge2Options::new(8)
             .with_threads(4)
             .with_direct_crossover(DIRECT_CROSSOVER);
-        let batched = ge2val_batch(&problems, &opts);
+        let batched = ge2val_batch(&problems, &opts).unwrap();
         for (a, sv) in problems.iter().zip(&batched) {
             assert_eq!(&ge2val(a, &opts).singular_values, sv);
         }
@@ -540,7 +776,7 @@ mod tests {
         for round in 0..5u64 {
             let session = SvdSession::new(3);
             let a = random_gaussian(40, 30, round);
-            let _ = session.submit(&a).wait();
+            let _ = session.submit(&a).unwrap().wait().unwrap();
             drop(session);
         }
         // Every pool joined its workers on drop: back to the baseline.
@@ -548,6 +784,116 @@ mod tests {
             thread_count(),
             before,
             "worker threads leaked across session lifetimes"
+        );
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_without_touching_the_pool() {
+        let session = SvdSession::new(2);
+        let mut a = random_gaussian(8, 8, 1);
+        a.set(3, 2, f64::NAN);
+        match session.submit(&a) {
+            Err(SvdError::NonFiniteInput {
+                row: 3,
+                col: 2,
+                value,
+            }) => assert!(value.is_nan()),
+            other => panic!(
+                "expected NonFiniteInput at (3,2), got {:?}",
+                other.map(|_| ())
+            ),
+        }
+        assert!(matches!(
+            session.try_submit(&a),
+            Err(SvdError::NonFiniteInput { .. })
+        ));
+        let mut out = Vec::new();
+        assert!(matches!(
+            session.compute_into(&a, &mut out),
+            Err(SvdError::NonFiniteInput { .. })
+        ));
+        // The rejections never consumed an admission slot...
+        assert_eq!(session.in_flight_peak(), 0);
+        // ...and the session keeps serving clean requests bitwise.
+        let b = random_gaussian(8, 8, 2);
+        assert_eq!(
+            ge2val(&b, session.options()).singular_values,
+            session.submit(&b).unwrap().wait().unwrap()
+        );
+    }
+
+    #[test]
+    fn closed_session_rejects_submissions_with_pool_shutdown() {
+        let session = SvdSession::new(2);
+        let a = random_gaussian(8, 8, 3);
+        let admitted = session.submit(&a).unwrap();
+        session.close();
+        assert!(matches!(session.submit(&a), Err(SvdError::PoolShutdown)));
+        assert!(matches!(
+            session.try_submit(&a),
+            Err(SvdError::PoolShutdown)
+        ));
+        // Work admitted before the close still completes normally.
+        assert_eq!(
+            ge2val(&a, session.options()).singular_values,
+            admitted.wait().unwrap()
+        );
+        session.close(); // idempotent
+    }
+
+    #[test]
+    fn bounded_session_never_exceeds_its_cap() {
+        let opts = Ge2Options::new(16)
+            .with_threads(2)
+            .with_direct_crossover(DIRECT_CROSSOVER);
+        let session = SvdSession::with_config(
+            opts,
+            SessionConfig {
+                max_in_flight: 4,
+                admission: AdmissionPolicy::Block,
+            },
+        );
+        assert_eq!(session.max_in_flight(), 4);
+        let mut jobs = Vec::new();
+        for i in 0..64u64 {
+            let a = random_gaussian(12, 12, 4000 + i);
+            // Blocking admission: this parks instead of failing when full.
+            jobs.push((a.clone(), session.submit(&a).unwrap()));
+        }
+        assert!(
+            session.in_flight_peak() <= 4,
+            "peak {} exceeded the cap",
+            session.in_flight_peak()
+        );
+        for (a, job) in jobs {
+            assert_eq!(
+                ge2val(&a, session.options()).singular_values,
+                job.wait().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn generous_deadlines_return_the_spectrum() {
+        let session = SvdSession::new(2);
+        let a = random_gaussian(24, 24, 5);
+        let job = session.submit(&a).unwrap();
+        let sv = job.wait_timeout(Duration::from_secs(60)).unwrap();
+        assert_eq!(ge2val(&a, session.options()).singular_values, sv);
+    }
+
+    #[test]
+    fn cancelling_a_finished_job_keeps_its_result() {
+        let session = SvdSession::new(2);
+        let a = random_gaussian(16, 16, 6);
+        let job = session.submit(&a).unwrap();
+        while !job.is_finished() {
+            std::thread::yield_now();
+        }
+        job.cancel(); // no-op: completion already published
+        assert_eq!(
+            ge2val(&a, session.options()).singular_values,
+            job.wait().unwrap()
         );
     }
 }

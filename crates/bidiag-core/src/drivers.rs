@@ -12,6 +12,7 @@
 //! `bidiag-trees`; in distributed mode the schedule is the two-level
 //! hierarchical tree over the 2D block-cyclic process grid.
 
+use crate::error::SvdError;
 use crate::ops::TileOp;
 use bidiag_matrix::BlockCyclic;
 use bidiag_trees::{
@@ -173,8 +174,25 @@ fn lq_step_ops(k: usize, row_end: usize, col_end: usize, cfg: &GenConfig, out: &
     }
 }
 
+/// Fallible twin of [`bidiag_ops`]: a grid violating `p >= q >= 1` is a
+/// caller-reachable input error (any wide or empty matrix lands here), so
+/// it returns [`SvdError::DimensionMismatch`] instead of asserting.
+pub fn try_bidiag_ops(p: usize, q: usize, cfg: &GenConfig) -> Result<Vec<TileOp>, SvdError> {
+    if !(p >= q && q >= 1) {
+        return Err(SvdError::DimensionMismatch {
+            context: "BIDIAG requires a p >= q >= 1 tile grid",
+            rows: p,
+            cols: q,
+        });
+    }
+    Ok(bidiag_ops(p, q, cfg))
+}
+
 /// Operation list of the BIDIAG algorithm on a `p x q` tile grid
 /// (`p >= q >= 1`): `QR(0); LQ(0); QR(1); LQ(1); ...; QR(q-1)`.
+///
+/// Panics on an invalid grid; boundary code that forwards user-provided
+/// shapes should call [`try_bidiag_ops`].
 pub fn bidiag_ops(p: usize, q: usize, cfg: &GenConfig) -> Vec<TileOp> {
     assert!(
         p >= q && q >= 1,
@@ -265,9 +283,24 @@ fn emit_qr_step_from_schedule(
     }
 }
 
+/// Fallible twin of [`rbidiag_ops`] — see [`try_bidiag_ops`].
+pub fn try_rbidiag_ops(p: usize, q: usize, cfg: &GenConfig) -> Result<Vec<TileOp>, SvdError> {
+    if !(p >= q && q >= 1) {
+        return Err(SvdError::DimensionMismatch {
+            context: "R-BIDIAG requires a p >= q >= 1 tile grid",
+            rows: p,
+            cols: q,
+        });
+    }
+    Ok(rbidiag_ops(p, q, cfg))
+}
+
 /// Operation list of the R-BIDIAG algorithm on a `p x q` tile grid:
 /// full QR factorization, then bidiagonalization of the top `q x q` R factor
 /// (whose first QR step is already done).
+///
+/// Panics on an invalid grid; boundary code that forwards user-provided
+/// shapes should call [`try_rbidiag_ops`].
 pub fn rbidiag_ops(p: usize, q: usize, cfg: &GenConfig) -> Vec<TileOp> {
     assert!(
         p >= q && q >= 1,

@@ -15,7 +15,11 @@
 //! * [`pipeline`] — user-facing `GE2BND` and `GE2VAL` entry points,
 //! * [`batch`] — the persistent batched runtime service ([`SvdSession`]):
 //!   one long-lived work-stealing pool serving a stream of independent
-//!   problems with per-worker scratch arenas and a small-size crossover.
+//!   problems with per-worker scratch arenas, a small-size crossover,
+//!   bounded admission and cooperative cancellation,
+//! * [`error`] — the [`SvdError`] taxonomy every fallible entry point
+//!   ([`try_ge2val`], session submission/waiting, the `try_` op
+//!   generators) reports through.
 //!
 //! ## Quick start
 //!
@@ -33,22 +37,26 @@
 pub mod batch;
 pub mod cp;
 pub mod drivers;
+pub mod error;
 pub mod exec;
 pub mod flops;
 pub mod ops;
 pub mod pipeline;
 
-pub use batch::{ge2val_batch, SessionScratch, SvdJob, SvdSession};
+pub use batch::{ge2val_batch, AdmissionPolicy, SessionConfig, SessionScratch, SvdJob, SvdSession};
 pub use drivers::{
-    bidiag_ops, ge2bnd_ops, qr_factorization_ops, rbidiag_ops, Algorithm, GenConfig,
+    bidiag_ops, ge2bnd_ops, qr_factorization_ops, rbidiag_ops, try_bidiag_ops, try_rbidiag_ops,
+    Algorithm, GenConfig,
 };
+pub use error::{validate_finite, SvdError};
 pub use exec::{
     bd2val_on_runtime, bd2val_task_count, bnd2bd_on_runtime, build_graph, execute_parallel,
     execute_sequential,
 };
 pub use ops::{ops_flops, KernelScratch, TauTable, TileOp};
 pub use pipeline::{
-    ge2bnd, ge2val, AlgorithmChoice, Ge2BndResult, Ge2Options, Ge2ValResult, DIRECT_CROSSOVER,
+    ge2bnd, ge2val, try_ge2bnd, try_ge2val, AlgorithmChoice, Ge2BndResult, Ge2Options,
+    Ge2ValResult, DIRECT_CROSSOVER,
 };
 // The BD2VAL solver options the pipeline threads through, re-exported so
 // downstream callers need not depend on `bidiag-svd` directly.

@@ -21,6 +21,7 @@
 //! (see the `bidiag-runtime` crate docs).
 
 use crate::drivers::{ge2bnd_ops, Algorithm, GenConfig};
+use crate::error::{validate_finite, SvdError};
 use crate::exec::{bd2val_on_runtime, bnd2bd_on_runtime, execute_parallel, execute_sequential};
 use crate::flops;
 use crate::ops::ops_flops;
@@ -240,7 +241,10 @@ pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
         let mut w = a_ref.clone();
         let bidiag = gebd2(&mut w);
         let mut sv = singular_values_with(&bidiag.diag, &bidiag.superdiag, &opts.bd2val);
-        sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // `total_cmp` orders exactly like `partial_cmp` on the solver's
+        // non-negative output and cannot panic if poisoned NaNs slip
+        // through (they sort last and stay visible).
+        sv.sort_by(|a, b| b.total_cmp(a));
         return Ge2ValResult {
             singular_values: sv,
             ge2bnd: None,
@@ -263,11 +267,46 @@ pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
     } else {
         singular_values_with(&bidiag.diag, &bidiag.superdiag, &opts.bd2val)
     };
-    sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    // See the direct path above: total order, no NaN panic path.
+    sv.sort_by(|a, b| b.total_cmp(a));
     Ge2ValResult {
         singular_values: sv,
         ge2bnd: Some(stage1),
     }
+}
+
+/// Fallible twin of [`ge2bnd`]: rejects wide inputs with
+/// [`SvdError::DimensionMismatch`] and non-finite entries with
+/// [`SvdError::NonFiniteInput`] instead of asserting or producing NaN
+/// garbage.  On `Ok`, the result is exactly what [`ge2bnd`] returns.
+pub fn try_ge2bnd(a: &Matrix, opts: &Ge2Options) -> Result<Ge2BndResult, SvdError> {
+    if a.rows() < a.cols() {
+        return Err(SvdError::DimensionMismatch {
+            context: "ge2bnd requires m >= n; transpose the input",
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    validate_finite(a)?;
+    Ok(ge2bnd(a, opts))
+}
+
+/// Fallible twin of [`ge2val`]: rejects non-finite entries with
+/// [`SvdError::NonFiniteInput`] *before* any factorization work runs, and
+/// reports a solver that still produced non-finite values (a bug or
+/// injected fault, never reachable from validated input) as
+/// [`SvdError::SolverFailure`].  On `Ok`, the result is **bitwise** what
+/// [`ge2val`] returns — validation reads the input but never changes the
+/// arithmetic.
+pub fn try_ge2val(a: &Matrix, opts: &Ge2Options) -> Result<Ge2ValResult, SvdError> {
+    validate_finite(a)?;
+    let result = ge2val(a, opts);
+    if let Some(&bad) = result.singular_values.iter().find(|v| !v.is_finite()) {
+        return Err(SvdError::SolverFailure(format!(
+            "solver produced non-finite singular value {bad} from finite input"
+        )));
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -53,19 +53,19 @@ fn warm_direct_path_calls_allocate_nothing() {
     // measured loop needs exists after this.
     for _ in 0..3 {
         for a in &problems {
-            session.compute_into(a, &mut out);
+            session.compute_into(a, &mut out).unwrap();
             assert_eq!(out.len(), 32);
         }
-        session.compute_into(&wide, &mut out);
+        session.compute_into(&wide, &mut out).unwrap();
         assert_eq!(out.len(), 24);
     }
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for _ in 0..50 {
         for a in &problems {
-            session.compute_into(a, &mut out);
+            session.compute_into(a, &mut out).unwrap();
         }
-        session.compute_into(&wide, &mut out);
+        session.compute_into(&wide, &mut out).unwrap();
     }
     let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
     assert_eq!(

@@ -42,5 +42,5 @@ pub use executor::{
     execute_parallel, execute_parallel_with, execute_sequential, TaskBody, TaskBodyWith,
 };
 pub use graph::{AccessMode, DataKey, TaskGraph, TaskId, TaskNode};
-pub use pool::{JobHandle, TaskPool};
+pub use pool::{JobError, JobHandle, PoolConfig, SubmitError, TaskPool};
 pub use sim::{critical_path_via_sim, simulate, MachineModel, SimResult};

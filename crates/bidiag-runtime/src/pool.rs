@@ -22,13 +22,25 @@
 //! * **Idle = parked.**  Between submissions every worker blocks on the
 //!   idle gate; a parked pool consumes no CPU until the next `submit`
 //!   publishes work.
-//! * **Per-submission completion.**  Each submission counts down its own
-//!   remaining tasks and signals its own condition variable;
-//!   [`JobHandle::wait`] blocks on that, not on the pool.  A body panic is
-//!   caught, the submission is flagged failed (remaining bodies of *that*
-//!   submission are skipped, its graph still drains so counters stay
-//!   consistent), and the panic payload is re-thrown from `wait` — other
-//!   submissions and the pool itself are unaffected.
+//! * **Bounded admission with backpressure.**  A pool built with
+//!   [`TaskPool::with_config`] caps the number of submissions in flight:
+//!   [`TaskPool::submit`] parks the *caller* on a condition variable until
+//!   a slot frees (a million-problem burst holds at most `max_in_flight`
+//!   live job graphs), while [`TaskPool::try_submit`] sheds load instead,
+//!   returning [`SubmitError::QueueFull`].  [`TaskPool::close`] rejects
+//!   all further submissions ([`SubmitError::Shutdown`]) while everything
+//!   already admitted still drains.
+//! * **Per-submission completion and failure containment.**  Each
+//!   submission counts down its own remaining tasks and signals its own
+//!   condition variable; [`JobHandle::wait`] blocks on that, not on the
+//!   pool.  A body panic is caught and *converted to a value*: the
+//!   submission is flagged failed (remaining bodies of *that* submission
+//!   are skipped, its graph still drains so counters stay consistent) and
+//!   `wait` returns [`JobError::Panicked`] carrying the payload message —
+//!   nothing is ever re-thrown across the pool boundary, and other
+//!   submissions are unaffected.  [`JobHandle::cancel`] reuses the same
+//!   drain-as-no-ops machinery for cooperative cancellation, and
+//!   [`JobHandle::wait_timeout`] bounds how long a caller blocks.
 //!
 //! The once-cell body-slot soundness argument of the executor carries over
 //! verbatim: a task id of a given submission becomes ready exactly once,
@@ -36,11 +48,19 @@
 //! exclusive), and the claim is ordered after the slot write by the
 //! injector/deque mutex.
 //!
-//! Dropping the pool closes the gate; each worker drains every task it can
-//! still find (its own deque, the injector, every victim) and exits, so no
-//! submitted work is abandoned — the work-first handoff guarantees the
-//! chain a worker is executing stays its own, and anything it releases
-//! lands on its own deque, which it drains before exiting.
+//! Dropping the pool closes admission, then the gate; each worker drains
+//! every task it can still find (its own deque, the injector, every
+//! victim) and exits, so no submitted work is abandoned — the work-first
+//! handoff guarantees the chain a worker is executing stays its own, and
+//! anything it releases lands on its own deque, which it drains before
+//! exiting.
+//!
+//! Fault injection: the failpoints `pool::body` (inside the per-body
+//! `catch_unwind`, so an injected panic exercises the real containment
+//! path) and `pool::admission` (in the non-blocking admission check;
+//! `Trigger` forces a [`SubmitError::QueueFull`]) let the robustness suite
+//! drive every error path deterministically.  Disarmed they cost one
+//! relaxed atomic load.
 
 use crate::executor::{BodySlots, IdleGate, TaskBodyWith};
 use crate::graph::{TaskGraph, TaskId};
@@ -51,6 +71,72 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a submission finished without producing its results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// A task body panicked; the submission's remaining bodies were
+    /// skipped and its graph drained.  Carries the panic payload message
+    /// (the pool never re-throws a payload across `wait`).
+    Panicked(String),
+    /// The submission was cancelled via [`JobHandle::cancel`] before it
+    /// finished; bodies that had not started were skipped.
+    Cancelled,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "task body panicked: {msg}"),
+            JobError::Cancelled => write!(f, "submission was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Why a submission was not admitted to the pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pool already has `max_in_flight` submissions in flight and the
+    /// caller asked not to block ([`TaskPool::try_submit`]).
+    QueueFull {
+        /// The pool's in-flight cap at the time of rejection.
+        max_in_flight: usize,
+    },
+    /// The pool was [`close`](TaskPool::close)d (or is being dropped);
+    /// no further submissions are accepted.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { max_in_flight } => {
+                write!(f, "admission queue is full ({max_in_flight} in flight)")
+            }
+            SubmitError::Shutdown => write!(f, "pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Admission configuration of a [`TaskPool`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Maximum number of submissions in flight (submitted, not yet
+    /// finished).  `0` means unbounded — the pre-backpressure behaviour.
+    pub max_in_flight: usize,
+}
+
+impl Default for PoolConfig {
+    /// Unbounded admission, matching [`TaskPool::new`].
+    fn default() -> Self {
+        PoolConfig { max_in_flight: 0 }
+    }
+}
 
 /// One submitted task graph with all the scheduler state it travels with.
 struct Submission<S> {
@@ -66,13 +152,29 @@ struct Submission<S> {
     /// Set when a body of this submission panicked: the remaining bodies
     /// of the submission are skipped (its graph still drains).
     failed: AtomicBool,
+    /// Set by [`JobHandle::cancel`]: remaining bodies are skipped exactly
+    /// like the failure path, but `wait` reports [`JobError::Cancelled`].
+    cancelled: AtomicBool,
     done: Mutex<JobState>,
     done_cv: Condvar,
 }
 
 struct JobState {
     finished: bool,
-    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Message of the first body panic (payload converted to a string at
+    /// catch time; the payload itself is dropped, never re-thrown).
+    panic: Option<String>,
+}
+
+/// Best-effort conversion of a panic payload to its message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task body panicked (non-string payload)".to_string()
+    }
 }
 
 /// A deque/injector item: one ready task of one submission.
@@ -88,20 +190,55 @@ pub struct JobHandle<S> {
     sub: Arc<Submission<S>>,
 }
 
+impl<S> std::fmt::Debug for JobHandle<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("finished", &self.is_finished())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<S> JobHandle<S> {
-    /// Block until every task of the submission has completed.
-    ///
-    /// If a task body panicked, the first panic payload is re-thrown here
-    /// (mirroring what `thread::scope` does for the one-shot executor).
-    pub fn wait(self) {
+    /// Block until every task of the submission has completed (bodies run
+    /// or skipped).  Returns `Ok(())` on clean completion,
+    /// [`JobError::Panicked`] with the first panic's message if a body
+    /// panicked, or [`JobError::Cancelled`] if the job was cancelled.
+    pub fn wait(self) -> Result<(), JobError> {
         let mut st = self.sub.done.lock();
         while !st.finished {
             self.sub.done_cv.wait(&mut st);
         }
-        let panic = st.panic.take();
-        drop(st);
-        if let Some(p) = panic {
-            resume_unwind(p);
+        self.outcome(&st)
+    }
+
+    /// Like [`wait`](JobHandle::wait), but give up after `timeout`:
+    /// returns `None` if the submission is still running at the deadline
+    /// (the handle stays usable — cancel it, keep waiting, or detach).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<(), JobError>> {
+        let deadline = Instant::now().checked_add(timeout)?;
+        let mut st = self.sub.done.lock();
+        while !st.finished {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.sub.done_cv.wait_timeout(&mut st, deadline - now);
+        }
+        Some(self.outcome(&st))
+    }
+
+    /// Request cooperative cancellation: every body of this submission
+    /// that has not started yet is skipped (the graph still drains, so
+    /// counters and dependent bookkeeping stay consistent), and `wait`
+    /// reports [`JobError::Cancelled`].  Best-effort: bodies already
+    /// executing run to completion, and a submission that finishes before
+    /// the flag lands is unaffected.  Idempotent.
+    pub fn cancel(&self) {
+        // The lock makes "finished" exact: a job observed complete here is
+        // never retroactively marked cancelled.
+        let st = self.sub.done.lock();
+        if !st.finished {
+            self.sub.cancelled.store(true, Ordering::Release);
         }
     }
 
@@ -109,6 +246,25 @@ impl<S> JobHandle<S> {
     pub fn is_finished(&self) -> bool {
         self.sub.done.lock().finished
     }
+
+    fn outcome(&self, st: &JobState) -> Result<(), JobError> {
+        if let Some(msg) = &st.panic {
+            Err(JobError::Panicked(msg.clone()))
+        } else if self.sub.cancelled.load(Ordering::Acquire) {
+            Err(JobError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// In-flight submission accounting, shared by admission and completion.
+struct AdmissionState {
+    in_flight: usize,
+    /// High-water mark of `in_flight` over the pool's lifetime — lets the
+    /// memory-bound tests assert the cap was never exceeded.
+    peak: usize,
+    closed: bool,
 }
 
 /// State shared by every worker of the pool.
@@ -118,6 +274,10 @@ struct PoolShared<S> {
     injector: Mutex<VecDeque<PoolItem<S>>>,
     stealers: Vec<Stealer<PoolItem<S>>>,
     gate: IdleGate,
+    admission: Mutex<AdmissionState>,
+    admission_cv: Condvar,
+    /// In-flight submission cap (`0` = unbounded).
+    max_in_flight: usize,
 }
 
 impl<S> PoolShared<S> {
@@ -131,14 +291,19 @@ impl<S> PoolShared<S> {
         local: &Worker<PoolItem<S>>,
         scratch: &mut S,
     ) -> Option<TaskId> {
-        if !sub.failed.load(Ordering::Acquire) {
+        if !sub.failed.load(Ordering::Acquire) && !sub.cancelled.load(Ordering::Acquire) {
             let body = sub.slots.take(id);
-            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(scratch))) {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = failpoint::fire("pool::body");
+                body(scratch)
+            }));
+            if let Err(p) = outcome {
                 sub.failed.store(true, Ordering::Release);
                 let mut st = sub.done.lock();
                 if st.panic.is_none() {
-                    st.panic = Some(p);
+                    st.panic = Some(panic_message(&*p));
                 }
+                // `p` is dropped here: the payload never crosses the pool.
             }
         }
 
@@ -162,9 +327,17 @@ impl<S> PoolShared<S> {
         }
 
         if sub.remaining_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut st = sub.done.lock();
-            st.finished = true;
-            sub.done_cv.notify_all();
+            {
+                let mut st = sub.done.lock();
+                st.finished = true;
+                sub.done_cv.notify_all();
+            }
+            // Release the admission slot only after completion is
+            // published, so `in_flight` never under-counts live jobs.
+            let mut adm = self.admission.lock();
+            adm.in_flight -= 1;
+            drop(adm);
+            self.admission_cv.notify_one();
         }
         next
     }
@@ -259,11 +432,11 @@ impl<S> PoolShared<S> {
 ///                 }) as TaskBodyWith<()>
 ///             })
 ///             .collect();
-///         pool.submit(g, bodies)
+///         pool.submit(g, bodies).expect("pool is open")
 ///     })
 ///     .collect();
 /// for h in handles {
-///     h.wait();
+///     h.wait().expect("no body panicked");
 /// }
 /// assert_eq!(acc.load(Ordering::SeqCst), 16);
 /// ```
@@ -274,15 +447,33 @@ pub struct TaskPool<S: 'static> {
 }
 
 impl<S: Send + 'static> TaskPool<S> {
-    /// Spawn a pool of `threads` workers (at least one), each owning one
-    /// scratch value created by `init` on that worker's thread.
+    /// Spawn a pool of `threads` workers (at least one) with unbounded
+    /// admission, each worker owning one scratch value created by `init`
+    /// on that worker's thread.
     pub fn new(threads: usize, init: impl Fn() -> S + Send + Sync + 'static) -> Self {
+        Self::with_config(threads, PoolConfig::default(), init)
+    }
+
+    /// Spawn a pool with explicit admission configuration — see
+    /// [`PoolConfig`].
+    pub fn with_config(
+        threads: usize,
+        config: PoolConfig,
+        init: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Self {
         let threads = threads.max(1);
         let workers: Vec<Worker<PoolItem<S>>> = (0..threads).map(|_| Worker::new_lifo()).collect();
         let shared = Arc::new(PoolShared {
             injector: Mutex::new(VecDeque::new()),
             stealers: workers.iter().map(Worker::stealer).collect(),
             gate: IdleGate::new(),
+            admission: Mutex::new(AdmissionState {
+                in_flight: 0,
+                peak: 0,
+                closed: false,
+            }),
+            admission_cv: Condvar::new(),
+            max_in_flight: config.max_in_flight,
         });
         let init = Arc::new(init);
         let handles = workers
@@ -309,15 +500,122 @@ impl<S: Send + 'static> TaskPool<S> {
         self.threads
     }
 
+    /// The in-flight submission cap (`0` = unbounded).
+    pub fn max_in_flight(&self) -> usize {
+        self.shared.max_in_flight
+    }
+
+    /// Number of submissions currently in flight (admitted, not finished).
+    pub fn in_flight(&self) -> usize {
+        self.shared.admission.lock().in_flight
+    }
+
+    /// High-water mark of [`in_flight`](TaskPool::in_flight) over the
+    /// pool's lifetime.  On a bounded pool this never exceeds
+    /// [`max_in_flight`](TaskPool::max_in_flight) — the property the
+    /// memory-bound tests assert.
+    pub fn in_flight_peak(&self) -> usize {
+        self.shared.admission.lock().peak
+    }
+
+    /// Acquire one admission slot.  `block` selects backpressure (park on
+    /// the admission condvar until a slot frees) versus load shedding
+    /// (return [`SubmitError::QueueFull`]).
+    fn admit(&self, block: bool) -> Result<(), SubmitError> {
+        let mut adm = self.shared.admission.lock();
+        loop {
+            if adm.closed {
+                return Err(SubmitError::Shutdown);
+            }
+            let full = self.shared.max_in_flight > 0 && adm.in_flight >= self.shared.max_in_flight;
+            if !full {
+                if !block {
+                    // Injected "momentarily full" admission outcome, so
+                    // load-shedding paths are testable without real
+                    // saturation.  Only the non-blocking path consults it:
+                    // a blocking caller would park forever on a fault that
+                    // no completion ever clears.
+                    if matches!(
+                        failpoint::fire("pool::admission"),
+                        Some(failpoint::FailAction::Trigger)
+                    ) {
+                        return Err(SubmitError::QueueFull {
+                            max_in_flight: self.shared.max_in_flight,
+                        });
+                    }
+                }
+                adm.in_flight += 1;
+                adm.peak = adm.peak.max(adm.in_flight);
+                return Ok(());
+            }
+            if !block {
+                return Err(SubmitError::QueueFull {
+                    max_in_flight: self.shared.max_in_flight,
+                });
+            }
+            self.shared.admission_cv.wait(&mut adm);
+        }
+    }
+
     /// Submit one task graph for execution; `bodies[i]` runs exactly once
     /// for task `i`, on some worker, with that worker's scratch.
     ///
-    /// Returns immediately; block on the returned handle's
-    /// [`wait`](JobHandle::wait) for completion.  Panics if
-    /// `bodies.len() != graph.len()`.
-    pub fn submit(&self, graph: TaskGraph, bodies: Vec<TaskBodyWith<S>>) -> JobHandle<S> {
+    /// On a bounded pool this **blocks** while `max_in_flight` submissions
+    /// are in flight (backpressure), waking when a slot frees.  Returns
+    /// [`SubmitError::Shutdown`] if the pool was closed.  Panics if
+    /// `bodies.len() != graph.len()` (an internal-invariant breach of the
+    /// caller, not a runtime condition).
+    pub fn submit(
+        &self,
+        graph: TaskGraph,
+        bodies: Vec<TaskBodyWith<S>>,
+    ) -> Result<JobHandle<S>, SubmitError> {
+        self.submit_inner(graph, bodies, true)
+    }
+
+    /// Non-blocking twin of [`submit`](TaskPool::submit): when the pool is
+    /// full, returns [`SubmitError::QueueFull`] immediately instead of
+    /// parking the caller — the load-shedding admission policy.
+    pub fn try_submit(
+        &self,
+        graph: TaskGraph,
+        bodies: Vec<TaskBodyWith<S>>,
+    ) -> Result<JobHandle<S>, SubmitError> {
+        self.submit_inner(graph, bodies, false)
+    }
+
+    fn submit_inner(
+        &self,
+        graph: TaskGraph,
+        bodies: Vec<TaskBodyWith<S>>,
+        block: bool,
+    ) -> Result<JobHandle<S>, SubmitError> {
         let n = graph.len();
         assert_eq!(bodies.len(), n, "one body per task is required");
+        if n == 0 {
+            // Nothing to run: never admitted (no slot to leak), but a
+            // closed pool still rejects, so shutdown is observable.
+            if self.shared.admission.lock().closed {
+                return Err(SubmitError::Shutdown);
+            }
+            return Ok(JobHandle {
+                sub: Arc::new(Submission {
+                    priority: Vec::new(),
+                    remaining_preds: Vec::new(),
+                    remaining_tasks: AtomicUsize::new(0),
+                    slots: BodySlots::new(bodies),
+                    failed: AtomicBool::new(false),
+                    cancelled: AtomicBool::new(false),
+                    done: Mutex::new(JobState {
+                        finished: true,
+                        panic: None,
+                    }),
+                    done_cv: Condvar::new(),
+                    graph,
+                }),
+            });
+        }
+        self.admit(block)?;
         let sub = Arc::new(Submission {
             priority: graph.bottom_levels(),
             remaining_preds: (0..n)
@@ -326,38 +624,51 @@ impl<S: Send + 'static> TaskPool<S> {
             remaining_tasks: AtomicUsize::new(n),
             slots: BodySlots::new(bodies),
             failed: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
             done: Mutex::new(JobState {
-                finished: n == 0,
+                finished: false,
                 panic: None,
             }),
             done_cv: Condvar::new(),
             graph,
         });
 
-        if n > 0 {
-            // Seed the sources highest bottom level first: the injector is
-            // FIFO, so workers pull the most critical source first.
-            let mut sources: Vec<TaskId> = (0..n)
-                .filter(|&i| sub.graph.predecessors(i).is_empty())
-                .collect();
-            sources.sort_by(|&a, &b| {
-                sub.priority[b]
-                    .partial_cmp(&sub.priority[a])
-                    .expect("bottom levels are finite")
-            });
-            let mut inj = self.shared.injector.lock();
-            for id in sources {
-                inj.push_back((Arc::clone(&sub), id));
-            }
-            drop(inj);
-            self.shared.gate.publish();
+        // Seed the sources highest bottom level first: the injector is
+        // FIFO, so workers pull the most critical source first.
+        let mut sources: Vec<TaskId> = (0..n)
+            .filter(|&i| sub.graph.predecessors(i).is_empty())
+            .collect();
+        sources.sort_by(|&a, &b| {
+            sub.priority[b]
+                .partial_cmp(&sub.priority[a])
+                .expect("bottom levels are finite")
+        });
+        let mut inj = self.shared.injector.lock();
+        for id in sources {
+            inj.push_back((Arc::clone(&sub), id));
         }
-        JobHandle { sub }
+        drop(inj);
+        self.shared.gate.publish();
+        Ok(JobHandle { sub })
+    }
+}
+
+impl<S: 'static> TaskPool<S> {
+    /// Close admission: every subsequent `submit`/`try_submit` (and every
+    /// caller currently parked in a blocking `submit`) gets
+    /// [`SubmitError::Shutdown`].  Work already admitted still drains.
+    /// Idempotent; [`Drop`] calls it first.
+    pub fn close(&self) {
+        let mut adm = self.shared.admission.lock();
+        adm.closed = true;
+        drop(adm);
+        self.shared.admission_cv.notify_all();
     }
 }
 
 impl<S: 'static> Drop for TaskPool<S> {
     fn drop(&mut self) {
+        self.close();
         self.shared.gate.finish();
         for h in self.handles.drain(..) {
             // A worker thread can only panic through a scheduler bug (body
@@ -416,7 +727,7 @@ mod tests {
             })
             .collect();
         let graph = g.clone();
-        pool.submit(g, bodies).wait();
+        pool.submit(g, bodies).unwrap().wait().unwrap();
         for id in 0..n {
             let t = order[id].load(Ordering::SeqCst);
             assert!(t > 0, "task {id} never ran");
@@ -442,11 +753,11 @@ mod tests {
                 for _ in 0..len {
                     g.add_task(1.0, 0, 0, &[(p, Write)]);
                 }
-                pool.submit(g, counting_bodies(len, &acc))
+                pool.submit(g, counting_bodies(len, &acc)).unwrap()
             })
             .collect();
         for h in handles {
-            h.wait();
+            h.wait().unwrap();
         }
         assert_eq!(acc.load(Ordering::SeqCst), expected);
     }
@@ -454,9 +765,11 @@ mod tests {
     #[test]
     fn empty_submission_finishes_immediately() {
         let pool: TaskPool<u64> = TaskPool::new(2, || 0);
-        let h = pool.submit(TaskGraph::new(), Vec::new());
+        let h = pool.submit(TaskGraph::new(), Vec::new()).unwrap();
         assert!(h.is_finished());
-        h.wait();
+        h.wait().unwrap();
+        // Empty submissions are never admitted, so they cannot leak slots.
+        assert_eq!(pool.in_flight(), 0);
     }
 
     #[test]
@@ -474,9 +787,13 @@ mod tests {
                 }) as TaskBodyWith<u64>
             })
             .collect();
-        let bad = pool.submit(g, bodies);
-        let err = catch_unwind(AssertUnwindSafe(|| bad.wait()));
-        assert!(err.is_err(), "the body panic must reach wait()");
+        let bad = pool.submit(g, bodies).unwrap();
+        // The panic arrives as a *value* carrying the payload message —
+        // nothing unwinds across wait().
+        match bad.wait() {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("kernel failure"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
 
         // The pool still serves fresh submissions afterwards.
         let acc = Arc::new(AtomicU64::new(0));
@@ -484,7 +801,10 @@ mod tests {
         for _ in 0..10 {
             g.add_task(1.0, 0, 0, &[(2, Write)]);
         }
-        pool.submit(g, counting_bodies(10, &acc)).wait();
+        pool.submit(g, counting_bodies(10, &acc))
+            .unwrap()
+            .wait()
+            .unwrap();
         assert_eq!(acc.load(Ordering::SeqCst), 10);
     }
 
@@ -502,7 +822,10 @@ mod tests {
                         g.add_task(1.0, 0, 0, &[(p, Write)]);
                         g.add_task(1.0, 0, 0, &[(p, Read)]);
                         g.add_task(1.0, 0, 0, &[(p, Read)]);
-                        pool.submit(g, counting_bodies(3, &acc)).wait();
+                        pool.submit(g, counting_bodies(3, &acc))
+                            .unwrap()
+                            .wait()
+                            .unwrap();
                     }
                 });
             }
@@ -520,7 +843,7 @@ mod tests {
                 for _ in 0..5 {
                     g.add_task(1.0, 0, 0, &[(p, Write)]);
                 }
-                let _detached = pool.submit(g, counting_bodies(5, &acc));
+                let _detached = pool.submit(g, counting_bodies(5, &acc)).unwrap();
             }
             // Drop without waiting: the shutdown drain must run them all.
         }
@@ -541,7 +864,7 @@ mod tests {
                 g.add_task(1.0, 0, 0, &[(p, Write)]);
                 let bodies: Vec<TaskBodyWith<Tally>> =
                     vec![Box::new(move |s: &mut Tally| s.0 += 1)];
-                pool.submit(g, bodies).wait();
+                pool.submit(g, bodies).unwrap().wait().unwrap();
             }
         }
         assert_eq!(total.load(Ordering::SeqCst), 30);
@@ -552,5 +875,190 @@ mod tests {
         fn drop(&mut self) {
             self.1.fetch_add(self.0, Ordering::SeqCst);
         }
+    }
+
+    /// A submission whose single body parks until released, so tests can
+    /// hold the pool provably busy without timing assumptions.
+    fn parked_job(pool: &TaskPool<u64>, release: &Arc<AtomicBool>, key: u64) -> JobHandle<u64> {
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(key, Write)]);
+        let release = Arc::clone(release);
+        let bodies: Vec<TaskBodyWith<u64>> = vec![Box::new(move |_: &mut u64| {
+            while !release.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        })];
+        pool.submit(g, bodies).expect("pool is open")
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_full_and_recovers() {
+        let pool: TaskPool<u64> = TaskPool::with_config(1, PoolConfig { max_in_flight: 2 }, || 0);
+        let release = Arc::new(AtomicBool::new(false));
+        let a = parked_job(&pool, &release, 1);
+        let b = parked_job(&pool, &release, 2);
+        // Third submission must be rejected, not queued.
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(3, Write)]);
+        let acc = Arc::new(AtomicU64::new(0));
+        match pool.try_submit(g.clone(), counting_bodies(1, &acc)) {
+            Err(SubmitError::QueueFull { max_in_flight: 2 }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(pool.in_flight(), 2);
+        release.store(true, Ordering::Release);
+        a.wait().unwrap();
+        b.wait().unwrap();
+        // Slots freed: admission works again.
+        pool.try_submit(g, counting_bodies(1, &acc))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(acc.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.in_flight_peak(), 2);
+    }
+
+    #[test]
+    fn blocking_submit_parks_until_a_slot_frees() {
+        let pool: Arc<TaskPool<u64>> = Arc::new(TaskPool::with_config(
+            1,
+            PoolConfig { max_in_flight: 1 },
+            || 0,
+        ));
+        let release = Arc::new(AtomicBool::new(false));
+        let first = parked_job(&pool, &release, 1);
+        let acc = Arc::new(AtomicU64::new(0));
+        let submitted = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            let acc = Arc::clone(&acc);
+            let submitted = Arc::clone(&submitted);
+            std::thread::spawn(move || {
+                let mut g = TaskGraph::new();
+                g.add_task(1.0, 0, 0, &[(2, Write)]);
+                // Blocks here until the parked job finishes.
+                let h = pool.submit(g, counting_bodies(1, &acc)).unwrap();
+                submitted.store(true, Ordering::Release);
+                h.wait().unwrap();
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !submitted.load(Ordering::Acquire),
+            "submit returned while the pool was full"
+        );
+        release.store(true, Ordering::Release);
+        first.wait().unwrap();
+        waiter.join().unwrap();
+        assert_eq!(acc.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.in_flight_peak(), 1);
+    }
+
+    #[test]
+    fn cancel_skips_unstarted_bodies_and_reports_cancelled() {
+        let pool: TaskPool<u64> = TaskPool::new(1, || 0);
+        let release = Arc::new(AtomicBool::new(false));
+        let blocker = parked_job(&pool, &release, 1);
+        // A second submission queued behind the blocker: cancel it before
+        // any of its bodies can start.
+        let ran = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        for _ in 0..4 {
+            g.add_task(1.0, 0, 0, &[(2, Write)]);
+        }
+        let victim = pool.submit(g, counting_bodies(4, &ran)).unwrap();
+        victim.cancel();
+        release.store(true, Ordering::Release);
+        blocker.wait().unwrap();
+        assert_eq!(victim.wait(), Err(JobError::Cancelled));
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "cancelled bodies ran");
+        // The graph drained: the slot was released and the pool is reusable.
+        let acc = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(3, Write)]);
+        pool.submit(g, counting_bodies(1, &acc))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(acc.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cancel_after_completion_is_a_no_op() {
+        let pool: TaskPool<u64> = TaskPool::new(2, || 0);
+        let acc = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        g.add_task(1.0, 0, 0, &[(1, Write)]);
+        let h = pool.submit(g, counting_bodies(1, &acc)).unwrap();
+        while !h.is_finished() {
+            std::thread::yield_now();
+        }
+        h.cancel();
+        assert_eq!(h.wait(), Ok(()));
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_while_running_and_some_after() {
+        let pool: TaskPool<u64> = TaskPool::new(1, || 0);
+        let release = Arc::new(AtomicBool::new(false));
+        let job = parked_job(&pool, &release, 1);
+        assert_eq!(job.wait_timeout(Duration::from_millis(30)), None);
+        release.store(true, Ordering::Release);
+        // Generous bound: the body exits as soon as it sees the flag.
+        assert_eq!(job.wait_timeout(Duration::from_secs(30)), Some(Ok(())));
+        job.wait().unwrap();
+    }
+
+    #[test]
+    fn closed_pool_rejects_submissions_but_drains_admitted_work() {
+        let pool: TaskPool<u64> = TaskPool::new(2, || 0);
+        let acc = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        for _ in 0..5 {
+            g.add_task(1.0, 0, 0, &[(1, Write)]);
+        }
+        let admitted = pool.submit(g.clone(), counting_bodies(5, &acc)).unwrap();
+        pool.close();
+        assert_eq!(
+            pool.submit(g.clone(), counting_bodies(5, &acc))
+                .unwrap_err(),
+            SubmitError::Shutdown
+        );
+        assert_eq!(
+            pool.try_submit(g, counting_bodies(5, &acc)).unwrap_err(),
+            SubmitError::Shutdown
+        );
+        // Empty submissions are also refused after close.
+        assert_eq!(
+            pool.submit(TaskGraph::new(), Vec::new()).unwrap_err(),
+            SubmitError::Shutdown
+        );
+        admitted.wait().unwrap();
+        assert_eq!(acc.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn close_wakes_blocked_submitters_with_shutdown() {
+        let pool: Arc<TaskPool<u64>> = Arc::new(TaskPool::with_config(
+            1,
+            PoolConfig { max_in_flight: 1 },
+            || 0,
+        ));
+        let release = Arc::new(AtomicBool::new(false));
+        let blocker = parked_job(&pool, &release, 1);
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut g = TaskGraph::new();
+                g.add_task(1.0, 0, 0, &[(2, Write)]);
+                let bodies: Vec<TaskBodyWith<u64>> = vec![Box::new(|_: &mut u64| {})];
+                pool.submit(g, bodies)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        pool.close();
+        assert_eq!(waiter.join().unwrap().unwrap_err(), SubmitError::Shutdown);
+        release.store(true, Ordering::Release);
+        blocker.wait().unwrap();
     }
 }

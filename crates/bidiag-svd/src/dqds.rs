@@ -23,14 +23,34 @@
 //! negligible `e`, flipping graded segments so deflation happens at the
 //! cheap end, ping-pong buffers so a rejected pass costs nothing,
 //! aggressive bottom deflation, Gershgorin-capped shifts, closed-form
-//! `1x1`/`2x2` finishes, and a safeguarded fall back to the
-//! [`GkBisection`] oracle for any segment that
-//! refuses to converge — robustness never depends on the qd iteration.
+//! `1x1`/`2x2` finishes, and a safeguarded *fallback ladder* for any
+//! segment that refuses to converge — robustness never depends on the qd
+//! iteration.
+//!
+//! The ladder (`ladder_fallback`) escalates per segment:
+//!
+//! 1. **Non-finite data** (a NaN/Inf that crept into the qd arrays, e.g.
+//!    via fault injection) cannot be solved by any rung: the segment's
+//!    values are emitted as NaN and counted in
+//!    [`DqdsStats::poisoned_values`], so callers detect the poisoning at
+//!    the output instead of hanging or panicking inside an iteration.
+//! 2. **Spectrum slicing** ([`crate::slice::sliced_singular_values`]):
+//!    batched Sturm bisection/Newton, much cheaper than per-value
+//!    bisection; its output is validated (length and finiteness) before
+//!    being trusted.  Counted in [`DqdsStats::sliced_values`].
+//! 3. **Per-value bisection oracle** ([`GkBisection`]): maximally robust,
+//!    always correct.  Counted in [`DqdsStats::fallback_values`].
+//!
+//! The failpoints `svd::segment` (PoisonNan corrupts the segment's leading
+//! `q`, Trigger forces the ladder without a real convergence failure) and
+//! `svd::sliced-rung` (Trigger skips rung 2) let the robustness suite
+//! exercise every rung deterministically.
 //!
 //! Computing all `n` values costs `O(n)` passes of `O(m)` work each —
 //! `O(n^2)` total with a small constant, versus the `O(n^2 log(1/eps))`
 //! of per-value bisection with its ~50 full Sturm passes per value.
 
+use crate::slice::sliced_singular_values;
 use crate::sturm::GkBisection;
 use bidiag_matrix::simd;
 
@@ -55,9 +75,17 @@ const SHIFT_SAFETY: f64 = 0.98;
 pub struct DqdsStats {
     /// Total dqds passes executed (including rejected shift attempts).
     pub passes: usize,
-    /// Number of singular values that were computed by the bisection
-    /// fallback rather than by qd iteration.
+    /// Number of singular values that were computed by the per-value
+    /// bisection oracle (the last rung of the fallback ladder).
     pub fallback_values: usize,
+    /// Number of singular values that were computed by the spectrum-slicing
+    /// rung of the fallback ladder (cheaper than the oracle; tried first
+    /// when qd iteration gives up on a segment with finite data).
+    pub sliced_values: usize,
+    /// Number of singular values emitted as NaN because their segment's qd
+    /// data was non-finite (poisoned input or injected fault) — the ladder
+    /// refuses to iterate on NaN/Inf and surfaces the damage at the output.
+    pub poisoned_values: usize,
     /// Number of segment flips performed.
     pub flips: usize,
 }
@@ -224,12 +252,22 @@ pub fn dqds_singular_values_into(
     }
     debug_assert_eq!(lambdas.len(), n);
 
-    out.extend(lambdas.iter().map(|&l| l.max(0.0).sqrt() * unscale));
+    // NaN lambdas (poisoned segments) must survive to the output —
+    // `f64::max(NaN, 0.0)` would silently launder them into zeros.
+    out.extend(lambdas.iter().map(|&l| {
+        if l.is_nan() {
+            f64::NAN
+        } else {
+            l.max(0.0).sqrt() * unscale
+        }
+    }));
     // In-place unstable sort: elements comparing equal here are bitwise
     // identical (all outputs are non-negative with +0.0 zeros), so the
     // result is byte-for-byte the same as a stable sort — without the
-    // stable sort's temporary allocation.
-    out.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    // stable sort's temporary allocation.  `total_cmp` orders exactly like
+    // `partial_cmp` on these values and stays a total order (no panic)
+    // when poisoned NaNs pass through.
+    out.sort_unstable_by(|a, b| b.total_cmp(a));
     stats
 }
 
@@ -257,10 +295,24 @@ fn solve_segment(
     let mut alt = take_pair(free);
     alt.0.resize(m, 0.0);
     alt.1.resize(m.saturating_sub(1), 0.0);
+    let mut force_ladder = false;
+    match failpoint::fire("svd::segment") {
+        Some(failpoint::FailAction::PoisonNan) => {
+            if let Some(q0) = cur.0.first_mut() {
+                *q0 = f64::NAN;
+            }
+        }
+        Some(failpoint::FailAction::Trigger) => force_ladder = true,
+        _ => {}
+    }
     if m > 0 {
-        iterate_segment(
-            &mut cur, &mut alt, sigma, stack, free, lambdas, budget, stats,
-        );
+        if force_ladder {
+            ladder_fallback(&cur.0[..m], &cur.1[..m - 1], sigma, lambdas, stats);
+        } else {
+            iterate_segment(
+                &mut cur, &mut alt, sigma, stack, free, lambdas, budget, stats,
+            );
+        }
     }
     free.push(cur);
     free.push(alt);
@@ -333,10 +385,9 @@ fn iterate_segment(
             return;
         }
 
-        // --- budget exhausted: hand the segment to the oracle ------------
+        // --- budget exhausted: hand the segment to the ladder ------------
         if *budget == 0 {
-            bisection_fallback(&q[..m], &e[..m - 1], sigma, lambdas);
-            stats.fallback_values += m;
+            ladder_fallback(&q[..m], &e[..m - 1], sigma, lambdas, stats);
             return;
         }
 
@@ -371,9 +422,8 @@ fn iterate_segment(
             }
             if shift == 0.0 {
                 // A zero-shift dqd pass can only fail through over/underflow
-                // pathologies; the oracle takes over.
-                bisection_fallback(&cur.0[..m], &cur.1[..m - 1], sigma, lambdas);
-                stats.fallback_values += m;
+                // pathologies (or non-finite data); the ladder takes over.
+                ladder_fallback(&cur.0[..m], &cur.1[..m - 1], sigma, lambdas, stats);
                 return;
             }
             // Shift overshot the smallest eigenvalue: retry smaller, then
@@ -384,8 +434,7 @@ fn iterate_segment(
                 0.0
             };
             if *budget == 0 {
-                bisection_fallback(&cur.0[..m], &cur.1[..m - 1], sigma, lambdas);
-                stats.fallback_values += m;
+                ladder_fallback(&cur.0[..m], &cur.1[..m - 1], sigma, lambdas, stats);
                 return;
             }
         }
@@ -467,18 +516,62 @@ fn two_by_two(q0: f64, q1: f64, e0: f64) -> (f64, f64) {
     (big, small)
 }
 
-/// Robust finish for a segment the qd iteration could not close out:
-/// bisection on the segment's bidiagonal (`sqrt` of the qd arrays — the
-/// signs are irrelevant to singular values), re-squared and shifted back
-/// into the caller's eigenvalue coordinates.
-fn bisection_fallback(q: &[f64], e: &[f64], sigma: f64, lambdas: &mut Vec<f64>) {
+/// Slicing granularity of the ladder's spectrum-slicing rung (the
+/// default `Bd2ValOptions::values_per_task`).
+const LADDER_VALUES_PER_SLICE: usize = 32;
+
+/// Bracket tolerance of the spectrum-slicing rung (the default
+/// `Bd2ValOptions::rel_tol`).
+const LADDER_REL_TOL: f64 = 1.0e-14;
+
+/// Robust finish for a segment the qd iteration could not close out — the
+/// escalation ladder of the module docs.  Works on the segment's
+/// bidiagonal (`sqrt` of the qd arrays — the signs are irrelevant to
+/// singular values), re-squared and shifted back into the caller's
+/// eigenvalue coordinates:
+///
+/// 1. non-finite qd data → one NaN per value (`poisoned_values`);
+/// 2. spectrum slicing, output validated (`sliced_values`);
+/// 3. per-value bisection oracle (`fallback_values`).
+fn ladder_fallback(
+    q: &[f64],
+    e: &[f64],
+    sigma: f64,
+    lambdas: &mut Vec<f64>,
+    stats: &mut DqdsStats,
+) {
+    let m = q.len();
+    if q.iter().chain(e.iter()).any(|v| !v.is_finite()) {
+        // No rung can solve a poisoned segment; refuse to iterate on
+        // NaN/Inf and make the damage visible at the output instead.
+        lambdas.extend(std::iter::repeat_n(f64::NAN, m));
+        stats.poisoned_values += m;
+        return;
+    }
     let d: Vec<f64> = q.iter().map(|&v| v.max(0.0).sqrt()).collect();
     let ee: Vec<f64> = e.iter().map(|&v| v.max(0.0).sqrt()).collect();
+
+    let skip_sliced = matches!(
+        failpoint::fire("svd::sliced-rung"),
+        Some(failpoint::FailAction::Trigger)
+    );
+    if !skip_sliced {
+        let sliced = sliced_singular_values(&d, &ee, LADDER_VALUES_PER_SLICE, LADDER_REL_TOL);
+        // Trust the rung only after validation: exactly one value per
+        // input row and every value finite.
+        if sliced.len() == m && sliced.iter().all(|v| v.is_finite()) {
+            lambdas.extend(sliced.iter().map(|&s| s * s + sigma));
+            stats.sliced_values += m;
+            return;
+        }
+    }
+
     let b = GkBisection::new(&d, &ee);
     for j in 0..b.num_values() {
         let s = b.nth_largest(j);
         lambdas.push(s * s + sigma);
     }
+    stats.fallback_values += m;
 }
 
 #[cfg(test)]
@@ -584,5 +677,51 @@ mod tests {
     fn tiny_singular_value_keeps_relative_accuracy() {
         let (sv, _) = dqds_singular_values_with_stats(&[1.0, 1e-8, 1.0], &[0.0, 0.0]);
         assert!((sv[2] - 1e-8).abs() < 1e-22, "tiny value lost: {}", sv[2]);
+    }
+
+    #[test]
+    fn nan_input_yields_nan_output_not_a_panic_or_hang() {
+        let (sv, stats) =
+            dqds_singular_values_with_stats(&[f64::NAN, 1.0, 2.0, 0.5], &[0.5, 0.25, 0.75]);
+        assert_eq!(sv.len(), 4);
+        assert!(sv.iter().any(|v| v.is_nan()), "poison must stay visible");
+        assert!(stats.poisoned_values > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn ladder_takes_the_slicing_rung_on_finite_segments() {
+        // Drive the ladder directly (as budget exhaustion would) on a
+        // healthy segment: rung 2 must fire and match the oracle.
+        let q = [4.0, 2.25, 1.0, 0.25];
+        let e = [0.09, 0.04, 0.01];
+        let mut lambdas = Vec::new();
+        let mut stats = DqdsStats::default();
+        ladder_fallback(&q, &e, 0.5, &mut lambdas, &mut stats);
+        assert_eq!(stats.sliced_values, 4);
+        assert_eq!(stats.fallback_values, 0);
+        let mut oracle = Vec::new();
+        let d: Vec<f64> = q.iter().map(|&v| v.sqrt()).collect();
+        let ee: Vec<f64> = e.iter().map(|&v| v.sqrt()).collect();
+        let b = GkBisection::new(&d, &ee);
+        for j in 0..4 {
+            let s = b.nth_largest(j);
+            oracle.push(s * s + 0.5);
+        }
+        lambdas.sort_by(|a, b| b.total_cmp(a));
+        assert_close(&lambdas, &oracle, 1e-12);
+    }
+
+    #[test]
+    fn ladder_emits_nan_for_poisoned_segments() {
+        let q = [1.0, f64::NAN, 2.0];
+        let e = [0.5, 0.5];
+        let mut lambdas = Vec::new();
+        let mut stats = DqdsStats::default();
+        ladder_fallback(&q, &e, 0.0, &mut lambdas, &mut stats);
+        assert_eq!(lambdas.len(), 3);
+        assert!(lambdas.iter().all(|v| v.is_nan()));
+        assert_eq!(stats.poisoned_values, 3);
+        assert_eq!(stats.sliced_values, 0);
+        assert_eq!(stats.fallback_values, 0);
     }
 }

@@ -20,9 +20,15 @@
 //!
 //! All three work on the Golub–Kahan tridiagonal (or its squared qd form)
 //! rather than on `BᵀB`, so tiny singular values keep relative accuracy.
-//! The crate is dependency-free; `bidiag-kernels` re-exports it as its
-//! `svd` module and `bidiag-core` threads [`Bd2ValOptions`] through the
-//! GE2VAL pipeline and the task runtime.
+//! `bidiag-kernels` re-exports the crate as its `svd` module and
+//! `bidiag-core` threads [`Bd2ValOptions`] through the GE2VAL pipeline and
+//! the task runtime.
+//!
+//! Robustness: when the dqds iteration gives up on a segment it escalates
+//! through a *fallback ladder* — spectrum slicing, then the bisection
+//! oracle; non-finite segment data is surfaced as NaN output instead of a
+//! panic or a hang (see [`dqds`]).  [`singular_values_with_report`]
+//! returns a [`SolveReport`] describing which rungs fired.
 
 #![warn(missing_docs)]
 
@@ -96,6 +102,19 @@ impl Bd2ValOptions {
     }
 }
 
+/// How a BD2VAL solve went: which fallback rungs fired and whether the
+/// output can be trusted.  Returned by [`singular_values_with_report`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveReport {
+    /// Iteration/fallback counters of the dqds driver (all zero for the
+    /// non-dqds solvers, which have no ladder).
+    pub dqds: DqdsStats,
+    /// True when every returned singular value is finite.  False means the
+    /// input (or a poisoned segment) contained NaN/Inf and the affected
+    /// values were emitted as NaN — callers should reject the result.
+    pub finite: bool,
+}
+
 /// Singular values of the bidiagonal matrix with main diagonal `d` and
 /// superdiagonal `e` (`e.len() == d.len() - 1`), in non-increasing order,
 /// computed by the solver selected in `opts`.
@@ -107,6 +126,26 @@ pub fn singular_values_with(d: &[f64], e: &[f64], opts: &Bd2ValOptions) -> Vec<f
         }
         SvdSolver::Bisection => bisection_singular_values(d, e),
     }
+}
+
+/// [`singular_values_with`] plus a [`SolveReport`]: same values bit for
+/// bit, with the ladder counters and an output-finiteness verdict the
+/// hardened session layer uses to turn poisoned solves into typed errors.
+pub fn singular_values_with_report(
+    d: &[f64],
+    e: &[f64],
+    opts: &Bd2ValOptions,
+) -> (Vec<f64>, SolveReport) {
+    let (sv, dqds) = match opts.solver {
+        SvdSolver::Dqds => dqds_singular_values_with_stats(d, e),
+        SvdSolver::SlicedBisection => (
+            sliced_singular_values(d, e, opts.values_per_task, opts.rel_tol),
+            DqdsStats::default(),
+        ),
+        SvdSolver::Bisection => (bisection_singular_values(d, e), DqdsStats::default()),
+    };
+    let finite = sv.iter().all(|v| v.is_finite());
+    (sv, SolveReport { dqds, finite })
 }
 
 /// Singular values by the per-value bisection oracle, in non-increasing

@@ -1,0 +1,79 @@
+//! Fault-injection tests of the dqds fallback ladder, driven by the
+//! `failpoint` shim's named injection points (`svd::segment`,
+//! `svd::sliced-rung`).
+//!
+//! Gated behind the `failpoints` cargo feature so the process-global
+//! failpoint registry is only armed in the dedicated CI leg; within this
+//! binary every test serializes through `failpoint::scoped`.
+
+#![cfg(feature = "failpoints")]
+
+use bidiag_svd::{
+    bisection_singular_values, dqds_singular_values_with_stats, singular_values_with_report,
+    Bd2ValOptions,
+};
+use failpoint::FailAction;
+
+const D: [f64; 6] = [4.0, -3.0, 2.5, 1.0, 0.5, 0.25];
+const E: [f64; 5] = [0.7, -0.3, 0.2, 0.1, 0.05];
+
+fn assert_matches_oracle(sv: &[f64]) {
+    let oracle = bisection_singular_values(&D, &E);
+    assert_eq!(sv.len(), oracle.len());
+    for (s, o) in sv.iter().zip(&oracle) {
+        assert!((s - o).abs() <= 1e-12 * oracle[0], "{s} vs {o}");
+    }
+}
+
+#[test]
+fn injected_nan_poisons_the_segment_and_surfaces_as_nan_output() {
+    let _guard = failpoint::scoped(&[("svd::segment", FailAction::PoisonNan)]);
+    let (sv, stats) = dqds_singular_values_with_stats(&D, &E);
+    assert!(failpoint::hits("svd::segment") > 0, "site never fired");
+    assert_eq!(sv.len(), D.len());
+    assert!(
+        sv.iter().any(|v| v.is_nan()),
+        "poison was laundered: {sv:?}"
+    );
+    assert!(stats.poisoned_values > 0, "{stats:?}");
+}
+
+#[test]
+fn forced_ladder_takes_the_slicing_rung_and_stays_correct() {
+    let _guard = failpoint::scoped(&[("svd::segment", FailAction::Trigger)]);
+    let (sv, stats) = dqds_singular_values_with_stats(&D, &E);
+    assert!(failpoint::hits("svd::segment") > 0, "site never fired");
+    assert_eq!(stats.sliced_values, D.len(), "{stats:?}");
+    assert_eq!(stats.fallback_values, 0, "{stats:?}");
+    assert_matches_oracle(&sv);
+}
+
+#[test]
+fn failed_slicing_rung_escalates_to_the_bisection_oracle() {
+    let _guard = failpoint::scoped(&[
+        ("svd::segment", FailAction::Trigger),
+        ("svd::sliced-rung", FailAction::Trigger),
+    ]);
+    let (sv, stats) = dqds_singular_values_with_stats(&D, &E);
+    assert!(failpoint::hits("svd::sliced-rung") > 0, "rung never fired");
+    assert_eq!(stats.fallback_values, D.len(), "{stats:?}");
+    assert_eq!(stats.sliced_values, 0, "{stats:?}");
+    assert_matches_oracle(&sv);
+}
+
+#[test]
+fn solve_report_flags_non_finite_output() {
+    let opts = Bd2ValOptions::default();
+    {
+        let _guard = failpoint::scoped(&[("svd::segment", FailAction::PoisonNan)]);
+        let (_, report) = singular_values_with_report(&D, &E, &opts);
+        assert!(!report.finite, "{report:?}");
+        assert!(report.dqds.poisoned_values > 0, "{report:?}");
+    }
+    // Disarmed again: the same solve is clean and the report says so.
+    let _guard = failpoint::scoped(&[]);
+    let (sv, report) = singular_values_with_report(&D, &E, &opts);
+    assert!(report.finite, "{report:?}");
+    assert_eq!(report.dqds.poisoned_values, 0);
+    assert_matches_oracle(&sv);
+}

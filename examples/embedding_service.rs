@@ -1,20 +1,42 @@
 //! A miniature "embedding service": one long-lived [`SvdSession`] serving a
 //! stream of small SVD requests of mixed sizes, the workload the persistent
-//! batched runtime was built for.  Tiny problems (here up to 64) take the
-//! in-session direct path; larger ones run their tile DAG on the same
-//! worker pool, and independent requests interleave on the same deques.
+//! batched runtime was built for — now running the hardened service plane:
 //!
-//! Prints per-request latency percentiles (p50/p99) and the sustained
-//! throughput in problems per second.
+//! * **Bounded admission.**  The session is created with a small
+//!   [`SessionConfig::max_in_flight`] window; the service loop uses
+//!   [`SvdSession::try_submit`] and *sheds* requests with
+//!   [`SvdError::QueueFull`] instead of queueing unboundedly (a shed
+//!   request would be retried or rerouted by a real front-end).
+//! * **Per-request deadlines.**  Every harvest goes through
+//!   [`SvdJob::wait_timeout`]; a request that overruns its budget is
+//!   cancelled and counted, not waited on forever.
+//! * **Poison containment.**  A request carrying NaN (a corrupted upstream
+//!   feature vector) is rejected at submission with
+//!   [`SvdError::NonFiniteInput`] — the shared pool never sees it, and the
+//!   service keeps answering the healthy traffic.
+//!
+//! Prints per-request latency percentiles (p50/p99), the sustained
+//! throughput, and the shed/rejected/deadline counters.
 //!
 //! Run with: `cargo run --release --example embedding_service`
 
 use bidiag_repro::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let session = SvdSession::new(threads);
+    // A service-sized admission window: big enough to keep the workers fed,
+    // small enough that a burst cannot pile up unbounded job graphs.
+    let window = (4 * threads).max(8);
+    let session = SvdSession::with_config(
+        Ge2Options::new(64)
+            .with_threads(threads)
+            .with_direct_crossover(DIRECT_CROSSOVER),
+        SessionConfig {
+            max_in_flight: window,
+            admission: AdmissionPolicy::Reject,
+        },
+    );
 
     // The request mix: covariance/Gram-sized problems a feature service
     // would see — mostly small, a few above the direct-path crossover.
@@ -24,38 +46,76 @@ fn main() {
         .enumerate()
         .map(|(i, &n)| random_gaussian(n, n, 7 + i as u64))
         .collect();
+    // One corrupted request: a NaN smuggled into an otherwise fine matrix.
+    let poison = {
+        let mut a = pool[0].clone();
+        a.set(3, 3, f64::NAN);
+        a
+    };
     let requests = 2_000usize;
+    let deadline = Duration::from_secs(5);
     println!(
-        "serving {requests} requests of sizes {sizes:?} on one SvdSession ({threads} thread(s), crossover at {DIRECT_CROSSOVER})"
+        "serving {requests} requests of sizes {sizes:?} on one SvdSession \
+         ({threads} thread(s), window {window}, crossover at {DIRECT_CROSSOVER})"
     );
 
     // Warm the arenas so the measured stream is steady-state.
     for a in &pool {
-        assert!(!session.submit(a).wait().is_empty());
+        let sv = session.submit(a).unwrap().wait().unwrap();
+        assert!(!sv.is_empty());
     }
 
-    // Keep a bounded number of requests in flight, like a service with a
-    // small admission window: submit, then harvest in order.
-    let window = (4 * threads).max(8);
     let mut latencies_us: Vec<f64> = Vec::with_capacity(requests);
     let mut inflight: Vec<(Instant, SvdJob)> = Vec::with_capacity(window);
-    let t0 = Instant::now();
-    for r in 0..requests {
-        let a = &pool[r % pool.len()];
-        inflight.push((Instant::now(), session.submit(a)));
-        if inflight.len() == window {
-            for (submitted, job) in inflight.drain(..) {
-                let sv = job.wait();
-                latencies_us.push(submitted.elapsed().as_secs_f64() * 1.0e6);
-                assert!(sv[0] >= *sv.last().unwrap());
+    let mut shed = 0usize;
+    let mut rejected = 0usize;
+    let mut timed_out = 0usize;
+    let harvest = |inflight: &mut Vec<(Instant, SvdJob)>,
+                   latencies_us: &mut Vec<f64>,
+                   timed_out: &mut usize| {
+        for (submitted, job) in inflight.drain(..) {
+            match job.wait_timeout(deadline) {
+                Ok(sv) => {
+                    latencies_us.push(submitted.elapsed().as_secs_f64() * 1.0e6);
+                    assert!(sv[0] >= *sv.last().unwrap());
+                }
+                Err(SvdError::TimedOut) => *timed_out += 1,
+                Err(e) => panic!("request failed: {e}"),
             }
         }
+    };
+
+    let t0 = Instant::now();
+    for r in 0..requests {
+        // Every 500th request is the poisoned one; it must bounce off the
+        // submission boundary without disturbing the session.
+        if r % 500 == 250 {
+            match session.try_submit(&poison) {
+                Err(SvdError::NonFiniteInput { row, col, .. }) => {
+                    rejected += 1;
+                    assert_eq!((row, col), (3, 3));
+                }
+                other => panic!("poison was admitted: {:?}", other.map(|_| ())),
+            }
+        }
+        let a = &pool[r % pool.len()];
+        match session.try_submit(a) {
+            Ok(job) => inflight.push((Instant::now(), job)),
+            // Window full: shed this request and drain the backlog, like a
+            // load balancer retrying against another replica.
+            Err(SvdError::QueueFull { .. }) => {
+                shed += 1;
+                harvest(&mut inflight, &mut latencies_us, &mut timed_out);
+            }
+            Err(e) => panic!("submission failed: {e}"),
+        }
+        if inflight.len() == window {
+            harvest(&mut inflight, &mut latencies_us, &mut timed_out);
+        }
     }
-    for (submitted, job) in inflight.drain(..) {
-        job.wait();
-        latencies_us.push(submitted.elapsed().as_secs_f64() * 1.0e6);
-    }
+    harvest(&mut inflight, &mut latencies_us, &mut timed_out);
     let elapsed = t0.elapsed().as_secs_f64();
+    let answered = latencies_us.len();
 
     latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
@@ -66,8 +126,16 @@ fn main() {
         latencies_us.last().unwrap()
     );
     println!(
-        "throughput: {:.0} problems/s ({requests} requests in {:.2} s)",
-        requests as f64 / elapsed,
+        "throughput: {:.0} problems/s ({answered} answered in {:.2} s)",
+        answered as f64 / elapsed,
         elapsed
     );
+    println!(
+        "robustness: {rejected} poisoned request(s) rejected, {shed} shed on backpressure, \
+         {timed_out} past the {deadline:?} deadline; peak in flight {} <= {window}",
+        session.in_flight_peak()
+    );
+    assert!(rejected > 0, "the poisoned requests never arrived");
+    assert!(session.in_flight_peak() <= window);
+    assert_eq!(answered + shed, requests, "requests lost");
 }

@@ -1,0 +1,211 @@
+//! Offline deterministic fault-injection registry, in the spirit of the
+//! `fail` crate (which the container cannot fetch).  See `shims/README.md`.
+//!
+//! Production code places *named injection points* on its failure-relevant
+//! paths by calling [`fire`].  When nothing is armed — the only state a
+//! production process ever sees — a fired point costs one relaxed atomic
+//! load and returns [`None`].  Robustness tests arm points with a
+//! [`FailAction`] to force the error paths that are otherwise impossible
+//! to reach deterministically: a kernel that panics mid-DAG, an admission
+//! queue that stays full, a dqds segment poisoned with NaN.
+//!
+//! Two of the actions are executed *inside* [`fire`] ([`FailAction::Panic`]
+//! unwinds, [`FailAction::Delay`] sleeps); the other two are returned to
+//! the site, which interprets them ([`FailAction::PoisonNan`] corrupts the
+//! site's data, [`FailAction::Trigger`] forces the site's guarded failure
+//! branch).  Every armed firing is counted, so tests can assert an
+//! injection actually happened rather than silently missing its site.
+//!
+//! The registry is process-global.  Tests that arm points MUST serialize
+//! through [`scoped`], which holds a global lock for the guard's lifetime
+//! and disarms everything on drop (including on panic), so parallel tests
+//! in the same binary never see each other's faults.
+
+#![warn(missing_docs)]
+
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// What an armed injection point does when [`fire`]d.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailAction {
+    /// Panic with the given message (executed inside [`fire`]).
+    Panic(String),
+    /// Sleep for the given duration (executed inside [`fire`]), then
+    /// continue normally.  Lets tests hold work in flight long enough to
+    /// observe full queues, deadlines and cancellation windows.
+    Delay(Duration),
+    /// Returned to the site: poison the site's floating-point data with
+    /// NaN so downstream numerics must contain the damage.
+    PoisonNan,
+    /// Returned to the site: take the site's guarded failure branch (e.g.
+    /// "budget exhausted", "rung failed") without any real fault.
+    Trigger,
+}
+
+struct Registry {
+    points: HashMap<String, Point>,
+}
+
+struct Point {
+    action: FailAction,
+    hits: usize,
+}
+
+/// Number of armed points, mirrored outside the lock so a disarmed
+/// process pays one relaxed load per [`fire`].
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            Mutex::new(Registry {
+                points: HashMap::new(),
+            })
+        })
+        .lock()
+}
+
+/// Arm the injection point `name` with `action` (re-arming replaces the
+/// action and resets the hit counter).  Prefer [`scoped`] in tests.
+pub fn arm(name: &str, action: FailAction) {
+    let mut reg = registry();
+    if reg
+        .points
+        .insert(name.to_string(), Point { action, hits: 0 })
+        .is_none()
+    {
+        ARMED.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Disarm the injection point `name` (no-op when not armed).
+pub fn disarm(name: &str) {
+    let mut reg = registry();
+    if reg.points.remove(name).is_some() {
+        ARMED.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Disarm every injection point.
+pub fn reset() {
+    let mut reg = registry();
+    let n = reg.points.len();
+    reg.points.clear();
+    ARMED.fetch_sub(n, Ordering::Release);
+}
+
+/// Number of times the armed point `name` has fired since it was armed
+/// (0 when not armed) — lets tests assert an injection actually reached
+/// its site.
+pub fn hits(name: &str) -> usize {
+    registry().points.get(name).map_or(0, |p| p.hits)
+}
+
+/// Fire the injection point `name`.
+///
+/// Disarmed (the production state): one relaxed atomic load, returns
+/// [`None`].  Armed: the hit is counted, then [`FailAction::Panic`]
+/// panics and [`FailAction::Delay`] sleeps (both return [`None`] to the
+/// site — `Delay` after waking); [`FailAction::PoisonNan`] and
+/// [`FailAction::Trigger`] are returned for the site to interpret.
+pub fn fire(name: &str) -> Option<FailAction> {
+    if ARMED.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let action = {
+        let mut reg = registry();
+        let point = reg.points.get_mut(name)?;
+        point.hits += 1;
+        point.action.clone()
+    };
+    match action {
+        FailAction::Panic(msg) => panic!("failpoint {name}: {msg}"),
+        FailAction::Delay(d) => {
+            std::thread::sleep(d);
+            None
+        }
+        site_interpreted => Some(site_interpreted),
+    }
+}
+
+/// Guard returned by [`scoped`]: holds the global fault-test lock and
+/// disarms every point when dropped (also on panic/unwind).
+pub struct ScopedFaults {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for ScopedFaults {
+    fn drop(&mut self) {
+        reset();
+    }
+}
+
+/// Serialize a fault-injection test and arm `points` for its duration.
+///
+/// Takes a global lock (so concurrent tests in the same binary cannot
+/// observe each other's injected faults), resets any stale state, arms
+/// the given points, and returns a guard that disarms everything on drop.
+pub fn scoped(points: &[(&str, FailAction)]) -> ScopedFaults {
+    static SERIAL: OnceLock<Mutex<()>> = OnceLock::new();
+    let serial = SERIAL.get_or_init(|| Mutex::new(())).lock();
+    reset();
+    for (name, action) in points {
+        arm(name, action.clone());
+    }
+    ScopedFaults { _serial: serial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_points_are_silent_and_free() {
+        let _guard = scoped(&[]);
+        assert_eq!(fire("nowhere"), None);
+        assert_eq!(hits("nowhere"), 0);
+    }
+
+    #[test]
+    fn site_interpreted_actions_are_returned_and_counted() {
+        let _guard = scoped(&[("a", FailAction::PoisonNan), ("b", FailAction::Trigger)]);
+        assert_eq!(fire("a"), Some(FailAction::PoisonNan));
+        assert_eq!(fire("a"), Some(FailAction::PoisonNan));
+        assert_eq!(fire("b"), Some(FailAction::Trigger));
+        assert_eq!(fire("other"), None);
+        assert_eq!(hits("a"), 2);
+        assert_eq!(hits("b"), 1);
+    }
+
+    #[test]
+    fn panic_action_panics_with_the_message() {
+        let _guard = scoped(&[("boom", FailAction::Panic("injected".into()))]);
+        let err = std::panic::catch_unwind(|| fire("boom")).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("failpoint boom: injected"), "{msg}");
+        assert_eq!(hits("boom"), 1);
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_continues() {
+        let _guard = scoped(&[("slow", FailAction::Delay(Duration::from_millis(30)))]);
+        let t0 = std::time::Instant::now();
+        assert_eq!(fire("slow"), None);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn scoped_guard_disarms_on_drop() {
+        {
+            let _guard = scoped(&[("temp", FailAction::Trigger)]);
+            assert_eq!(fire("temp"), Some(FailAction::Trigger));
+        }
+        let _guard = scoped(&[]);
+        assert_eq!(fire("temp"), None);
+    }
+}

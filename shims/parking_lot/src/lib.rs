@@ -138,6 +138,44 @@ impl Condvar {
         }
     }
 
+    /// Like [`Condvar::wait`], but give up after `timeout`.  Returns a
+    /// [`WaitTimeoutResult`] whose [`timed_out`](WaitTimeoutResult::timed_out)
+    /// reports whether the wait ended by timeout rather than notification;
+    /// either way the lock is re-acquired before returning.  As with
+    /// `wait`, spurious wakeups are possible and callers must re-check
+    /// their predicate.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        struct AbortOnUnwind;
+        impl Drop for AbortOnUnwind {
+            fn drop(&mut self) {
+                eprintln!("parking_lot shim: Condvar::wait_timeout panicked (one condvar, two mutexes?); aborting");
+                std::process::abort();
+            }
+        }
+        // SAFETY: identical to `wait` — the guard is moved out for the
+        // duration of the wait and a valid guard for the same mutex is
+        // moved back in before `*guard` is observable again; the only
+        // panic path is cut off by the abort bomb.
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let bomb = AbortOnUnwind;
+            let (g, timed_out) = match self.0.wait_timeout(taken, timeout) {
+                Ok((g, r)) => (g, r.timed_out()),
+                Err(e) => {
+                    let (g, r) = e.into_inner();
+                    (g, r.timed_out())
+                }
+            };
+            std::mem::forget(bomb);
+            std::ptr::write(guard, g);
+            WaitTimeoutResult(timed_out)
+        }
+    }
+
     /// Wake one thread blocked in [`Condvar::wait`].  Always reports `true`
     /// (the `std` backend does not count waiters like the real crate does).
     pub fn notify_one(&self) -> bool {
@@ -150,6 +188,19 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.0.notify_all();
         0
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`], mirroring the real crate's type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed (the
+    /// predicate should still be re-checked — a notification and the
+    /// timeout can race).
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -191,6 +242,39 @@ mod tests {
             cv.notify_all();
         }
         assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out_and_reacquires_lock() {
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let t0 = std::time::Instant::now();
+        let r = cv.wait_timeout(&mut g, std::time::Duration::from_millis(20));
+        assert!(r.timed_out());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(15));
+        *g += 1; // lock is held again here
+        assert_eq!(*g, 1);
+    }
+
+    #[test]
+    fn condvar_wait_timeout_observes_notification() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                let r = cv.wait_timeout(&mut ready, std::time::Duration::from_secs(30));
+                assert!(!r.timed_out() || *ready);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        handle.join().unwrap();
     }
 
     #[test]

@@ -36,12 +36,15 @@ pub use bidiag_trees as trees;
 
 /// Convenient glob import for examples and quick experiments.
 pub mod prelude {
-    pub use bidiag_core::batch::{ge2val_batch, SvdJob, SvdSession};
+    pub use bidiag_core::batch::{
+        ge2val_batch, AdmissionPolicy, SessionConfig, SvdJob, SvdSession,
+    };
     pub use bidiag_core::cp;
     pub use bidiag_core::drivers::{bidiag_ops, ge2bnd_ops, rbidiag_ops, Algorithm, GenConfig};
+    pub use bidiag_core::error::{validate_finite, SvdError};
     pub use bidiag_core::flops;
     pub use bidiag_core::pipeline::{
-        ge2bnd, ge2val, AlgorithmChoice, Ge2Options, DIRECT_CROSSOVER,
+        ge2bnd, ge2val, try_ge2bnd, try_ge2val, AlgorithmChoice, Ge2Options, DIRECT_CROSSOVER,
     };
     pub use bidiag_kernels::svd::bidiagonal_singular_values;
     pub use bidiag_kernels::{BandMatrix, Bidiagonal, KernelKind};
@@ -49,6 +52,9 @@ pub mod prelude {
     pub use bidiag_matrix::gen::{latms, random_gaussian, SpectrumKind};
     pub use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
     pub use bidiag_runtime::{simulate, MachineModel, TaskGraph};
-    pub use bidiag_svd::{dqds_singular_values, singular_values_with, Bd2ValOptions, SvdSolver};
+    pub use bidiag_svd::{
+        dqds_singular_values, singular_values_with, singular_values_with_report, Bd2ValOptions,
+        SolveReport, SvdSolver,
+    };
     pub use bidiag_trees::{HighLevelTree, NamedTree, TreeConfig};
 }
