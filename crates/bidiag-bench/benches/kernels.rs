@@ -46,12 +46,14 @@ use bidiag_bench::{
     measure_ge2val_stages,
 };
 use bidiag_core::flops::bidiag_flops;
+use bidiag_core::pipeline::{AlgorithmChoice, Ge2Options};
 use bidiag_kernels::cost::KernelKind;
 use bidiag_kernels::{lq, qr, Trans, Workspace};
 use bidiag_matrix::checks::{lower_triangle_of, upper_triangle_of};
 use bidiag_matrix::gemm::{gemm_nn_packed, gemm_nn_unpacked, GemmScratch};
-use bidiag_matrix::gen::random_gaussian;
+use bidiag_matrix::gen::{latms, random_gaussian, SpectrumKind};
 use bidiag_matrix::simd::{self, SimdBackend};
+use bidiag_trees::NamedTree;
 use std::time::Instant;
 
 /// One measured data point.
@@ -723,6 +725,83 @@ fn batch_throughput_gate(test_mode: bool) -> Vec<bidiag_bench::BatchThroughputPo
     points
 }
 
+/// Observability-plane cost on the reference GE2BND, measured as
+/// force-enabled vs disabled at `threads >= 2` (the threaded executor is
+/// where every span-recording site lives; at 1 thread the sequential path
+/// has no sites on it).  The enabled-vs-disabled delta upper-bounds the
+/// contract the plane makes — a *disabled* site costs one relaxed load or
+/// one integer compare — so the PR 10 acceptance gate asserts the whole
+/// delta stays <= 2% in `--test` mode, with the usual slower re-measure
+/// before the gate turns red.  Returns the measured overhead in percent.
+fn tracing_overhead_gate(samples: usize, test_mode: bool) -> f64 {
+    let threads = std::thread::available_parallelism().map_or(2, |c| c.get().max(2));
+    let a = latms(768, 512, &SpectrumKind::Geometric { cond: 1.0e4 }, 7).0;
+    let opts = Ge2Options::new(64)
+        .with_tree(NamedTree::Greedy)
+        .with_algorithm(AlgorithmChoice::Bidiag)
+        .with_threads(threads);
+    let measure = |samples: usize| {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let r = bidiag_core::pipeline::ge2bnd(&a, &opts);
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert!(r.num_tasks > 0);
+        }
+        best
+    };
+    // Interleave disabled/enabled rounds (best-of each), alternating which
+    // side goes first in each round: slow drift and position effects
+    // (frequency ramp, cache state, cgroup CPU-quota throttling of the
+    // later run in a busy burst) then hit both sides equally instead of
+    // biasing whichever side consistently ran second.
+    let run_pair = |samples: usize| {
+        bidiag_obs::set_enabled(false);
+        let _ = measure(1); // untimed warm-up: first-touch + frequency ramp
+        let mut off = f64::INFINITY;
+        let mut on = f64::INFINITY;
+        for round in 0..samples {
+            for leg in 0..2 {
+                let enabled = (round + leg) % 2 == 1;
+                bidiag_obs::set_enabled(enabled);
+                let t = measure(1);
+                if enabled {
+                    on = on.min(t);
+                } else {
+                    off = off.min(t);
+                }
+            }
+        }
+        bidiag_obs::set_enabled(false);
+        (off, on, (on / off - 1.0) * 100.0)
+    };
+    let (off, on, mut pct) = run_pair(samples);
+    let verdict = if pct <= 2.0 { "PASS" } else { "FAIL" };
+    println!(
+        "# ge2bnd 768x512 nb=64 @{threads} threads: tracing off {:.1} ms, force-enabled {:.1} ms, overhead {pct:+.2}% [{verdict}]",
+        off * 1.0e3,
+        on * 1.0e3
+    );
+    if pct > 2.0 {
+        // A first reading past the gate is usually positional noise on a
+        // throttled host; take the longer re-measurement as the result in
+        // both modes (test mode additionally asserts it).
+        println!("# gate miss on first pass; re-measuring");
+        let (_, _, pct2) = run_pair(samples.max(8));
+        if test_mode {
+            assert!(
+                pct2 <= 2.0,
+                "tracing acceptance: observability overhead {pct2:+.2}% > 2% on ge2bnd in both passes"
+            );
+        }
+        let verdict2 = if pct2 <= 2.0 { "PASS" } else { "FAIL" };
+        println!("# re-measured tracing overhead: {pct2:+.2}% [{verdict2}]");
+        pct = pct2;
+    }
+    println!();
+    pct
+}
+
 /// Best-effort CPU model name (Linux /proc/cpuinfo).
 fn cpu_model() -> String {
     std::fs::read_to_string("/proc/cpuinfo")
@@ -770,6 +849,7 @@ fn write_top_level_bench(
     sg: &SimdGflops,
     backend_points: &[bidiag_bench::BackendPoint],
     batch: &[bidiag_bench::BatchThroughputPoint],
+    tracing_overhead_pct: f64,
 ) {
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let history: &[(&str, f64, Option<f64>, Option<f64>)] = &[
@@ -812,6 +892,12 @@ fn write_top_level_bench(
         ),
         (
             "PR 9: hardened service plane (typed errors + bounded admission)",
+            63.5,
+            Some(6.8),
+            Some(42.8),
+        ),
+        (
+            "PR 10: observability plane (span rings + Perfetto export)",
             ge2bnd_ms,
             Some(stages.bd2val * 1.0e3),
             Some(stages.bnd2bd * 1.0e3),
@@ -853,8 +939,15 @@ fn write_top_level_bench(
         } else {
             String::new()
         };
+        // The live entry records the observability plane's measured cost on
+        // the threaded reference run (the PR 10 <= 2% acceptance quantity).
+        let trace_field = if i + 1 == history.len() {
+            format!(", \"tracing_overhead_pct\": {tracing_overhead_pct:.2}")
+        } else {
+            String::new()
+        };
         hist.push_str(&format!(
-            "    {{\"label\": \"{label}\", \"ge2bnd_ms\": {ms:.1}{b2b_field}{bd_field}{gf_field}{batch_field}}}{}\n",
+            "    {{\"label\": \"{label}\", \"ge2bnd_ms\": {ms:.1}{b2b_field}{bd_field}{gf_field}{batch_field}{trace_field}}}{}\n",
             if i + 1 < history.len() { "," } else { "" }
         ));
     }
@@ -1146,6 +1239,11 @@ fn main() {
     // per problem (asserted in --test mode inside the gate).
     let batch_points = batch_throughput_gate(test_mode);
 
+    // Observability acceptance: the span/metrics plane must cost <= 2% on
+    // the threaded reference GE2BND even when force-enabled (asserted in
+    // --test mode inside the gate; the disabled cost is strictly smaller).
+    let tracing_overhead_pct = tracing_overhead_gate(5, test_mode);
+
     if !test_mode {
         gemm_sweep(&mut h);
 
@@ -1198,6 +1296,7 @@ fn main() {
             &sg,
             &backend_points,
             &batch_points,
+            tracing_overhead_pct,
         );
     }
 

@@ -79,4 +79,5 @@ fn main() {
         &["q", "exact", "12 q log2 q", "ratio"],
         &rows2,
     );
+    bidiag_bench::maybe_write_trace();
 }

@@ -35,4 +35,5 @@ fn main() {
         &["q", "p*", "delta_s = p*/q", "Chan flop crossover"],
         &rows,
     );
+    bidiag_bench::maybe_write_trace();
 }

@@ -104,4 +104,5 @@ fn main() {
         );
     }
     println!("(R = triangularised tile, L = LQ-triangularised tile, . = annihilated tile, x = full tile)");
+    bidiag_bench::maybe_write_trace();
 }

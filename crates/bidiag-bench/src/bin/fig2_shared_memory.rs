@@ -242,4 +242,5 @@ fn main() {
     );
     panel_measured_scaling();
     panel_stage_breakdown();
+    bidiag_bench::maybe_write_trace();
 }

@@ -97,4 +97,5 @@ fn main() {
         &nodes_list,
         nb,
     );
+    bidiag_bench::maybe_write_trace();
 }

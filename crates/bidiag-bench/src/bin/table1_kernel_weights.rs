@@ -166,4 +166,5 @@ fn main() {
         ],
         &rows,
     );
+    bidiag_bench::maybe_write_trace();
 }

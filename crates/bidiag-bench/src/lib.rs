@@ -178,6 +178,19 @@ pub fn print_tsv(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!();
 }
 
+/// Write a Chrome trace to `$BIDIAG_TRACE` if that variable is set.
+///
+/// Every fig/table binary calls this on exit, so any harness run can be
+/// replayed in Perfetto (`ui.perfetto.dev`) without recompiling.  A write
+/// failure is reported on stderr but never fails the run.
+pub fn maybe_write_trace() {
+    match bidiag_obs::write_trace_if_requested() {
+        Ok(Some(path)) => eprintln!("trace written to {path} (open in ui.perfetto.dev)"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: failed to write BIDIAG_TRACE: {e}"),
+    }
+}
+
 /// One measured point of a real (wall-clock) thread-scaling run.
 #[derive(Clone, Copy, Debug)]
 pub struct ScalingPoint {

@@ -70,6 +70,7 @@ use crate::pipeline::{Ge2Options, DIRECT_CROSSOVER};
 use bidiag_kernels::band::BandMatrix;
 use bidiag_kernels::gebd2::{gebd2_with, Bidiagonal};
 use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
+use bidiag_obs as obs;
 use bidiag_runtime::{
     AccessMode, JobError, JobHandle, PoolConfig, SubmitError, TaskBodyWith, TaskGraph, TaskPool,
 };
@@ -491,7 +492,7 @@ impl SvdSession {
     fn submit_direct(&self, a: Matrix, block: bool) -> Result<SvdJob, SvdError> {
         let bd2val = self.opts.bd2val;
         let mut g = TaskGraph::new();
-        g.add_task(1.0, 0, 0, &[(0, AccessMode::Write)]);
+        g.add_task(1.0, 0, obs::KIND_DIRECT, &[(0, AccessMode::Write)]);
         let result: Arc<OnceLock<Vec<f64>>> = Arc::new(OnceLock::new());
         let slot = Arc::clone(&result);
         let k = a.rows().min(a.cols());
@@ -557,7 +558,7 @@ impl SvdSession {
         keys.dedup();
         let sink_accesses: Vec<(u64, AccessMode)> =
             keys.into_iter().map(|k| (k, AccessMode::Write)).collect();
-        graph.add_task(1.0, 0, 0, &sink_accesses);
+        graph.add_task(1.0, 0, obs::KIND_SINK, &sink_accesses);
 
         let result: Arc<OnceLock<Vec<f64>>> = Arc::new(OnceLock::new());
         let mut bodies: Vec<TaskBodyWith<SessionScratch>> = ops

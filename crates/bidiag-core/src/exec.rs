@@ -37,6 +37,7 @@ use crate::ops::{KernelScratch, TauTable, TileOp};
 use bidiag_kernels::band::{bulge_wavefronts, BandMatrix};
 use bidiag_kernels::gebd2::Bidiagonal;
 use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
+use bidiag_obs as obs;
 use bidiag_runtime::{
     execute_parallel as runtime_execute, execute_parallel_with as runtime_execute_with, AccessMode,
     TaskBody, TaskBodyWith, TaskGraph,
@@ -166,7 +167,12 @@ pub fn bnd2bd_on_runtime(band: &mut BandMatrix, threads: usize) -> Bidiagonal {
                 .into_iter()
                 .map(|blk| (blk, AccessMode::Write)),
         );
-        g.add_task(wf.steps(n).count().max(1) as f64, 0, 0, &accesses);
+        g.add_task(
+            wf.steps(n).count().max(1) as f64,
+            0,
+            obs::KIND_BND2BD,
+            &accesses,
+        );
     }
     let shared = Arc::new(SharedBand(std::cell::UnsafeCell::new(std::mem::replace(
         band,
@@ -249,7 +255,7 @@ pub fn bd2val_on_runtime(
     match opts.solver {
         SvdSolver::Dqds => {
             let mut g = TaskGraph::new();
-            g.add_task(1.0, 0, 0, &[(0, AccessMode::Write)]);
+            g.add_task(1.0, 0, obs::KIND_BD2VAL, &[(0, AccessMode::Write)]);
             let result: Arc<std::sync::OnceLock<Vec<f64>>> = Arc::new(std::sync::OnceLock::new());
             let d = diag.to_vec();
             let e = superdiag.to_vec();
@@ -271,7 +277,7 @@ pub fn bd2val_on_runtime(
             let mut g = TaskGraph::new();
             for (i, _) in slices.iter().enumerate() {
                 // Independent intervals: each writes its own result slot.
-                g.add_task(1.0, 0, 0, &[(i as u64, AccessMode::Write)]);
+                g.add_task(1.0, 0, obs::KIND_BD2VAL, &[(i as u64, AccessMode::Write)]);
             }
             type SliceOut = std::sync::OnceLock<Vec<(usize, f64)>>;
             let results: Arc<Vec<SliceOut>> =
@@ -303,7 +309,7 @@ pub fn bd2val_on_runtime(
             let bisect = Arc::new(GkBisection::new(diag, superdiag));
             let mut g = TaskGraph::new();
             for j in 0..k {
-                g.add_task(1.0, 0, 0, &[(j as u64, AccessMode::Write)]);
+                g.add_task(1.0, 0, obs::KIND_BD2VAL, &[(j as u64, AccessMode::Write)]);
             }
             let results: Arc<Vec<std::sync::OnceLock<f64>>> =
                 Arc::new((0..k).map(|_| std::sync::OnceLock::new()).collect());

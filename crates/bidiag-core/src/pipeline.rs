@@ -28,6 +28,7 @@ use crate::ops::ops_flops;
 use bidiag_kernels::band::BandMatrix;
 use bidiag_kernels::gebd2::gebd2;
 use bidiag_matrix::{Matrix, TiledMatrix};
+use bidiag_obs as obs;
 use bidiag_svd::{singular_values_with, Bd2ValOptions, SvdSolver};
 use bidiag_trees::NamedTree;
 
@@ -170,6 +171,12 @@ pub fn ge2bnd(a: &Matrix, opts: &Ge2Options) -> Ge2BndResult {
         "ge2bnd expects m >= n; transpose the input otherwise"
     );
     let algorithm = opts.resolve_algorithm(a.rows(), a.cols());
+    if obs::enabled() {
+        // Stamp the trace/snapshot header with the kernel backend actually
+        // dispatched for this run (satellite of the SIMD layer: the choice
+        // was previously invisible outside benches).
+        obs::registry().set_meta("simd_backend", bidiag_matrix::simd::backend().name());
+    }
     let mut tiled = TiledMatrix::from_dense(a, opts.nb);
     let cfg = GenConfig::shared(opts.tree);
     let ops = ge2bnd_ops(tiled.tile_rows(), tiled.tile_cols(), algorithm, &cfg);
@@ -250,23 +257,49 @@ pub fn ge2val(a: &Matrix, opts: &Ge2Options) -> Ge2ValResult {
             ge2bnd: None,
         };
     }
+    // Stage-boundary spans: one run id for the whole pipeline, recorded on
+    // the calling thread so the trace shows the coarse GE2BND/BND2BD/BD2VAL
+    // phases above the per-task lanes.
+    let run_id = if obs::enabled() {
+        obs::next_submission_id()
+    } else {
+        0
+    };
+    let stage_span = |task: u32, kind: u32, start_ns: u64| {
+        if run_id != 0 {
+            obs::record_span(obs::Span {
+                submission: run_id,
+                task,
+                kind,
+                worker: obs::WORKER_CALLER,
+                start_ns,
+                end_ns: obs::now_ns(),
+            });
+        }
+    };
+    let t0 = if run_id != 0 { obs::now_ns() } else { 0 };
     let stage1 = ge2bnd(a_ref, opts);
+    stage_span(0, obs::KIND_STAGE_GE2BND, t0);
     // BND2BD: pipelined bulge chasing on the band (one runtime task per
     // wavefront when threaded; same wavefront schedule either way).
     let mut band = stage1.band.clone();
+    let t1 = if run_id != 0 { obs::now_ns() } else { 0 };
     let bidiag = if opts.threads > 1 {
         bnd2bd_on_runtime(&mut band, opts.threads)
     } else {
         band.reduce_to_bidiagonal()
     };
+    stage_span(1, obs::KIND_STAGE_BND2BD, t1);
     // BD2VAL: the solver picked in the options — dqds fast path by
     // default, or Sturm spectrum slicing (one task per interval when
     // threaded), or the per-value bisection oracle.
+    let t2 = if run_id != 0 { obs::now_ns() } else { 0 };
     let mut sv = if opts.threads > 1 {
         bd2val_on_runtime(&bidiag.diag, &bidiag.superdiag, opts.threads, &opts.bd2val)
     } else {
         singular_values_with(&bidiag.diag, &bidiag.superdiag, &opts.bd2val)
     };
+    stage_span(2, obs::KIND_STAGE_BD2VAL, t2);
     // See the direct path above: total order, no NaN panic path.
     sv.sort_by(|a, b| b.total_cmp(a));
     Ge2ValResult {

@@ -60,6 +60,7 @@
 //! on.
 
 use crate::graph::{TaskGraph, TaskId};
+use bidiag_obs as obs;
 use crossbeam::deque::{Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
@@ -167,7 +168,15 @@ impl IdleGate {
                 return true;
             }
             st.sleepers += 1;
-            self.cv.wait(&mut st);
+            if obs::enabled() {
+                let reg = obs::registry();
+                reg.parks.incr();
+                let t0 = obs::now_ns();
+                self.cv.wait(&mut st);
+                reg.idle_ns.add(obs::now_ns() - t0);
+            } else {
+                self.cv.wait(&mut st);
+            }
             st.sleepers -= 1;
         }
     }
@@ -186,14 +195,43 @@ struct Scheduler<'g, S> {
     slots: BodySlots<S>,
     stealers: Vec<Stealer<TaskId>>,
     gate: IdleGate,
+    /// Observability run id for this graph execution; 0 when tracing is off
+    /// at launch, making every per-task tracing branch a single predictable
+    /// integer compare.
+    trace_id: u64,
 }
 
 impl<S> Scheduler<'_, S> {
     /// Run `id` with the worker's scratch, release its successors, and
     /// return the highest-priority newly-ready successor for direct
     /// execution (work-first handoff).
-    fn run_task(&self, id: TaskId, local: &Worker<TaskId>, scratch: &mut S) -> Option<TaskId> {
-        self.slots.take(id)(scratch);
+    ///
+    /// When tracing is on, the span (including its end timestamp) is
+    /// recorded *before* any successor is released: the recorded trace then
+    /// satisfies `end[pred] <= start[succ]` for every DAG edge, which is the
+    /// invariant the critical-path analyzer relies on.
+    fn run_task(
+        &self,
+        id: TaskId,
+        me: usize,
+        local: &Worker<TaskId>,
+        scratch: &mut S,
+    ) -> Option<TaskId> {
+        if self.trace_id != 0 {
+            let start_ns = obs::now_ns();
+            self.slots.take(id)(scratch);
+            obs::record_span(obs::Span {
+                submission: self.trace_id,
+                task: id as u32,
+                kind: self.graph.task(id).tag,
+                worker: me as u32,
+                start_ns,
+                end_ns: obs::now_ns(),
+            });
+            obs::registry().tasks_executed.incr();
+        } else {
+            self.slots.take(id)(scratch);
+        }
 
         let mut ready: Vec<TaskId> = Vec::new();
         for &succ in self.graph.successors(id) {
@@ -240,7 +278,12 @@ impl<S> Scheduler<'_, S> {
             }
             loop {
                 match self.stealers[victim].steal() {
-                    Steal::Success(id) => return Some(id),
+                    Steal::Success(id) => {
+                        if obs::enabled() {
+                            obs::registry().steals.incr();
+                        }
+                        return Some(id);
+                    }
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
@@ -269,7 +312,7 @@ impl<S> Scheduler<'_, S> {
         loop {
             while let Some(id) = self.find_task(me, &local, &mut rng) {
                 let mut current = id;
-                while let Some(next) = self.run_task(current, &local, scratch) {
+                while let Some(next) = self.run_task(current, me, &local, scratch) {
                     current = next;
                 }
             }
@@ -371,6 +414,11 @@ pub fn execute_parallel_with<S>(
         slots: BodySlots::new(bodies),
         stealers: Vec::new(),
         gate: IdleGate::new(),
+        trace_id: if obs::enabled() {
+            obs::next_submission_id()
+        } else {
+            0
+        },
     };
 
     let workers: Vec<Worker<TaskId>> = (0..threads).map(|_| Worker::new_lifo()).collect();

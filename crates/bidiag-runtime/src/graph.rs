@@ -175,6 +175,28 @@ impl TaskGraph {
         best
     }
 
+    /// Number of tasks on the longest dependent chain (unit weights): the
+    /// critical path *by task count*.  This is the quantity the
+    /// observability plane's critical-path analyzer reconstructs from a
+    /// recorded trace, so [`crate::trace::validate_trace`] can compare a
+    /// measurement against the model without depending on kernel weights.
+    pub fn longest_chain_tasks(&self) -> usize {
+        let n = self.tasks.len();
+        let mut depth = vec![0usize; n];
+        let mut best = 0usize;
+        for id in 0..n {
+            let d = self.predecessors[id]
+                .iter()
+                .map(|&p| depth[p])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            depth[id] = d;
+            best = best.max(d);
+        }
+        best
+    }
+
     /// Bottom levels: for each task, the longest weighted path from the task
     /// (inclusive) to any exit.  Used as the scheduling priority, exactly as
     /// the paper's runtime prioritises tasks on the critical path.

@@ -37,6 +37,7 @@ pub mod executor;
 pub mod graph;
 pub mod pool;
 pub mod sim;
+pub mod trace;
 
 pub use executor::{
     execute_parallel, execute_parallel_with, execute_sequential, TaskBody, TaskBodyWith,
@@ -44,3 +45,4 @@ pub use executor::{
 pub use graph::{AccessMode, DataKey, TaskGraph, TaskId, TaskNode};
 pub use pool::{JobError, JobHandle, PoolConfig, SubmitError, TaskPool};
 pub use sim::{critical_path_via_sim, simulate, MachineModel, SimResult};
+pub use trace::{validate_trace, TraceValidation};

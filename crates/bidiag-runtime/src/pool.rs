@@ -64,11 +64,12 @@
 
 use crate::executor::{BodySlots, IdleGate, TaskBodyWith};
 use crate::graph::{TaskGraph, TaskId};
+use bidiag_obs as obs;
 use crossbeam::deque::{Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -157,6 +158,13 @@ struct Submission<S> {
     cancelled: AtomicBool,
     done: Mutex<JobState>,
     done_cv: Condvar,
+    /// Observability run id (0 = tracing was off at submit time).
+    trace_id: u64,
+    /// Admission timestamp (ns), valid when `trace_id != 0`.
+    submitted_ns: u64,
+    /// First body start (ns), CAS'd from 0 by the first worker to touch the
+    /// submission; splits end-to-end latency into queue wait vs compute.
+    first_start_ns: AtomicU64,
 }
 
 struct JobState {
@@ -288,9 +296,22 @@ impl<S> PoolShared<S> {
         &self,
         sub: &Arc<Submission<S>>,
         id: TaskId,
+        me: usize,
         local: &Worker<PoolItem<S>>,
         scratch: &mut S,
     ) -> Option<TaskId> {
+        // Span timestamps bracket the body (or the skip); the span is
+        // recorded before any successor is released, so recorded traces
+        // satisfy `end[pred] <= start[succ]` on every edge.
+        let start_ns = if sub.trace_id != 0 {
+            let t = obs::now_ns();
+            let _ = sub
+                .first_start_ns
+                .compare_exchange(0, t, Ordering::Relaxed, Ordering::Relaxed);
+            t
+        } else {
+            0
+        };
         if !sub.failed.load(Ordering::Acquire) && !sub.cancelled.load(Ordering::Acquire) {
             let body = sub.slots.take(id);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -305,6 +326,17 @@ impl<S> PoolShared<S> {
                 }
                 // `p` is dropped here: the payload never crosses the pool.
             }
+        }
+        if sub.trace_id != 0 {
+            obs::record_span(obs::Span {
+                submission: sub.trace_id,
+                task: id as u32,
+                kind: sub.graph.task(id).tag,
+                worker: me as u32,
+                start_ns,
+                end_ns: obs::now_ns(),
+            });
+            obs::registry().tasks_executed.incr();
         }
 
         let mut ready: Vec<TaskId> = Vec::new();
@@ -327,6 +359,17 @@ impl<S> PoolShared<S> {
         }
 
         if sub.remaining_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if sub.trace_id != 0 {
+                // Split the submission's end-to-end latency at its first
+                // body start: before = queue wait, after = compute.
+                let end = obs::now_ns();
+                let first = sub.first_start_ns.load(Ordering::Relaxed);
+                let reg = obs::registry();
+                reg.queue_wait
+                    .record(first.saturating_sub(sub.submitted_ns));
+                reg.compute.record(end.saturating_sub(first));
+                reg.latency.record(end.saturating_sub(sub.submitted_ns));
+            }
             {
                 let mut st = sub.done.lock();
                 st.finished = true;
@@ -368,7 +411,12 @@ impl<S> PoolShared<S> {
             }
             loop {
                 match self.stealers[victim].steal() {
-                    Steal::Success(item) => return Some(item),
+                    Steal::Success(item) => {
+                        if obs::enabled() {
+                            obs::registry().steals.incr();
+                        }
+                        return Some(item);
+                    }
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
@@ -383,7 +431,7 @@ impl<S> PoolShared<S> {
         loop {
             while let Some((sub, id)) = self.find_item(me, &local, &mut rng) {
                 let mut current = id;
-                while let Some(next) = self.run_item(&sub, current, &local, scratch) {
+                while let Some(next) = self.run_item(&sub, current, me, &local, scratch) {
                     current = next;
                 }
             }
@@ -397,7 +445,7 @@ impl<S> PoolShared<S> {
         // too, so no submission is left incomplete.
         while let Some((sub, id)) = self.find_item(me, &local, &mut rng) {
             let mut current = id;
-            while let Some(next) = self.run_item(&sub, current, &local, scratch) {
+            while let Some(next) = self.run_item(&sub, current, me, &local, scratch) {
                 current = next;
             }
         }
@@ -523,6 +571,9 @@ impl<S: Send + 'static> TaskPool<S> {
     /// (return [`SubmitError::QueueFull`]).
     fn admit(&self, block: bool) -> Result<(), SubmitError> {
         let mut adm = self.shared.admission.lock();
+        // Set when this admission had to park at least once; the wait is
+        // charged to the registry on whichever outcome ends it.
+        let mut wait_from: Option<u64> = None;
         loop {
             if adm.closed {
                 return Err(SubmitError::Shutdown);
@@ -539,6 +590,9 @@ impl<S: Send + 'static> TaskPool<S> {
                         failpoint::fire("pool::admission"),
                         Some(failpoint::FailAction::Trigger)
                     ) {
+                        if obs::enabled() {
+                            obs::registry().shed_submissions.incr();
+                        }
                         return Err(SubmitError::QueueFull {
                             max_in_flight: self.shared.max_in_flight,
                         });
@@ -546,12 +600,26 @@ impl<S: Send + 'static> TaskPool<S> {
                 }
                 adm.in_flight += 1;
                 adm.peak = adm.peak.max(adm.in_flight);
+                if obs::enabled() {
+                    let reg = obs::registry();
+                    reg.in_flight_peak.record(adm.in_flight as u64);
+                    if let Some(t0) = wait_from {
+                        reg.admission_wait_ns.add(obs::now_ns() - t0);
+                    }
+                }
                 return Ok(());
             }
             if !block {
+                if obs::enabled() {
+                    obs::registry().shed_submissions.incr();
+                }
                 return Err(SubmitError::QueueFull {
                     max_in_flight: self.shared.max_in_flight,
                 });
+            }
+            if obs::enabled() && wait_from.is_none() {
+                obs::registry().admission_waits.incr();
+                wait_from = Some(obs::now_ns());
             }
             self.shared.admission_cv.wait(&mut adm);
         }
@@ -612,10 +680,19 @@ impl<S: Send + 'static> TaskPool<S> {
                     }),
                     done_cv: Condvar::new(),
                     graph,
+                    trace_id: 0,
+                    submitted_ns: 0,
+                    first_start_ns: AtomicU64::new(0),
                 }),
             });
         }
         self.admit(block)?;
+        let (trace_id, submitted_ns) = if obs::enabled() {
+            obs::registry().submissions.incr();
+            (obs::next_submission_id(), obs::now_ns())
+        } else {
+            (0, 0)
+        };
         let sub = Arc::new(Submission {
             priority: graph.bottom_levels(),
             remaining_preds: (0..n)
@@ -631,6 +708,9 @@ impl<S: Send + 'static> TaskPool<S> {
             }),
             done_cv: Condvar::new(),
             graph,
+            trace_id,
+            submitted_ns,
+            first_start_ns: AtomicU64::new(0),
         });
 
         // Seed the sources highest bottom level first: the injector is

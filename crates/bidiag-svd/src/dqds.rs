@@ -53,6 +53,7 @@
 use crate::slice::sliced_singular_values;
 use crate::sturm::GkBisection;
 use bidiag_matrix::simd;
+use bidiag_obs as obs;
 
 /// Aggressive-deflation threshold: `tol2 = (100 eps)^2`, the square of
 /// LAPACK `dlasq`'s `TOL`, because we deflate in the squared (qd) world —
@@ -75,6 +76,9 @@ const SHIFT_SAFETY: f64 = 0.98;
 pub struct DqdsStats {
     /// Total dqds passes executed (including rejected shift attempts).
     pub passes: usize,
+    /// Number of unreduced segments processed, counting sub-segments the
+    /// driver split off at deflation-induced zeros.
+    pub segments: usize,
     /// Number of singular values that were computed by the per-value
     /// bisection oracle (the last rung of the fallback ladder).
     pub fallback_values: usize,
@@ -248,6 +252,7 @@ pub fn dqds_singular_values_into(
     // anything beyond this bound is pathological and goes to bisection.
     let mut budget = 30 * n + 100;
     while let Some(seg) = stack.pop() {
+        stats.segments += 1;
         solve_segment(seg, stack, free, lambdas, &mut budget, &mut stats);
     }
     debug_assert_eq!(lambdas.len(), n);
@@ -268,6 +273,17 @@ pub fn dqds_singular_values_into(
     // `partial_cmp` on these values and stays a total order (no panic)
     // when poisoned NaNs pass through.
     out.sort_unstable_by(|a, b| b.total_cmp(a));
+    if obs::enabled() {
+        // Aggregate the per-solve ladder counters into the process-wide
+        // registry; the caller still gets the exact per-solve stats.
+        let reg = obs::registry();
+        reg.dqds_passes.add(stats.passes as u64);
+        reg.dqds_segments.add(stats.segments as u64);
+        reg.dqds_fallback_values.add(stats.fallback_values as u64);
+        reg.dqds_sliced_values.add(stats.sliced_values as u64);
+        reg.dqds_poisoned_values.add(stats.poisoned_values as u64);
+        reg.dqds_flips.add(stats.flips as u64);
+    }
     stats
 }
 

@@ -15,15 +15,23 @@
 //!   [`SvdError::NonFiniteInput`] — the shared pool never sees it, and the
 //!   service keeps answering the healthy traffic.
 //!
-//! Prints per-request latency percentiles (p50/p99), the sustained
-//! throughput, and the shed/rejected/deadline counters.
+//! Prints per-request latency percentiles (p50/p99) from the observability
+//! plane's latency histogram, the sustained throughput, the
+//! shed/rejected/deadline counters, and the full metrics snapshot at exit.
+//! Set `BIDIAG_TRACE=/tmp/service.json` to also get a Perfetto-loadable
+//! trace of the run.
 //!
 //! Run with: `cargo run --release --example embedding_service`
 
+use bidiag_repro::obs;
 use bidiag_repro::prelude::*;
 use std::time::{Duration, Instant};
 
 fn main() {
+    // The service measures itself through the observability plane: the pool
+    // records queue-wait/compute/latency per submission, shed requests, and
+    // the in-flight peak.
+    obs::set_enabled(true);
     let threads = std::thread::available_parallelism().map_or(1, |c| c.get());
     // A service-sized admission window: big enough to keep the workers fed,
     // small enough that a burst cannot pile up unbounded job graphs.
@@ -59,24 +67,24 @@ fn main() {
          ({threads} thread(s), window {window}, crossover at {DIRECT_CROSSOVER})"
     );
 
-    // Warm the arenas so the measured stream is steady-state.
+    // Warm the arenas so the measured stream is steady-state, then clear
+    // the warmup's samples out of the registry.
     for a in &pool {
         let sv = session.submit(a).unwrap().wait().unwrap();
         assert!(!sv.is_empty());
     }
+    obs::registry().reset();
 
-    let mut latencies_us: Vec<f64> = Vec::with_capacity(requests);
-    let mut inflight: Vec<(Instant, SvdJob)> = Vec::with_capacity(window);
+    let mut inflight: Vec<SvdJob> = Vec::with_capacity(window);
+    let mut answered = 0usize;
     let mut shed = 0usize;
     let mut rejected = 0usize;
     let mut timed_out = 0usize;
-    let harvest = |inflight: &mut Vec<(Instant, SvdJob)>,
-                   latencies_us: &mut Vec<f64>,
-                   timed_out: &mut usize| {
-        for (submitted, job) in inflight.drain(..) {
+    let harvest = |inflight: &mut Vec<SvdJob>, answered: &mut usize, timed_out: &mut usize| {
+        for job in inflight.drain(..) {
             match job.wait_timeout(deadline) {
                 Ok(sv) => {
-                    latencies_us.push(submitted.elapsed().as_secs_f64() * 1.0e6);
+                    *answered += 1;
                     assert!(sv[0] >= *sv.last().unwrap());
                 }
                 Err(SvdError::TimedOut) => *timed_out += 1,
@@ -100,30 +108,38 @@ fn main() {
         }
         let a = &pool[r % pool.len()];
         match session.try_submit(a) {
-            Ok(job) => inflight.push((Instant::now(), job)),
+            Ok(job) => inflight.push(job),
             // Window full: shed this request and drain the backlog, like a
             // load balancer retrying against another replica.
             Err(SvdError::QueueFull { .. }) => {
                 shed += 1;
-                harvest(&mut inflight, &mut latencies_us, &mut timed_out);
+                harvest(&mut inflight, &mut answered, &mut timed_out);
             }
             Err(e) => panic!("submission failed: {e}"),
         }
         if inflight.len() == window {
-            harvest(&mut inflight, &mut latencies_us, &mut timed_out);
+            harvest(&mut inflight, &mut answered, &mut timed_out);
         }
     }
-    harvest(&mut inflight, &mut latencies_us, &mut timed_out);
+    harvest(&mut inflight, &mut answered, &mut timed_out);
     let elapsed = t0.elapsed().as_secs_f64();
-    let answered = latencies_us.len();
 
-    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+    // Percentiles come from the registry's log2-bucketed latency histogram
+    // (submission to completion, queue wait included), recorded by the pool
+    // itself rather than by per-request stopwatches in the service loop.
+    let snap = obs::registry().snapshot();
+    let us = |ns: f64| ns / 1.0e3;
     println!(
         "latency: p50 {:.0} us, p99 {:.0} us, max {:.0} us (window of {window} in flight)",
-        pct(0.50),
-        pct(0.99),
-        latencies_us.last().unwrap()
+        us(snap.latency.quantile(0.50)),
+        us(snap.latency.quantile(0.99)),
+        us(snap.latency.max as f64)
+    );
+    println!(
+        "queue wait: p99 {:.0} us (mean {:.0} us) of {:.0} us mean latency",
+        us(snap.queue_wait.quantile(0.99)),
+        us(snap.queue_wait.mean()),
+        us(snap.latency.mean())
     );
     println!(
         "throughput: {:.0} problems/s ({answered} answered in {:.2} s)",
@@ -135,7 +151,18 @@ fn main() {
          {timed_out} past the {deadline:?} deadline; peak in flight {} <= {window}",
         session.in_flight_peak()
     );
+    println!("--- metrics snapshot ---\n{snap}");
     assert!(rejected > 0, "the poisoned requests never arrived");
     assert!(session.in_flight_peak() <= window);
     assert_eq!(answered + shed, requests, "requests lost");
+    assert_eq!(
+        snap.shed_submissions, shed as u64,
+        "shed accounting drifted"
+    );
+    // Timed-out jobs are cancelled but still drain through the pool, so
+    // their completion may land after the snapshot: lower-bound only.
+    assert!(snap.latency.count >= answered as u64);
+    if let Some(path) = obs::write_trace_if_requested().expect("trace written") {
+        println!("trace written to {path} (open in ui.perfetto.dev)");
+    }
 }

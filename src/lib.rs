@@ -16,7 +16,9 @@
 //! * [`trees`] — FLATTS/FLATTT/GREEDY/AUTO and hierarchical reduction trees,
 //! * [`runtime`] — task-graph runtime, threaded executor, cluster simulator,
 //! * [`core`] — BIDIAG / R-BIDIAG, critical paths, GE2BND/GE2VAL pipelines,
-//! * [`baselines`] — one-stage GEBRD-class baselines and competitor models.
+//! * [`baselines`] — one-stage GEBRD-class baselines and competitor models,
+//! * [`obs`] — the observability plane: per-worker span rings, metrics
+//!   registry, Chrome-trace/Perfetto export (`BIDIAG_TRACE=path`).
 //!
 //! ```
 //! use bidiag_repro::prelude::*;
@@ -30,6 +32,7 @@ pub use bidiag_baselines as baselines;
 pub use bidiag_core as core;
 pub use bidiag_kernels as kernels;
 pub use bidiag_matrix as matrix;
+pub use bidiag_obs as obs;
 pub use bidiag_runtime as runtime;
 pub use bidiag_svd as svd;
 pub use bidiag_trees as trees;
@@ -51,7 +54,8 @@ pub mod prelude {
     pub use bidiag_matrix::checks::{singular_value_error, singular_values_match};
     pub use bidiag_matrix::gen::{latms, random_gaussian, SpectrumKind};
     pub use bidiag_matrix::{BlockCyclic, Matrix, TiledMatrix};
-    pub use bidiag_runtime::{simulate, MachineModel, TaskGraph};
+    pub use bidiag_obs::{MetricsRegistry, MetricsSnapshot, ScopedObs, Span};
+    pub use bidiag_runtime::{simulate, validate_trace, MachineModel, TaskGraph, TraceValidation};
     pub use bidiag_svd::{
         dqds_singular_values, singular_values_with, singular_values_with_report, Bd2ValOptions,
         SolveReport, SvdSolver,
